@@ -1,0 +1,66 @@
+// Regenerates Fig. 10: simulated online A/B bucket test over 7 days.
+// Baseline arm: the deployed KGAT-augmented baseline's embeddings.
+// Treatment arm: GARCIA trained with the online inner-product head
+// (Sec. V-F1) so its embeddings are retrieval-compatible.
+// Users are the scenario's latent ground-truth click model (DESIGN.md §2).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/string_util.h"
+#include "models/garcia_model.h"
+#include "serving/ab_test.h"
+
+using namespace garcia;
+
+int main() {
+  bench::PrintBanner("Figure 10",
+                     "Online A/B simulation: CTR and Valid CTR improvement "
+                     "of GARCIA over the deployed baseline, per day.");
+
+  data::Scenario s =
+      data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
+
+  // Both arms use the inner-product head so exported embeddings match the
+  // online scoring function.
+  auto base_cfg = bench::DefaultTrainConfig();
+  base_cfg.inner_product_head = true;
+  auto baseline_model = models::CreateModel("KGAT", base_cfg);
+  baseline_model->Fit(s);
+  serving::EmbeddingRanker baseline(
+      serving::EmbeddingStore(baseline_model->ExportQueryEmbeddings(s)),
+      serving::EmbeddingStore(baseline_model->ExportServiceEmbeddings(s)));
+
+  auto garcia_cfg = bench::DefaultTrainConfig();
+  garcia_cfg.inner_product_head = true;
+  auto garcia_model = models::CreateModel("GARCIA", garcia_cfg);
+  garcia_model->Fit(s);
+  serving::EmbeddingRanker treatment(
+      serving::EmbeddingStore(garcia_model->ExportQueryEmbeddings(s)),
+      serving::EmbeddingStore(garcia_model->ExportServiceEmbeddings(s)));
+
+  serving::AbTestConfig ab;
+  ab.num_days = 7;  // paper: 2022/10/01 - 2022/10/07
+  serving::AbTestResult r = serving::RunAbTest(s, baseline, treatment, ab);
+
+  core::Table t({"Day", "Baseline CTR", "GARCIA CTR", "CTR impr.",
+                 "Baseline VCTR", "GARCIA VCTR", "VCTR impr."});
+  for (size_t d = 0; d < ab.num_days; ++d) {
+    t.AddRow({core::StrFormat("10/%02zu", d + 1),
+              bench::Pct(r.baseline[d].ctr), bench::Pct(r.treatment[d].ctr),
+              bench::Pct(r.CtrImprovement(d)),
+              bench::Pct(r.baseline[d].valid_ctr),
+              bench::Pct(r.treatment[d].valid_ctr),
+              bench::Pct(r.ValidCtrImprovement(d))});
+  }
+  std::fputs(t.ToAscii().c_str(), stdout);
+  std::printf("\nMean absolute improvement: CTR %s, Valid CTR %s\n",
+              bench::Pct(r.MeanCtrImprovement()).c_str(),
+              bench::Pct(r.MeanValidCtrImprovement()).c_str());
+
+  std::printf(
+      "\nPaper reference (Fig. 10): consistent positive improvement on all "
+      "7 days; overall absolute improvement +0.79%% CTR and +0.60%% Valid "
+      "CTR over the deployed KGAT-augmented baseline.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Regenerates Fig. 11: case studies on representative tail queries — the
+// top-5 lists of the deployed baseline vs GARCIA annotated with each
+// service's MAU and authoritative rating.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/string_util.h"
+#include "models/garcia_model.h"
+#include "serving/case_study.h"
+
+using namespace garcia;
+
+int main() {
+  bench::PrintBanner("Figure 11",
+                     "Case study: top-5 services for tail queries, baseline "
+                     "vs GARCIA, annotated with MAU and rating.");
+
+  data::Scenario s =
+      data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
+
+  auto base_cfg = bench::DefaultTrainConfig();
+  base_cfg.inner_product_head = true;
+  auto baseline_model = models::CreateModel("KGAT", base_cfg);
+  baseline_model->Fit(s);
+  serving::EmbeddingRanker baseline(
+      serving::EmbeddingStore(baseline_model->ExportQueryEmbeddings(s)),
+      serving::EmbeddingStore(baseline_model->ExportServiceEmbeddings(s)));
+
+  auto garcia_cfg = bench::DefaultTrainConfig();
+  garcia_cfg.inner_product_head = true;
+  auto garcia_model = models::CreateModel("GARCIA", garcia_cfg);
+  garcia_model->Fit(s);
+  serving::EmbeddingRanker treatment(
+      serving::EmbeddingStore(garcia_model->ExportQueryEmbeddings(s)),
+      serving::EmbeddingStore(garcia_model->ExportServiceEmbeddings(s)));
+
+  // Like the paper, the two displayed cases are representative tail
+  // queries where the ranker contrast is clearest; the aggregate over the
+  // whole candidate pool is reported below for honesty.
+  auto pool = serving::PickTailCaseQueries(s, 10);
+  std::vector<std::pair<double, uint32_t>> scored;
+  double mau_base_total = 0.0, mau_garcia_total = 0.0;
+  double rating_base_total = 0.0, rating_garcia_total = 0.0;
+  for (uint32_t q : pool) {
+    serving::CaseStudy cs =
+        serving::BuildCaseStudy(s, baseline, treatment, q, 5);
+    const double delta = serving::CaseStudy::MeanMau(cs.treatment) -
+                         serving::CaseStudy::MeanMau(cs.baseline);
+    scored.push_back({delta, q});
+    mau_base_total += serving::CaseStudy::MeanMau(cs.baseline);
+    mau_garcia_total += serving::CaseStudy::MeanMau(cs.treatment);
+    rating_base_total += serving::CaseStudy::MeanRating(cs.baseline);
+    rating_garcia_total += serving::CaseStudy::MeanRating(cs.treatment);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  std::vector<uint32_t> cases = {scored[0].second, scored[1].second};
+  for (uint32_t q : cases) {
+    serving::CaseStudy cs =
+        serving::BuildCaseStudy(s, baseline, treatment, q, 5);
+    std::printf("Query %u: \"%s\" (tail; exposure %llu)\n", cs.query,
+                cs.query_text.c_str(),
+                static_cast<unsigned long long>(s.query_exposure[q]));
+    core::Table t({"Rank", "BASELINE service", "MAU", "Rating",
+                   "GARCIA service", "MAU ", "Rating "});
+    for (size_t i = 0; i < cs.baseline.size(); ++i) {
+      const auto& b = cs.baseline[i];
+      const auto& g = cs.treatment[i];
+      t.AddRow({core::StrFormat("%zu", i + 1), b.name,
+                core::FormatScientific(static_cast<double>(b.mau)),
+                std::string(b.rating, '*'), g.name,
+                core::FormatScientific(static_cast<double>(g.mau)),
+                std::string(g.rating, '*')});
+    }
+    std::fputs(t.ToAscii().c_str(), stdout);
+    std::printf("List quality: baseline mean MAU %.0f / rating %.1f;  "
+                "GARCIA mean MAU %.0f / rating %.1f\n\n",
+                serving::CaseStudy::MeanMau(cs.baseline),
+                serving::CaseStudy::MeanRating(cs.baseline),
+                serving::CaseStudy::MeanMau(cs.treatment),
+                serving::CaseStudy::MeanRating(cs.treatment));
+  }
+  std::printf("Across all %zu candidate tail queries: GARCIA mean MAU %s "
+              "baseline (%.0f vs %.0f); mean rating %s baseline "
+              "(%.2f vs %.2f)\n",
+              pool.size(), mau_garcia_total >= mau_base_total ? ">=" : "<",
+              mau_garcia_total / pool.size(), mau_base_total / pool.size(),
+              rating_garcia_total >= rating_base_total ? ">=" : "<",
+              rating_garcia_total / pool.size(),
+              rating_base_total / pool.size());
+
+  std::printf(
+      "\nPaper reference (Fig. 11): for tail queries ('Iphone rental', "
+      "'Top up my mobile phone') GARCIA surfaces services with higher MAU "
+      "and authoritative ratings than the deployed baseline.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Fig. 3: ablation on adaptive encoding — GARCIA (dual
+// head/tail encoders) vs GARCIA-Share (one unified encoder) on the three
+// industrial datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace garcia;
+
+int main() {
+  bench::PrintBanner("Figure 3",
+                     "Adaptive encoding ablation: GARCIA vs GARCIA-Share "
+                     "(unified encoder), overall and tail AUC.");
+
+  core::Table t({"Dataset / Variant", "Tail AUC", "Overall AUC"});
+  for (data::DatasetId id : data::IndustrialDatasets()) {
+    data::Scenario s = data::GeneratePreset(id, bench::BenchScale());
+    {
+      auto cfg = bench::DefaultTrainConfig();
+      auto m = bench::RunModel("GARCIA", s, cfg);
+      t.AddNumericRow(data::DatasetName(id) + " GARCIA",
+                      {m.tail.auc, m.overall.auc}, 4);
+    }
+    {
+      auto cfg = bench::DefaultTrainConfig();
+      cfg.share_encoders = true;
+      auto model = models::CreateModel("GARCIA", cfg);
+      model->Fit(s);
+      auto m = models::EvaluateModel(model.get(), s, s.test);
+      t.AddNumericRow(data::DatasetName(id) + " GARCIA-Share",
+                      {m.tail.auc, m.overall.auc}, 4);
+    }
+  }
+  std::fputs(t.ToAscii().c_str(), stdout);
+
+  std::printf(
+      "\nPaper reference (Fig. 3): GARCIA is comparable to GARCIA-Share on "
+      "Sep. A and better by a considerable margin on Sep. B and C — dual "
+      "encoders never lose and usually win.\n");
+  return 0;
+}

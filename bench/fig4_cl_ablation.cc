@@ -1,0 +1,60 @@
+// Regenerates Fig. 4: ablation on the multi-granularity contrastive
+// learning module — GARCIA vs w.o. SE / w.o. IG / w.o. IG&SE / w.o. ALL on
+// the industrial datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "models/garcia_model.h"
+
+using namespace garcia;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool secl, igcl, ktcl;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Figure 4",
+                     "Multi-granularity contrastive learning ablation "
+                     "(tail and overall AUC).");
+
+  const Variant variants[] = {
+      {"GARCIA", true, true, true},
+      {"w.o. SE", false, true, true},
+      {"w.o. IG", true, false, true},
+      {"w.o. IG&SE", false, false, true},
+      {"w.o. ALL", false, false, false},
+  };
+
+  for (data::DatasetId id : data::IndustrialDatasets()) {
+    data::Scenario s = data::GeneratePreset(id, bench::BenchScale());
+    std::printf("--- %s ---\n", data::DatasetName(id).c_str());
+    core::Table t({"Variant", "Tail AUC", "Overall AUC"});
+    for (const Variant& v : variants) {
+      auto cfg = bench::DefaultTrainConfig();
+      cfg.use_secl = v.secl;
+      cfg.use_igcl = v.igcl;
+      cfg.use_ktcl = v.ktcl;
+      if (!v.secl && !v.igcl && !v.ktcl) cfg.pretrain_epochs = 0;
+      models::GarciaModel model(cfg);
+      model.Fit(s);
+      auto m = models::EvaluateModel(&model, s, s.test);
+      t.AddNumericRow(v.name, {m.tail.auc, m.overall.auc}, 4);
+      std::fflush(stdout);
+    }
+    std::fputs(t.ToAscii().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper reference (Fig. 4): removing the whole CL module (w.o. ALL) "
+      "costs the most; removing any single granularity (SE, IG, or both) "
+      "also degrades performance — every contrastive supervision "
+      "contributes.\n");
+  return 0;
+}

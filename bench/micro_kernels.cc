@@ -1,0 +1,145 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths of training and
+// serving — GEMM, segment ops, the GARCIA encoder layer, InfoNCE
+// forward+backward, and top-K embedding retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "models/gnn_encoder.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "serving/ranking_service.h"
+
+namespace garcia {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  core::Rng rng(1);
+  core::Matrix a = core::Matrix::Randn(n, n, &rng);
+  core::Matrix b = core::Matrix::Randn(n, n, &rng);
+  core::Matrix c(n, n);
+  for (auto _ : state) {
+    core::Matrix::Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  const size_t segments = edges / 8;
+  core::Rng rng(2);
+  std::vector<uint32_t> seg(edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(segments)));
+  }
+  nn::Tensor scores =
+      nn::Tensor::Constant(core::Matrix::Randn(edges, 1, &rng));
+  for (auto _ : state) {
+    nn::Tensor out = nn::SegmentSoftmax(scores, seg, segments);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * edges);
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(10000)->Arg(100000);
+
+void BM_SegmentSum(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  const size_t segments = edges / 8;
+  core::Rng rng(3);
+  std::vector<uint32_t> seg(edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(segments)));
+  }
+  nn::Tensor x = nn::Tensor::Constant(core::Matrix::Randn(edges, 32, &rng));
+  for (auto _ : state) {
+    nn::Tensor out = nn::SegmentSum(x, seg, segments);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * edges);
+}
+BENCHMARK(BM_SegmentSum)->Arg(10000)->Arg(100000);
+
+graph::SearchGraph MakeBenchGraph(size_t queries, size_t services,
+                                  size_t links) {
+  core::Rng rng(4);
+  graph::SearchGraph g(queries, services, 11);
+  g.attributes() = core::Matrix::Randn(queries + services, 11, &rng);
+  for (size_t i = 0; i < links; ++i) {
+    g.AddLink(static_cast<uint32_t>(rng.UniformInt(uint64_t{queries})),
+              static_cast<uint32_t>(rng.UniformInt(uint64_t{services})),
+              graph::EdgeKind::kInteraction,
+              static_cast<float>(rng.Uniform()), 0);
+  }
+  g.Finalize();
+  return g;
+}
+
+void BM_GarciaEncoderForward(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  core::Rng rng(5);
+  graph::SearchGraph g = MakeBenchGraph(queries, queries / 4, queries * 4);
+  models::GarciaGnnEncoder enc(g.num_nodes(), g.attr_dim(), 32, 2, &rng);
+  for (auto _ : state) {
+    models::GnnOutput out = enc.Encode(g);
+    benchmark::DoNotOptimize(out.readout.value().data());
+  }
+}
+BENCHMARK(BM_GarciaEncoderForward)->Arg(500)->Arg(2000);
+
+void BM_GarciaEncoderBackward(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  core::Rng rng(6);
+  graph::SearchGraph g = MakeBenchGraph(queries, queries / 4, queries * 4);
+  models::GarciaGnnEncoder enc(g.num_nodes(), g.attr_dim(), 32, 2, &rng);
+  auto params = enc.Parameters();
+  for (auto _ : state) {
+    for (auto& p : params) p.ZeroGrad();
+    nn::Tensor loss = nn::MeanAll(enc.Encode(g).readout);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+BENCHMARK(BM_GarciaEncoderBackward)->Arg(500)->Arg(2000);
+
+void BM_InfoNceForwardBackward(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  core::Rng rng(7);
+  nn::Tensor a = nn::Tensor::Leaf(core::Matrix::Randn(batch, 32, &rng), true);
+  nn::Tensor c = nn::Tensor::Leaf(core::Matrix::Randn(batch, 32, &rng), true);
+  std::vector<uint32_t> targets(batch);
+  for (size_t i = 0; i < batch; ++i) targets[i] = static_cast<uint32_t>(i);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    c.ZeroGrad();
+    nn::Tensor loss = nn::InfoNce(a, c, targets, 0.1f);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch *
+                          batch);
+}
+BENCHMARK(BM_InfoNceForwardBackward)->Arg(256)->Arg(1024);
+
+void BM_TopKRetrieval(benchmark::State& state) {
+  const size_t services = static_cast<size_t>(state.range(0));
+  core::Rng rng(8);
+  core::Matrix cands = core::Matrix::Randn(services, 64, &rng);
+  core::Matrix query = core::Matrix::Randn(1, 64, &rng);
+  for (auto _ : state) {
+    auto top = serving::TopKInnerProduct(query.row(0), 64, cands, 10);
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          services);
+}
+BENCHMARK(BM_TopKRetrieval)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace garcia
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Regenerates Table III: AUC of all six models on Head / Tail / Overall
+// slices across the six datasets, with GARCIA's delta vs the best baseline.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/string_util.h"
+
+using namespace garcia;
+
+int main() {
+  bench::PrintBanner("Table III",
+                     "AUC comparison with baselines on all six datasets "
+                     "(Head / Tail / Overall).");
+
+  for (data::DatasetId id : data::AllDatasets()) {
+    data::Scenario s = data::GeneratePreset(id, bench::BenchScale());
+    std::printf("--- %s ---\n", data::DatasetName(id).c_str());
+    core::Table t({"Model", "Head", "Tail", "Overall"});
+    double best_head = 0.0, best_tail = 0.0, best_overall = 0.0;
+    eval::SlicedMetrics garcia_metrics;
+    for (const auto& name : models::AllModelNames()) {
+      auto m = bench::RunModel(name, s, bench::DefaultTrainConfig());
+      if (name == "GARCIA") {
+        garcia_metrics = m;
+        t.AddRow({name,
+                  core::FormatFixed(m.head.auc, 4) + " " +
+                      bench::Delta(m.head.auc, best_head),
+                  core::FormatFixed(m.tail.auc, 4) + " " +
+                      bench::Delta(m.tail.auc, best_tail),
+                  core::FormatFixed(m.overall.auc, 4) + " " +
+                      bench::Delta(m.overall.auc, best_overall)});
+      } else {
+        best_head = std::max(best_head, m.head.auc);
+        best_tail = std::max(best_tail, m.tail.auc);
+        best_overall = std::max(best_overall, m.overall.auc);
+        t.AddNumericRow(name, {m.head.auc, m.tail.auc, m.overall.auc}, 4);
+      }
+    }
+    std::fputs(t.ToAscii().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper reference (Table III): GARCIA beats every baseline on every "
+      "dataset and slice (e.g. Sep. A tail 0.8285, +2.50%% over the best "
+      "baseline), with the largest margins on the tail slice; Wide&Deep is "
+      "weakest; CL-augmented GNNs and KGAT sit between.\n");
+  return 0;
+}

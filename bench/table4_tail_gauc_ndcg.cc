@@ -1,0 +1,51 @@
+// Regenerates Table IV: GAUC and NDCG@10 on TAIL queries for the three
+// industrial datasets, with each model's improvement ratio over LightGCN.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/string_util.h"
+
+using namespace garcia;
+
+int main() {
+  bench::PrintBanner("Table IV",
+                     "GAUC / NDCG@10 on tail queries (industrial datasets), "
+                     "improvement over LightGCN in parentheses.");
+
+  for (data::DatasetId id : data::IndustrialDatasets()) {
+    data::Scenario s = data::GeneratePreset(id, bench::BenchScale());
+    std::printf("--- %s ---\n", data::DatasetName(id).c_str());
+
+    // LightGCN is the reference model of this table; run it first.
+    std::vector<std::string> order = {"Wide&Deep", "LightGCN", "KGAT",
+                                      "SGL",       "SimSGL",   "GARCIA"};
+    double ref_gauc = 0.0, ref_ndcg = 0.0;
+    core::Table t({"Model", "GAUC", "NDCG@10"});
+    // First pass: LightGCN reference.
+    auto ref = bench::RunModel("LightGCN", s, bench::DefaultTrainConfig());
+    ref_gauc = ref.tail.gauc;
+    ref_ndcg = ref.tail.ndcg_at_10;
+    for (const auto& name : order) {
+      eval::SlicedMetrics m =
+          name == "LightGCN"
+              ? ref
+              : bench::RunModel(name, s, bench::DefaultTrainConfig());
+      auto cell = [&](double v, double r) {
+        if (name == "LightGCN") return core::FormatFixed(v, 4) + " (-)";
+        return core::FormatFixed(v, 4) + " " + bench::Delta(v, r);
+      };
+      t.AddRow({name, cell(m.tail.gauc, ref_gauc),
+                cell(m.tail.ndcg_at_10, ref_ndcg)});
+    }
+    std::fputs(t.ToAscii().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper reference (Table IV): GARCIA has the best tail GAUC and "
+      "NDCG@10 on all three windows (e.g. Sep. A GAUC 0.7103 = +7.84%% "
+      "over LightGCN, NDCG@10 0.8596 = +2.26%%); Wide&Deep falls far "
+      "below the reference.\n");
+  return 0;
+}

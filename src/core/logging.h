@@ -1,0 +1,46 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Minimal leveled logger. Thread-safe, stderr-backed, printf-free.
+
+#ifndef GARCIA_CORE_LOGGING_H_
+#define GARCIA_CORE_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace garcia::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes its buffer on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace garcia::core
+
+#define GARCIA_LOG(level)                               \
+  ::garcia::core::internal::LogMessage(                 \
+      ::garcia::core::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // GARCIA_CORE_LOGGING_H_

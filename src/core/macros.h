@@ -1,0 +1,74 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Assertion macros used across the library.
+//
+// GARCIA_CHECK is always on and aborts with a readable message; it guards
+// programming errors (shape mismatches, invalid ids). Fallible operations
+// that depend on external input return core::Status instead.
+
+#ifndef GARCIA_CORE_MACROS_H_
+#define GARCIA_CORE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace garcia::core {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal {
+
+/// Stream-style message collector used by the CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes.
+struct Voidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace internal
+}  // namespace garcia::core
+
+#define GARCIA_CHECK(condition)                                        \
+  (condition) ? (void)0                                                \
+              : ::garcia::core::internal::Voidify() &                  \
+                    ::garcia::core::internal::CheckMessageBuilder(     \
+                        __FILE__, __LINE__, #condition)
+
+#define GARCIA_CHECK_EQ(a, b) GARCIA_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GARCIA_CHECK_NE(a, b) GARCIA_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GARCIA_CHECK_LT(a, b) GARCIA_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GARCIA_CHECK_LE(a, b) GARCIA_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GARCIA_CHECK_GT(a, b) GARCIA_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define GARCIA_CHECK_GE(a, b) GARCIA_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define GARCIA_DCHECK(condition) GARCIA_CHECK(condition)
+#else
+#define GARCIA_DCHECK(condition) \
+  while (false) GARCIA_CHECK(condition)
+#endif
+
+#endif  // GARCIA_CORE_MACROS_H_

@@ -1,0 +1,190 @@
+#include "core/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "core/rng.h"
+
+namespace garcia::core {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    GARCIA_CHECK_EQ(r.size(), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Randn(size_t rows, size_t cols, Rng* rng, float mean,
+                     float stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) {
+    x = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& x : m.data_) {
+    x = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  return m;
+}
+
+namespace {
+
+// Inner kernel: c[mxn] += alpha * a_block[mxk] * b_block[kxn] where a is
+// accessed as a(i, l) with stride lda etc. Plain loops; -O2 vectorizes the
+// innermost loop well at the sizes we use (d <= 256).
+inline void GemmBlockNN(size_t m, size_t n, size_t k, float alpha,
+                        const float* a, size_t lda, const float* b, size_t ldb,
+                        float* c, size_t ldc) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t l = 0; l < k; ++l) {
+      const float av = alpha * a[i * lda + l];
+      if (av == 0.0f) continue;
+      const float* brow = b + l * ldb;
+      float* crow = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void Matrix::Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
+                  const Matrix& b, float beta, Matrix* c) {
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t k = trans_a ? a.rows() : a.cols();
+  const size_t kb = trans_b ? b.cols() : b.rows();
+  const size_t n = trans_b ? b.rows() : b.cols();
+  GARCIA_CHECK_EQ(k, kb) << "GEMM inner dimension mismatch";
+  GARCIA_CHECK_EQ(c->rows(), m);
+  GARCIA_CHECK_EQ(c->cols(), n);
+
+  if (beta == 0.0f) {
+    c->Fill(0.0f);
+  } else if (beta != 1.0f) {
+    c->Scale(beta);
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  if (!trans_a && !trans_b) {
+    GemmBlockNN(m, n, k, alpha, a.data(), a.cols(), b.data(), b.cols(),
+                c->data(), c->cols());
+    return;
+  }
+
+  // Transposed paths: materialize the transposed operand once. The matrices
+  // in this codebase are small enough (parameters and activations) that the
+  // copy is cheaper than a strided kernel.
+  auto transpose = [](const Matrix& x) {
+    Matrix t(x.cols(), x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      for (size_t j = 0; j < x.cols(); ++j) t.at(j, i) = x.at(i, j);
+    }
+    return t;
+  };
+  const Matrix at = trans_a ? transpose(a) : Matrix();
+  const Matrix bt = trans_b ? transpose(b) : Matrix();
+  const Matrix& aa = trans_a ? at : a;
+  const Matrix& bb = trans_b ? bt : b;
+  GemmBlockNN(m, n, k, alpha, aa.data(), aa.cols(), bb.data(), bb.cols(),
+              c->data(), c->cols());
+}
+
+Matrix Matrix::Matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  return c;
+}
+
+void Matrix::Add(const Matrix& other) {
+  GARCIA_CHECK_EQ(rows_, other.rows_);
+  GARCIA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  GARCIA_CHECK_EQ(rows_, other.rows_);
+  GARCIA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+void Matrix::Hadamard(const Matrix& other) {
+  GARCIA_CHECK_EQ(rows_, other.rows_);
+  GARCIA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+float Matrix::AbsMax() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+void Matrix::CopyRowFrom(const Matrix& from, size_t src, size_t dst) {
+  GARCIA_CHECK_EQ(cols_, from.cols_);
+  GARCIA_CHECK_LT(src, from.rows_);
+  GARCIA_CHECK_LT(dst, rows_);
+  std::memcpy(row(dst), from.row(src), cols_ * sizeof(float));
+}
+
+bool Matrix::AllClose(const Matrix& other, float atol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  if (rows_ <= 8 && cols_ <= 8) {
+    os << " [";
+    for (size_t i = 0; i < rows_; ++i) {
+      os << (i == 0 ? "[" : ", [");
+      for (size_t j = 0; j < cols_; ++j) {
+        os << (j == 0 ? "" : ", ") << at(i, j);
+      }
+      os << "]";
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace garcia::core

@@ -1,0 +1,113 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Lightweight Status / Result<T> error handling in the Arrow/RocksDB idiom.
+//
+// Functions whose failure depends on external input (files, configs,
+// user-provided ids) return Status or Result<T>. Internal invariants use
+// GARCIA_CHECK instead.
+
+#ifndef GARCIA_CORE_STATUS_H_
+#define GARCIA_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/macros.h"
+
+namespace garcia::core {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Access to the value when !ok() aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {   // NOLINT(runtime/explicit)
+    GARCIA_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GARCIA_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GARCIA_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GARCIA_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace garcia::core
+
+/// Propagates a non-OK status to the caller.
+#define GARCIA_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::garcia::core::Status _st = (expr);      \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // GARCIA_CORE_STATUS_H_

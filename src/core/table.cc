@@ -1,0 +1,92 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace garcia::core {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GARCIA_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  GARCIA_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddNumericRow(const std::string& label,
+                          const std::vector<double>& vals, int decimals) {
+  GARCIA_CHECK_EQ(vals.size() + 1, header_.size());
+  std::vector<std::string> row;
+  row.reserve(header_.size());
+  row.push_back(label);
+  for (double v : vals) row.push_back(FormatFixed(v, decimals));
+  AddRow(std::move(row));
+}
+
+std::string Table::ToAscii() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t j = 0; j < header_.size(); ++j) widths[j] = header_[j].size();
+  for (const auto& r : rows_) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      widths[j] = std::max(widths[j], r[j].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string line = "|";
+    for (size_t j = 0; j < r.size(); ++j) {
+      line += " " + r[j] + std::string(widths[j] - r[j].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t j = 0; j < widths.size(); ++j) {
+    sep += std::string(widths[j] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& r : rows_) out += render_row(r);
+  return out;
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (j) os << ",";
+      os << CsvEscape(r[j]);
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << ToCsv();
+  if (!f) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace garcia::core

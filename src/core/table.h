@@ -1,0 +1,50 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Text/CSV table emitter used by the benchmark harness to print rows in the
+// same layout as the paper's tables and figure series.
+
+#ifndef GARCIA_CORE_TABLE_H_
+#define GARCIA_CORE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace garcia::core {
+
+/// A rectangular table with a header row. Cells are strings; numeric helpers
+/// format through FormatFixed.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  size_t num_columns() const { return header_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a row from doubles with fixed formatting.
+  void AddNumericRow(const std::string& label, const std::vector<double>& vals,
+                     int decimals = 4);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// ASCII render with aligned columns and a separator under the header.
+  std::string ToAscii() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  std::string ToCsv() const;
+
+  /// Writes the CSV form to a file.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_TABLE_H_

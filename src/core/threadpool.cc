@@ -1,0 +1,94 @@
+#include "core/threadpool.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace garcia::core {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GARCIA_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn,
+                             size_t min_shard) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t threads = num_threads();
+  if (threads <= 1 || n < min_shard * 2) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t shards = std::min(threads, (n + min_shard - 1) / min_shard);
+  const size_t per_shard = (n + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t lo = begin + s * per_shard;
+    const size_t hi = std::min(end, lo + per_shard);
+    if (lo >= hi) break;
+    Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace garcia::core

@@ -1,0 +1,60 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// A small fixed-size thread pool with a blocking ParallelFor helper.
+
+#ifndef GARCIA_CORE_THREADPOOL_H_
+#define GARCIA_CORE_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace garcia::core {
+
+/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until
+/// every submitted task has finished. Not reentrant (tasks must not submit).
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous shards
+  /// across the pool; blocks until done. Executes inline when the range is
+  /// small or the pool has a single thread.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn,
+                   size_t min_shard = 256);
+
+  /// Process-wide shared pool (lazily created).
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_THREADPOOL_H_

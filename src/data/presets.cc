@@ -1,0 +1,149 @@
+#include "data/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+
+namespace garcia::data {
+
+const std::vector<DatasetId>& AllDatasets() {
+  static const std::vector<DatasetId> kAll = {
+      DatasetId::kSepA,     DatasetId::kSepB,      DatasetId::kSepC,
+      DatasetId::kSoftware, DatasetId::kVideoGame, DatasetId::kMusic};
+  return kAll;
+}
+
+const std::vector<DatasetId>& IndustrialDatasets() {
+  static const std::vector<DatasetId> kIndustrial = {
+      DatasetId::kSepA, DatasetId::kSepB, DatasetId::kSepC};
+  return kIndustrial;
+}
+
+const std::vector<DatasetId>& PublicDatasets() {
+  static const std::vector<DatasetId> kPublic = {
+      DatasetId::kSoftware, DatasetId::kVideoGame, DatasetId::kMusic};
+  return kPublic;
+}
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kSepA:
+      return "Sep. A";
+    case DatasetId::kSepB:
+      return "Sep. B";
+    case DatasetId::kSepC:
+      return "Sep. C";
+    case DatasetId::kSoftware:
+      return "Software";
+    case DatasetId::kVideoGame:
+      return "Video game";
+    case DatasetId::kMusic:
+      return "Music";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(8, static_cast<size_t>(std::llround(
+                                 static_cast<double>(base) * scale)));
+}
+
+ScenarioConfig IndustrialBase(double scale) {
+  ScenarioConfig cfg;
+  cfg.entity_seed = 20220901;  // shared population across Sep A/B/C
+  cfg.num_queries = Scaled(2000, scale);
+  cfg.num_services = Scaled(600, scale);
+  cfg.num_intentions = Scaled(300, scale);
+  cfg.num_trees = std::max<size_t>(4, Scaled(12, scale));
+  cfg.max_depth = 5;
+  cfg.num_impressions = Scaled(120000, scale);
+  cfg.zipf_exponent = 1.7;  // top 1% of queries ~= 90% of PV
+  cfg.head_fraction = 0.012;  // paper Table I: 1.18%-1.51% head queries
+  return cfg;
+}
+
+}  // namespace
+
+ScenarioConfig PresetConfig(DatasetId id, double scale) {
+  GARCIA_CHECK_GT(scale, 0.0);
+  switch (id) {
+    case DatasetId::kSepA: {
+      ScenarioConfig cfg = IndustrialBase(scale);
+      cfg.name = "Sep. A";
+      cfg.event_seed = 901;
+      return cfg;
+    }
+    case DatasetId::kSepB: {
+      ScenarioConfig cfg = IndustrialBase(scale);
+      cfg.name = "Sep. B";
+      cfg.event_seed = 911;
+      return cfg;
+    }
+    case DatasetId::kSepC: {
+      ScenarioConfig cfg = IndustrialBase(scale);
+      cfg.name = "Sep. C";
+      cfg.event_seed = 921;
+      return cfg;
+    }
+    case DatasetId::kSoftware: {
+      // Smallest: 1,826 users / 802 items / 12,805 interactions in the
+      // paper; mild skew (10.95% head). The scale is floored so the
+      // head/tail machinery keeps enough entities at small bench scales.
+      scale = std::max(scale, 1.5);
+      ScenarioConfig cfg;
+      cfg.name = "Software";
+      cfg.entity_seed = 8021;
+      cfg.event_seed = 8022;
+      cfg.num_queries = Scaled(460, scale);
+      cfg.num_services = Scaled(200, scale);
+      cfg.num_intentions = Scaled(90, scale);
+      cfg.num_trees = std::max<size_t>(3, Scaled(6, scale));
+      cfg.num_impressions = Scaled(13000, scale);
+      cfg.zipf_exponent = 1.05;
+      cfg.head_fraction = 0.1095;
+      return cfg;
+    }
+    case DatasetId::kVideoGame: {
+      // Largest public set: 55,223 users / 17,408 items / 497,576
+      // interactions; 3.62% head.
+      ScenarioConfig cfg;
+      cfg.name = "Video game";
+      cfg.entity_seed = 17408;
+      cfg.event_seed = 17409;
+      cfg.num_queries = Scaled(1700, scale);
+      cfg.num_services = Scaled(540, scale);
+      cfg.num_intentions = Scaled(220, scale);
+      cfg.num_trees = std::max<size_t>(4, Scaled(10, scale));
+      cfg.num_impressions = Scaled(100000, scale);
+      cfg.zipf_exponent = 1.25;
+      cfg.head_fraction = 0.0362;
+      return cfg;
+    }
+    case DatasetId::kMusic: {
+      // 27,530 users / 10,620 items / 231,392 interactions; 3.63% head.
+      ScenarioConfig cfg;
+      cfg.name = "Music";
+      cfg.entity_seed = 10620;
+      cfg.event_seed = 10621;
+      cfg.num_queries = Scaled(1100, scale);
+      cfg.num_services = Scaled(360, scale);
+      cfg.num_intentions = Scaled(140, scale);
+      cfg.num_trees = std::max<size_t>(3, Scaled(8, scale));
+      cfg.num_impressions = Scaled(55000, scale);
+      cfg.zipf_exponent = 1.25;
+      cfg.head_fraction = 0.0363;
+      return cfg;
+    }
+  }
+  GARCIA_CHECK(false) << "unknown dataset id";
+  return {};
+}
+
+Scenario GeneratePreset(DatasetId id, double scale) {
+  return GenerateScenario(PresetConfig(id, scale));
+}
+
+}  // namespace garcia::data

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// The six named datasets of the paper's evaluation (Sec. V-A), as synthetic
+// presets:
+//
+//  * Industrial: Sep. A / Sep. B / Sep. C — the same simulated population
+//    (identical entity seed) observed over three disjoint event windows,
+//    mirroring the chronological thirds of the Alipay September 2022 logs.
+//    Heavy Zipf traffic so the top ~1% of queries take ~90% of search PV.
+//  * Public: Software / VideoGame / Music — Amazon-like presets whose
+//    head-query fractions match the paper's Table I (10.95% / 3.62% /
+//    3.63%) and whose relative sizes follow the published statistics,
+//    scaled to laptop scale.
+//
+// Scale: every preset is ~1000x smaller than the production data so that
+// the full benchmark suite (6 models x 6 datasets) runs in minutes. The
+// long-tail structure — the property under study — is preserved and checked
+// by tests.
+
+#ifndef GARCIA_DATA_PRESETS_H_
+#define GARCIA_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/scenario.h"
+
+namespace garcia::data {
+
+enum class DatasetId {
+  kSepA,
+  kSepB,
+  kSepC,
+  kSoftware,
+  kVideoGame,
+  kMusic,
+};
+
+/// All six, in paper order.
+const std::vector<DatasetId>& AllDatasets();
+
+/// The three industrial windows.
+const std::vector<DatasetId>& IndustrialDatasets();
+
+/// The three public-style datasets.
+const std::vector<DatasetId>& PublicDatasets();
+
+/// Human-readable name as printed in the paper's tables.
+std::string DatasetName(DatasetId id);
+
+/// The preset config. `scale` multiplies entity counts and impressions
+/// (1.0 = default benchmark scale; tests use smaller scales).
+ScenarioConfig PresetConfig(DatasetId id, double scale = 1.0);
+
+/// Generates the preset scenario.
+Scenario GeneratePreset(DatasetId id, double scale = 1.0);
+
+}  // namespace garcia::data
+
+#endif  // GARCIA_DATA_PRESETS_H_

@@ -1,0 +1,146 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Synthetic service-search scenario: the substitution for the paper's
+// proprietary Alipay logs and Amazon-derived datasets (see DESIGN.md §2).
+//
+// A Scenario bundles everything an experiment needs: the intention forest,
+// per-entity metadata, labeled (query, service, clicked) examples split into
+// train/validation/test, the finalized service search graph built from the
+// training window, and the head/tail exposure split.
+//
+// The generator plants a latent ground truth (per-intention concept vectors
+// inherited down each tree) and produces clicks from it. Models never see
+// the latents — only the graph, attributes, forest and examples — so the
+// learning problem is real: recover the latent relevance structure, where
+// tail queries have too little feedback to be learned without the graph /
+// intention bridge GARCIA exploits.
+
+#ifndef GARCIA_DATA_SCENARIO_H_
+#define GARCIA_DATA_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "graph/graph_builder.h"
+#include "graph/head_tail.h"
+#include "graph/search_graph.h"
+#include "intent/intention_forest.h"
+
+namespace garcia::data {
+
+/// One impression with its click label.
+struct Example {
+  uint32_t query = 0;
+  uint32_t service = 0;
+  float label = 0.0f;  // 1.0 clicked, 0.0 not clicked
+  uint16_t day = 0;    // 1-based day within the simulated window
+};
+
+/// Knobs of the synthetic scenario. Defaults correspond to the industrial
+/// presets; see presets.h for the six named configurations.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  uint64_t entity_seed = 1;  // population (intentions/queries/services)
+  uint64_t event_seed = 2;   // impressions within the window
+
+  // Population sizes.
+  size_t num_queries = 2000;
+  size_t num_services = 600;
+  size_t num_intentions = 300;  // across all trees
+  size_t num_trees = 12;
+  size_t max_depth = 5;    // paper: at most 5-level intentions
+  size_t max_branching = 4;
+  size_t num_cities = 20;
+
+  // Latent ground truth.
+  size_t latent_dim = 16;
+  float child_noise = 0.45f;   // intention inheritance noise
+  float entity_noise = 0.35f;  // query/service around their intention
+
+  // Observable node attributes (the paper's ~11 semantic attributes).
+  // attr_noise is calibrated so content features alone cannot solve tail
+  // queries (the condition under which the paper's long-tail phenomenon
+  // exists): at 1.2 the attribute SNR is low enough that behavioral /
+  // structural signal dominates, and tail queries genuinely underperform
+  // for models without knowledge transfer.
+  size_t attr_dim = 11;
+  float attr_noise = 1.2f;
+
+  // Traffic model.
+  size_t num_impressions = 120000;
+  double zipf_exponent = 1.7;  // tuned so top-1% queries ~= 90% of PV
+  uint16_t num_days = 10;
+  double p_same_tree = 0.7;   // impression shows an in-category service
+  double p_same_leaf = 0.5;   // ...and within that, the exact intention
+  // Click probability: sigmoid(w_rel * cos(latent_q, latent_s)
+  //                            + w_quality * (quality - 0.5) + bias).
+  double click_w_rel = 4.0;
+  double click_w_quality = 2.0;
+  double click_bias = -1.5;
+
+  // Head/tail split: top fraction of queries by train-window exposure
+  // (paper: "top 10 thousand queries", ~1-1.5% of all queries).
+  double head_fraction = 0.01;
+
+  // Example split.
+  double validation_fraction = 0.1;
+  double test_fraction = 0.1;
+
+  // Graph construction.
+  graph::GraphBuildConfig graph_config;
+};
+
+/// Per-service quality metadata (drives MAU / authoritative rating, the
+/// case-study metrics of Fig. 11).
+struct ServiceMeta {
+  std::string name;
+  double quality = 0.5;    // latent in [0, 1]
+  uint64_t mau = 0;        // monthly active users
+  int rating = 1;          // authoritative rating, 1..5 stars
+};
+
+/// A fully generated scenario.
+struct Scenario {
+  ScenarioConfig config;
+
+  intent::IntentionForest forest;
+  core::Matrix intent_latents;  // |forest| x latent_dim (ground truth)
+
+  // Entities.
+  std::vector<uint32_t> query_intent;    // leaf intention of each query
+  std::vector<uint32_t> service_intent;  // leaf intention of each service
+  std::vector<std::string> query_text;
+  std::vector<ServiceMeta> services;
+  std::vector<graph::CorrelationKeys> query_keys;
+  std::vector<graph::CorrelationKeys> service_keys;
+  core::Matrix query_latents;    // ground truth, hidden from models
+  core::Matrix service_latents;  // ground truth, hidden from models
+
+  // Feedback.
+  std::vector<Example> train;
+  std::vector<Example> validation;
+  std::vector<Example> test;
+  std::vector<uint64_t> query_exposure;  // train-window impressions per query
+
+  // Derived structures.
+  graph::SearchGraph graph;  // built from the training window
+  graph::HeadTailSplit split;
+
+  Scenario() : graph(0, 0, 0) {}
+
+  size_t num_queries() const { return config.num_queries; }
+  size_t num_services() const { return config.num_services; }
+
+  /// Ground-truth click probability — the simulated user model. Used only
+  /// by the data generator and by the online A/B simulator (Fig. 10), never
+  /// by training code.
+  double TrueClickProbability(uint32_t query, uint32_t service) const;
+};
+
+/// Generates a scenario from a config. Deterministic in the seeds.
+Scenario GenerateScenario(const ScenarioConfig& config);
+
+}  // namespace garcia::data
+
+#endif  // GARCIA_DATA_SCENARIO_H_

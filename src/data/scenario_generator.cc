@@ -1,0 +1,325 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+#include "data/scenario.h"
+
+namespace garcia::data {
+
+using core::Matrix;
+using core::Rng;
+
+namespace {
+
+double CosineRows(const Matrix& a, size_t i, const Matrix& b, size_t j) {
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  const float* ra = a.row(i);
+  const float* rb = b.row(j);
+  for (size_t k = 0; k < a.cols(); ++k) {
+    dot += static_cast<double>(ra[k]) * rb[k];
+    na += static_cast<double>(ra[k]) * ra[k];
+    nb += static_cast<double>(rb[k]) * rb[k];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? dot / denom : 0.0;
+}
+
+double StableSigmoid(double z) {
+  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                  : std::exp(z) / (1.0 + std::exp(z));
+}
+
+/// Grows the intention forest: num_trees roots, children added breadth-first
+/// with random branching until the intention budget is spent, never deeper
+/// than max_depth levels. Names carry an inherited head token (so texts of
+/// related intentions overlap) plus a fresh token.
+void GrowForest(const ScenarioConfig& cfg, Rng* rng,
+                intent::IntentionForest* forest) {
+  struct Pending {
+    uint32_t id;
+    size_t depth;
+    std::string head_token;
+  };
+  std::vector<Pending> frontier;
+  for (size_t t = 0; t < cfg.num_trees; ++t) {
+    const std::string head = core::StrFormat("cat%zu", t);
+    const uint32_t root = forest->AddRoot(head);
+    frontier.push_back({root, 0, head});
+  }
+  size_t budget = cfg.num_intentions > forest->size()
+                      ? cfg.num_intentions - forest->size()
+                      : 0;
+  size_t cursor = 0;
+  while (budget > 0 && cursor < frontier.size()) {
+    const Pending cur = frontier[cursor++];
+    if (cur.depth + 1 >= cfg.max_depth) continue;
+    const size_t fanout = std::min<size_t>(
+        budget, 1 + static_cast<size_t>(
+                        rng->UniformInt(static_cast<uint64_t>(cfg.max_branching))));
+    for (size_t c = 0; c < fanout; ++c) {
+      const std::string token = core::StrFormat("w%zu", forest->size());
+      const uint32_t id =
+          forest->AddChild(cur.id, cur.head_token + " " + token);
+      frontier.push_back({id, cur.depth + 1, cur.head_token});
+      --budget;
+      if (budget == 0) break;
+    }
+  }
+  forest->Finalize();
+}
+
+/// Latent per intention: root ~ N(0, I); child = parent + child_noise * eps.
+Matrix InheritLatents(const intent::IntentionForest& forest,
+                      const ScenarioConfig& cfg, Rng* rng) {
+  Matrix latents(forest.size(), cfg.latent_dim);
+  for (const auto& level : forest.levels()) {
+    for (uint32_t id : level) {
+      const int32_t p = forest.parent(id);
+      for (size_t k = 0; k < cfg.latent_dim; ++k) {
+        const float base = p == intent::kNoParent
+                               ? 0.0f
+                               : latents.at(static_cast<uint32_t>(p), k);
+        const float noise = p == intent::kNoParent ? 1.0f : cfg.child_noise;
+        latents.at(id, k) =
+            base + noise * static_cast<float>(rng->Normal());
+      }
+    }
+  }
+  return latents;
+}
+
+std::vector<uint32_t> CollectLeaves(const intent::IntentionForest& forest) {
+  std::vector<uint32_t> leaves;
+  for (uint32_t id = 0; id < forest.size(); ++id) {
+    if (forest.IsLeaf(id)) leaves.push_back(id);
+  }
+  return leaves;
+}
+
+/// Correlation keys derived from the intention path: category = tree root,
+/// brand = depth-1 ancestor (if any), city = random-or-absent. The brand /
+/// category sharing is the "contextual bridge" between head and tail
+/// entities under the same intention.
+graph::CorrelationKeys KeysFor(const intent::IntentionForest& forest,
+                               uint32_t intention, const ScenarioConfig& cfg,
+                               Rng* rng) {
+  graph::CorrelationKeys keys;
+  const auto chain = forest.AncestorChain(intention);  // leaf..root
+  keys.category = static_cast<int32_t>(chain.back());
+  if (chain.size() >= 2) {
+    keys.brand = static_cast<int32_t>(chain[chain.size() - 2]);
+  }
+  if (rng->Bernoulli(0.7)) {
+    keys.city = static_cast<int32_t>(
+        rng->UniformInt(static_cast<uint64_t>(cfg.num_cities)));
+  }
+  return keys;
+}
+
+}  // namespace
+
+double Scenario::TrueClickProbability(uint32_t query,
+                                      uint32_t service) const {
+  GARCIA_CHECK_LT(query, num_queries());
+  GARCIA_CHECK_LT(service, num_services());
+  const double rel =
+      CosineRows(query_latents, query, service_latents, service);
+  const double quality = services[service].quality;
+  return StableSigmoid(config.click_w_rel * rel +
+                       config.click_w_quality * (quality - 0.5) +
+                       config.click_bias);
+}
+
+Scenario GenerateScenario(const ScenarioConfig& cfg) {
+  GARCIA_CHECK_GE(cfg.max_depth, 1u);
+  GARCIA_CHECK_GT(cfg.num_queries, 0u);
+  GARCIA_CHECK_GT(cfg.num_services, 0u);
+  GARCIA_CHECK_GE(cfg.num_intentions, cfg.num_trees);
+
+  Scenario s;
+  s.config = cfg;
+  Rng entity_rng(cfg.entity_seed);
+
+  // --- population ---
+  GrowForest(cfg, &entity_rng, &s.forest);
+  s.intent_latents = InheritLatents(s.forest, cfg, &entity_rng);
+  const std::vector<uint32_t> leaves = CollectLeaves(s.forest);
+  GARCIA_CHECK(!leaves.empty());
+
+  auto sample_entity = [&](std::vector<uint32_t>* intents, Matrix* latents,
+                           size_t count) {
+    *latents = Matrix(count, cfg.latent_dim);
+    intents->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t leaf = leaves[entity_rng.UniformInt(
+          static_cast<uint64_t>(leaves.size()))];
+      (*intents)[i] = leaf;
+      for (size_t k = 0; k < cfg.latent_dim; ++k) {
+        latents->at(i, k) =
+            s.intent_latents.at(leaf, k) +
+            cfg.entity_noise * static_cast<float>(entity_rng.Normal());
+      }
+    }
+  };
+  sample_entity(&s.query_intent, &s.query_latents, cfg.num_queries);
+  sample_entity(&s.service_intent, &s.service_latents, cfg.num_services);
+
+  // Query text: the intention's token path plus an occasional modifier —
+  // related queries overlap in tokens, which KTCL anchor mining exploits.
+  s.query_text.resize(cfg.num_queries);
+  for (size_t q = 0; q < cfg.num_queries; ++q) {
+    std::string text = s.forest.name(s.query_intent[q]);
+    if (entity_rng.Bernoulli(0.5)) {
+      text += core::StrFormat(" m%d",
+                              static_cast<int>(entity_rng.UniformInt(
+                                  static_cast<uint64_t>(50))));
+    }
+    s.query_text[q] = text;
+  }
+
+  // Service metadata: quality drives MAU (log-scale) and rating.
+  s.services.resize(cfg.num_services);
+  for (size_t i = 0; i < cfg.num_services; ++i) {
+    ServiceMeta& m = s.services[i];
+    m.name = core::StrFormat("svc_%zu_%s", i,
+                             s.forest.name(s.service_intent[i]).c_str());
+    m.quality = std::clamp(entity_rng.Normal(0.5, 0.22), 0.02, 0.98);
+    m.mau = static_cast<uint64_t>(
+        std::round(std::exp(4.0 + 8.0 * m.quality +
+                            0.3 * entity_rng.Normal())));
+    m.rating = std::clamp(
+        1 + static_cast<int>(std::floor(m.quality * 5.0 +
+                                        0.5 * entity_rng.Normal())),
+        1, 5);
+  }
+
+  // Correlation keys.
+  s.query_keys.resize(cfg.num_queries);
+  for (size_t q = 0; q < cfg.num_queries; ++q) {
+    s.query_keys[q] = KeysFor(s.forest, s.query_intent[q], cfg, &entity_rng);
+  }
+  s.service_keys.resize(cfg.num_services);
+  for (size_t i = 0; i < cfg.num_services; ++i) {
+    s.service_keys[i] =
+        KeysFor(s.forest, s.service_intent[i], cfg, &entity_rng);
+  }
+
+  // --- events ---
+  Rng event_rng(cfg.event_seed);
+  core::ZipfSampler traffic(cfg.num_queries, cfg.zipf_exponent);
+
+  // Service pools by tree and by leaf for the impression candidate model.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> services_by_tree;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> services_by_leaf;
+  for (uint32_t i = 0; i < cfg.num_services; ++i) {
+    services_by_tree[s.forest.tree_of(s.service_intent[i])].push_back(i);
+    services_by_leaf[s.service_intent[i]].push_back(i);
+  }
+
+  std::vector<Example> events;
+  events.reserve(cfg.num_impressions);
+  for (size_t n = 0; n < cfg.num_impressions; ++n) {
+    Example e;
+    e.query = static_cast<uint32_t>(traffic.Sample(&event_rng));
+    e.day = static_cast<uint16_t>(
+        1 + event_rng.UniformInt(static_cast<uint64_t>(cfg.num_days)));
+
+    const uint32_t q_tree = s.forest.tree_of(s.query_intent[e.query]);
+    const std::vector<uint32_t>* pool = nullptr;
+    if (event_rng.Bernoulli(cfg.p_same_tree)) {
+      if (event_rng.Bernoulli(cfg.p_same_leaf)) {
+        auto it = services_by_leaf.find(s.query_intent[e.query]);
+        if (it != services_by_leaf.end()) pool = &it->second;
+      }
+      if (pool == nullptr) {
+        auto it = services_by_tree.find(q_tree);
+        if (it != services_by_tree.end()) pool = &it->second;
+      }
+    }
+    if (pool != nullptr && !pool->empty()) {
+      e.service = (*pool)[event_rng.UniformInt(
+          static_cast<uint64_t>(pool->size()))];
+    } else {
+      e.service = static_cast<uint32_t>(
+          event_rng.UniformInt(static_cast<uint64_t>(cfg.num_services)));
+    }
+
+    e.label = event_rng.Bernoulli(s.TrueClickProbability(e.query, e.service))
+                  ? 1.0f
+                  : 0.0f;
+    events.push_back(e);
+  }
+
+  // --- split ---
+  const double p_val = cfg.validation_fraction;
+  const double p_test = cfg.test_fraction;
+  GARCIA_CHECK_LT(p_val + p_test, 1.0);
+  for (const Example& e : events) {
+    const double u = event_rng.Uniform();
+    if (u < p_val) {
+      s.validation.push_back(e);
+    } else if (u < p_val + p_test) {
+      s.test.push_back(e);
+    } else {
+      s.train.push_back(e);
+    }
+  }
+
+  // --- exposure & head/tail split (train window only) ---
+  s.query_exposure.assign(cfg.num_queries, 0);
+  for (const Example& e : s.train) s.query_exposure[e.query]++;
+  s.split =
+      graph::HeadTailSplit::ByExposureFraction(s.query_exposure,
+                                               cfg.head_fraction);
+
+  // --- service search graph from the training window ---
+  graph::GraphBuilder builder(cfg.num_queries, cfg.num_services,
+                              cfg.attr_dim);
+  builder.SetQueryCorrelations(s.query_keys);
+  builder.SetServiceCorrelations(s.service_keys);
+  for (const Example& e : s.train) {
+    builder.AddInteraction(e.query, e.service, 1,
+                           e.label > 0.5f ? 1 : 0);
+  }
+  // Observable attributes: noisy random projection of the latent vectors.
+  {
+    Rng attr_rng(cfg.entity_seed ^ 0x5851f42d4c957f2dULL);
+    Matrix proj = Matrix::Randn(cfg.latent_dim, cfg.attr_dim, &attr_rng, 0.0f,
+                                1.0f / std::sqrt(static_cast<float>(
+                                           cfg.latent_dim)));
+    Matrix qa = Matrix::Matmul(s.query_latents, proj);
+    Matrix sa = Matrix::Matmul(s.service_latents, proj);
+    for (size_t q = 0; q < cfg.num_queries; ++q) {
+      for (size_t k = 0; k < cfg.attr_dim; ++k) {
+        builder.attributes().at(q, k) =
+            qa.at(q, k) + cfg.attr_noise * static_cast<float>(attr_rng.Normal());
+      }
+    }
+    for (size_t i = 0; i < cfg.num_services; ++i) {
+      for (size_t k = 0; k < cfg.attr_dim; ++k) {
+        builder.attributes().at(cfg.num_queries + i, k) =
+            sa.at(i, k) + cfg.attr_noise * static_cast<float>(attr_rng.Normal());
+      }
+    }
+    // The last attribute column of services carries an observable quality
+    // proxy (log-MAU scaled), mirroring production popularity features.
+    for (size_t i = 0; i < cfg.num_services; ++i) {
+      builder.attributes().at(cfg.num_queries + i, cfg.attr_dim - 1) =
+          static_cast<float>(std::log1p(static_cast<double>(s.services[i].mau)) /
+                             12.0);
+    }
+  }
+  s.graph = builder.Build(cfg.graph_config);
+
+  GARCIA_LOG(Debug) << "scenario " << cfg.name << ": " << s.train.size()
+                    << " train / " << s.validation.size() << " val / "
+                    << s.test.size() << " test, graph edges "
+                    << s.graph.num_edges();
+  return s;
+}
+
+}  // namespace garcia::data

@@ -1,0 +1,63 @@
+#include "data/stats.h"
+
+namespace garcia::data {
+
+DatasetStats ComputeDatasetStats(const Scenario& s) {
+  DatasetStats out;
+  const size_t nq = s.num_queries();
+  GARCIA_CHECK_GT(nq, 0u);
+  out.head_query_share =
+      static_cast<double>(s.split.head_queries.size()) / nq;
+  out.tail_query_share =
+      static_cast<double>(s.split.tail_queries.size()) / nq;
+
+  uint64_t head_pv = 0, total_pv = 0;
+  for (uint32_t q = 0; q < nq; ++q) {
+    total_pv += s.query_exposure[q];
+    if (s.split.is_head[q]) head_pv += s.query_exposure[q];
+  }
+  if (total_pv > 0) {
+    out.head_pv_share = static_cast<double>(head_pv) / total_pv;
+    out.tail_pv_share = 1.0 - out.head_pv_share;
+  }
+  out.num_train = s.train.size();
+  out.num_validation = s.validation.size();
+  out.num_test = s.test.size();
+  return out;
+}
+
+GraphStats ComputeGraphStats(const Scenario& s) {
+  GraphStats out;
+  // Count links once (stored bidirectionally) per partition, tracking which
+  // queries/services participate.
+  std::vector<bool> head_service(s.num_services(), false);
+  std::vector<bool> tail_service(s.num_services(), false);
+  std::vector<bool> head_query(s.num_queries(), false);
+  std::vector<bool> tail_query(s.num_queries(), false);
+  for (const graph::Edge& e : s.graph.edges()) {
+    if (!s.graph.IsQueryNode(e.src)) continue;  // one direction per link
+    const uint32_t q = e.src;
+    const uint32_t svc = s.graph.ServiceIdOf(e.dst);
+    if (s.split.is_head[q]) {
+      out.head_edges++;
+      head_query[q] = true;
+      head_service[svc] = true;
+    } else {
+      out.tail_edges++;
+      tail_query[q] = true;
+      tail_service[svc] = true;
+    }
+  }
+  auto count = [](const std::vector<bool>& v) {
+    size_t n = 0;
+    for (bool b : v) n += b;
+    return n;
+  };
+  out.head_nodes = count(head_query) + count(head_service);
+  out.tail_nodes = count(tail_query) + count(tail_service);
+  out.intent_nodes = s.forest.size();
+  out.intent_edges = s.forest.size() - s.forest.num_trees();  // parent links
+  return out;
+}
+
+}  // namespace garcia::data

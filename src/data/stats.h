@@ -1,0 +1,45 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Dataset statistics matching the layout of the paper's Table I (query /
+// search-PV shares, split sizes) and Table II (service-search-graph and
+// intention-tree node/edge counts by partition).
+
+#ifndef GARCIA_DATA_STATS_H_
+#define GARCIA_DATA_STATS_H_
+
+#include <cstddef>
+
+#include "data/scenario.h"
+
+namespace garcia::data {
+
+/// Table I row for one dataset.
+struct DatasetStats {
+  double head_query_share = 0.0;  // fraction of queries that are head
+  double tail_query_share = 0.0;
+  double head_pv_share = 0.0;  // fraction of train-window impressions
+  double tail_pv_share = 0.0;
+  size_t num_train = 0;
+  size_t num_validation = 0;
+  size_t num_test = 0;
+};
+
+/// Table II row for one dataset.
+struct GraphStats {
+  // Head/tail service search subgraphs: nodes = partition queries that carry
+  // at least one edge + services with at least one edge in the partition;
+  // edges = undirected links.
+  size_t head_nodes = 0;
+  size_t head_edges = 0;
+  size_t tail_nodes = 0;
+  size_t tail_edges = 0;
+  // Intention tree: all intentions; edges = parent links.
+  size_t intent_nodes = 0;
+  size_t intent_edges = 0;
+};
+
+DatasetStats ComputeDatasetStats(const Scenario& s);
+GraphStats ComputeGraphStats(const Scenario& s);
+
+}  // namespace garcia::data
+
+#endif  // GARCIA_DATA_STATS_H_

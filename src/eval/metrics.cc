@@ -1,0 +1,151 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/macros.h"
+
+namespace garcia::eval {
+
+double Auc(const std::vector<float>& labels,
+           const std::vector<float>& scores) {
+  GARCIA_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  size_t num_pos = 0;
+  for (float y : labels) num_pos += y > 0.5f;
+  const size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  // Average ranks with tie handling.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  double pos_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0.5f) pos_rank_sum += avg_rank;
+    }
+    i = j + 1;
+  }
+  return (pos_rank_sum -
+          static_cast<double>(num_pos) * (num_pos + 1) / 2.0) /
+         (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+namespace {
+
+/// Groups example indices by group id (insertion order preserved per group).
+std::unordered_map<uint32_t, std::vector<size_t>> GroupIndices(
+    const std::vector<uint32_t>& groups) {
+  std::unordered_map<uint32_t, std::vector<size_t>> by_group;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    by_group[groups[i]].push_back(i);
+  }
+  return by_group;
+}
+
+}  // namespace
+
+double GroupAuc(const std::vector<float>& labels,
+                const std::vector<float>& scores,
+                const std::vector<uint32_t>& groups) {
+  GARCIA_CHECK_EQ(labels.size(), scores.size());
+  GARCIA_CHECK_EQ(labels.size(), groups.size());
+  auto by_group = GroupIndices(groups);
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const auto& [gid, idx] : by_group) {
+    size_t pos = 0;
+    for (size_t i : idx) pos += labels[i] > 0.5f;
+    if (pos == 0 || pos == idx.size()) continue;  // undefined AUC
+    std::vector<float> l, s;
+    l.reserve(idx.size());
+    s.reserve(idx.size());
+    for (size_t i : idx) {
+      l.push_back(labels[i]);
+      s.push_back(scores[i]);
+    }
+    const double w = static_cast<double>(idx.size());
+    weighted_sum += w * Auc(l, s);
+    weight_total += w;
+  }
+  return weight_total > 0.0 ? weighted_sum / weight_total : 0.5;
+}
+
+double NdcgAtK(const std::vector<float>& labels,
+               const std::vector<float>& scores,
+               const std::vector<uint32_t>& groups, size_t k) {
+  GARCIA_CHECK_EQ(labels.size(), scores.size());
+  GARCIA_CHECK_EQ(labels.size(), groups.size());
+  GARCIA_CHECK_GT(k, 0u);
+  auto by_group = GroupIndices(groups);
+  double total = 0.0;
+  size_t counted = 0;
+  for (const auto& [gid, idx] : by_group) {
+    size_t pos = 0;
+    for (size_t i : idx) pos += labels[i] > 0.5f;
+    if (pos == 0) continue;
+    std::vector<size_t> order(idx);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+    double dcg = 0.0;
+    const size_t depth = std::min(k, order.size());
+    for (size_t r = 0; r < depth; ++r) {
+      if (labels[order[r]] > 0.5f) dcg += 1.0 / std::log2(r + 2.0);
+    }
+    double idcg = 0.0;
+    const size_t ideal = std::min(pos, depth);
+    for (size_t r = 0; r < ideal; ++r) idcg += 1.0 / std::log2(r + 2.0);
+    total += dcg / idcg;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+RankingMetrics ComputeRankingMetrics(const std::vector<float>& labels,
+                                     const std::vector<float>& scores,
+                                     const std::vector<uint32_t>& groups) {
+  RankingMetrics m;
+  m.num_examples = labels.size();
+  if (labels.empty()) return m;
+  m.auc = Auc(labels, scores);
+  m.gauc = GroupAuc(labels, scores, groups);
+  m.ndcg_at_10 = NdcgAtK(labels, scores, groups, 10);
+  return m;
+}
+
+SlicedMetrics ComputeSlicedMetrics(const std::vector<float>& labels,
+                                   const std::vector<float>& scores,
+                                   const std::vector<uint32_t>& query_ids,
+                                   const std::vector<bool>& is_head_query) {
+  GARCIA_CHECK_EQ(labels.size(), scores.size());
+  GARCIA_CHECK_EQ(labels.size(), query_ids.size());
+  std::vector<float> hl, hs, tl, ts;
+  std::vector<uint32_t> hg, tg;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    GARCIA_CHECK_LT(query_ids[i], is_head_query.size());
+    if (is_head_query[query_ids[i]]) {
+      hl.push_back(labels[i]);
+      hs.push_back(scores[i]);
+      hg.push_back(query_ids[i]);
+    } else {
+      tl.push_back(labels[i]);
+      ts.push_back(scores[i]);
+      tg.push_back(query_ids[i]);
+    }
+  }
+  SlicedMetrics out;
+  out.head = ComputeRankingMetrics(hl, hs, hg);
+  out.tail = ComputeRankingMetrics(tl, ts, tg);
+  out.overall = ComputeRankingMetrics(labels, scores, query_ids);
+  return out;
+}
+
+}  // namespace garcia::eval

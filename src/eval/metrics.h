@@ -1,0 +1,57 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Ranking metrics used in the paper's evaluation: AUC, GAUC and NDCG@K,
+// with head/tail/overall query slicing.
+
+#ifndef GARCIA_EVAL_METRICS_H_
+#define GARCIA_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace garcia::eval {
+
+/// ROC-AUC via the rank statistic (average-rank tie handling).
+/// Returns 0.5 when one class is absent.
+double Auc(const std::vector<float>& labels, const std::vector<float>& scores);
+
+/// Grouped AUC: impression-weighted mean of per-group AUC over groups that
+/// contain both a positive and a negative (the industry-standard GAUC).
+double GroupAuc(const std::vector<float>& labels,
+                const std::vector<float>& scores,
+                const std::vector<uint32_t>& groups);
+
+/// Mean NDCG@K over groups with at least one positive; binary gains.
+double NdcgAtK(const std::vector<float>& labels,
+               const std::vector<float>& scores,
+               const std::vector<uint32_t>& groups, size_t k);
+
+/// The metric triple the paper reports per slice.
+struct RankingMetrics {
+  double auc = 0.5;
+  double gauc = 0.5;
+  double ndcg_at_10 = 0.0;
+  size_t num_examples = 0;
+};
+
+/// Computes the triple on one example slice (groups = query ids).
+RankingMetrics ComputeRankingMetrics(const std::vector<float>& labels,
+                                     const std::vector<float>& scores,
+                                     const std::vector<uint32_t>& groups);
+
+/// Head / tail / overall slices of an example set (Table III layout).
+struct SlicedMetrics {
+  RankingMetrics head;
+  RankingMetrics tail;
+  RankingMetrics overall;
+};
+
+/// is_head_query is indexed by query id; groups double as query ids.
+SlicedMetrics ComputeSlicedMetrics(const std::vector<float>& labels,
+                                   const std::vector<float>& scores,
+                                   const std::vector<uint32_t>& query_ids,
+                                   const std::vector<bool>& is_head_query);
+
+}  // namespace garcia::eval
+
+#endif  // GARCIA_EVAL_METRICS_H_

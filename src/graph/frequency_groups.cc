@@ -1,0 +1,138 @@
+#include "graph/frequency_groups.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/macros.h"
+
+namespace garcia::graph {
+
+namespace {
+
+std::vector<uint32_t> OrderByExposure(const std::vector<uint64_t>& exposure) {
+  std::vector<uint32_t> order(exposure.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return exposure[a] > exposure[b];
+  });
+  return order;
+}
+
+FrequencyGroups FromBoundaries(const std::vector<uint32_t>& order,
+                               const std::vector<size_t>& sizes) {
+  FrequencyGroups out;
+  out.group_of.assign(order.size(), 0);
+  size_t cursor = 0;
+  for (size_t g = 0; g < sizes.size(); ++g) {
+    std::vector<uint32_t> group;
+    for (size_t i = 0; i < sizes[g] && cursor < order.size(); ++i, ++cursor) {
+      group.push_back(order[cursor]);
+      out.group_of[order[cursor]] = static_cast<uint32_t>(g);
+    }
+    std::sort(group.begin(), group.end());
+    out.groups.push_back(std::move(group));
+  }
+  // Any remainder (rounding) joins the last group.
+  while (cursor < order.size()) {
+    out.groups.back().push_back(order[cursor]);
+    out.group_of[order[cursor]] =
+        static_cast<uint32_t>(out.groups.size() - 1);
+    ++cursor;
+  }
+  std::sort(out.groups.back().begin(), out.groups.back().end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> FrequencyGroups::MassShares(
+    const std::vector<uint64_t>& exposure) const {
+  GARCIA_CHECK_EQ(exposure.size(), group_of.size());
+  std::vector<double> mass(num_groups(), 0.0);
+  double total = 0.0;
+  for (size_t q = 0; q < exposure.size(); ++q) {
+    mass[group_of[q]] += static_cast<double>(exposure[q]);
+    total += static_cast<double>(exposure[q]);
+  }
+  if (total > 0.0) {
+    for (double& m : mass) m /= total;
+  }
+  return mass;
+}
+
+FrequencyGroups FrequencyGroups::ByEqualMass(
+    const std::vector<uint64_t>& exposure, size_t num_groups) {
+  GARCIA_CHECK_GE(num_groups, 1u);
+  GARCIA_CHECK(!exposure.empty());
+  num_groups = std::min(num_groups, exposure.size());
+  const auto order = OrderByExposure(exposure);
+  double total = 0.0;
+  for (uint64_t e : exposure) total += static_cast<double>(e);
+
+  std::vector<size_t> sizes;
+  double acc = 0.0;
+  size_t start = 0;
+  for (size_t g = 0; g + 1 < num_groups; ++g) {
+    const double target = total * static_cast<double>(g + 1) / num_groups;
+    size_t end = start;
+    // Grow the group until its cumulative mass reaches the target, but
+    // always take at least one query and leave one per remaining group.
+    while (end < order.size() - (num_groups - g - 1) &&
+           (end == start || acc < target)) {
+      acc += static_cast<double>(exposure[order[end]]);
+      ++end;
+    }
+    sizes.push_back(end - start);
+    start = end;
+  }
+  sizes.push_back(order.size() - start);
+  return FromBoundaries(order, sizes);
+}
+
+FrequencyGroups FrequencyGroups::ByEqualCount(
+    const std::vector<uint64_t>& exposure, size_t num_groups) {
+  GARCIA_CHECK_GE(num_groups, 1u);
+  GARCIA_CHECK(!exposure.empty());
+  num_groups = std::min(num_groups, exposure.size());
+  const auto order = OrderByExposure(exposure);
+  std::vector<size_t> sizes;
+  const size_t base = order.size() / num_groups;
+  const size_t rem = order.size() % num_groups;
+  for (size_t g = 0; g < num_groups; ++g) {
+    sizes.push_back(base + (g < rem ? 1 : 0));
+  }
+  return FromBoundaries(order, sizes);
+}
+
+FrequencyGroups FrequencyGroups::ByGeometricCount(
+    const std::vector<uint64_t>& exposure, size_t num_groups, double ratio) {
+  GARCIA_CHECK_GE(num_groups, 1u);
+  GARCIA_CHECK_GT(ratio, 1.0);
+  GARCIA_CHECK(!exposure.empty());
+  num_groups = std::min(num_groups, exposure.size());
+  const auto order = OrderByExposure(exposure);
+  double weight_total = 0.0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    weight_total += std::pow(ratio, static_cast<double>(g));
+  }
+  std::vector<size_t> sizes;
+  size_t assigned = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    size_t sz;
+    if (g + 1 == num_groups) {
+      sz = order.size() - assigned;
+    } else {
+      sz = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 order.size() * std::pow(ratio, static_cast<double>(g)) /
+                 weight_total)));
+      sz = std::min(sz, order.size() - assigned - (num_groups - g - 1));
+    }
+    sizes.push_back(sz);
+    assigned += sz;
+  }
+  return FromBoundaries(order, sizes);
+}
+
+}  // namespace garcia::graph

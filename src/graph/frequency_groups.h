@@ -1,0 +1,57 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Multi-group frequency split — scaffolding for the paper's future-work
+// direction (Sec. VI): "split queries into multiple groups via frequency in
+// an adaptive manner and perform effective knowledge transfer between query
+// groups with different frequencies".
+//
+// The head/tail split (head_tail.h) is the two-group special case. Here
+// queries are partitioned into K groups of (approximately) equal exposure
+// mass, ordered from most to least frequent; knowledge transfers between
+// adjacent groups (models::MineCrossGroupAnchors).
+
+#ifndef GARCIA_GRAPH_FREQUENCY_GROUPS_H_
+#define GARCIA_GRAPH_FREQUENCY_GROUPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace garcia::graph {
+
+/// A K-way frequency partition of the query set.
+struct FrequencyGroups {
+  /// groups[g] holds the query ids of group g; group 0 is the most
+  /// frequent. Every query belongs to exactly one group.
+  std::vector<std::vector<uint32_t>> groups;
+  /// group_of[query] = its group index.
+  std::vector<uint32_t> group_of;
+
+  size_t num_groups() const { return groups.size(); }
+
+  /// Exposure mass captured by each group (fractions summing to 1).
+  std::vector<double> MassShares(const std::vector<uint64_t>& exposure) const;
+
+  /// Splits so that each group carries ~1/K of the total exposure mass
+  /// (queries ordered by exposure, ties by id). With heavy Zipf traffic the
+  /// top group ends up tiny and the bottom group huge — the adaptive
+  /// generalization of "top queries are heads".
+  static FrequencyGroups ByEqualMass(const std::vector<uint64_t>& exposure,
+                                     size_t num_groups);
+
+  /// Splits by count quantiles: each group has ~N/K queries.
+  static FrequencyGroups ByEqualCount(const std::vector<uint64_t>& exposure,
+                                      size_t num_groups);
+
+  /// Geometric count split: group g holds ~ratio× more queries than group
+  /// g-1 (e.g. K=3, ratio=10 -> top ~1%, next ~9%, remaining ~90%). This is
+  /// the natural K-way generalization of the paper's "top 10 thousand
+  /// queries are heads" rule for heavy-tailed traffic, where equal-mass
+  /// groups degenerate to single queries.
+  static FrequencyGroups ByGeometricCount(
+      const std::vector<uint64_t>& exposure, size_t num_groups,
+      double ratio = 10.0);
+};
+
+}  // namespace garcia::graph
+
+#endif  // GARCIA_GRAPH_FREQUENCY_GROUPS_H_

@@ -1,0 +1,115 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace garcia::graph {
+
+uint8_t CorrelationKeys::SharedWith(const CorrelationKeys& other) const {
+  uint8_t mask = 0;
+  if (city >= 0 && city == other.city) mask |= kCorrCity;
+  if (brand >= 0 && brand == other.brand) mask |= kCorrBrand;
+  if (category >= 0 && category == other.category) mask |= kCorrCategory;
+  return mask;
+}
+
+GraphBuilder::GraphBuilder(size_t num_queries, size_t num_services,
+                           size_t attr_dim)
+    : num_queries_(num_queries),
+      num_services_(num_services),
+      attrs_(num_queries + num_services, attr_dim) {}
+
+void GraphBuilder::SetQueryCorrelations(std::vector<CorrelationKeys> keys) {
+  GARCIA_CHECK_EQ(keys.size(), num_queries_);
+  query_keys_ = std::move(keys);
+}
+
+void GraphBuilder::SetServiceCorrelations(std::vector<CorrelationKeys> keys) {
+  GARCIA_CHECK_EQ(keys.size(), num_services_);
+  service_keys_ = std::move(keys);
+}
+
+void GraphBuilder::AddInteraction(uint32_t query_id, uint32_t service_id,
+                                  uint32_t impressions, uint32_t clicks) {
+  GARCIA_CHECK_LT(query_id, num_queries_);
+  GARCIA_CHECK_LT(service_id, num_services_);
+  GARCIA_CHECK_LE(clicks, impressions);
+  const uint64_t key = (static_cast<uint64_t>(query_id) << 32) | service_id;
+  Counts& c = interactions_[key];
+  c.impressions += impressions;
+  c.clicks += clicks;
+}
+
+SearchGraph GraphBuilder::Build(const GraphBuildConfig& config) const {
+  SearchGraph g(num_queries_, num_services_, attrs_.cols());
+  g.attributes() = attrs_;
+
+  // Interaction condition. Remember which pairs are already linked so a
+  // correlation edge is not duplicated on top.
+  std::unordered_map<uint64_t, bool> linked;
+  linked.reserve(interactions_.size());
+  // Deterministic iteration: collect & sort keys.
+  std::vector<uint64_t> keys;
+  keys.reserve(interactions_.size());
+  for (const auto& [key, counts] : interactions_) {
+    if (counts.clicks >= config.min_clicks) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  const bool has_corr =
+      !query_keys_.empty() && !service_keys_.empty();
+  for (uint64_t key : keys) {
+    const auto& counts = interactions_.at(key);
+    const uint32_t q = static_cast<uint32_t>(key >> 32);
+    const uint32_t s = static_cast<uint32_t>(key & 0xffffffffu);
+    const float ctr = counts.impressions > 0
+                          ? static_cast<float>(counts.clicks) /
+                                static_cast<float>(counts.impressions)
+                          : 0.0f;
+    const uint8_t mask =
+        has_corr ? query_keys_[q].SharedWith(service_keys_[s]) : 0;
+    g.AddLink(q, s, EdgeKind::kInteraction, ctr, mask);
+    linked[key] = true;
+  }
+
+  // Correlation condition: index services by each key, then link queries to
+  // services sharing a key, capped per query.
+  if (has_corr) {
+    std::unordered_map<int64_t, std::vector<uint32_t>> by_city, by_brand,
+        by_category;
+    for (uint32_t s = 0; s < num_services_; ++s) {
+      const CorrelationKeys& k = service_keys_[s];
+      if (k.city >= 0) by_city[k.city].push_back(s);
+      if (k.brand >= 0) by_brand[k.brand].push_back(s);
+      if (k.category >= 0) by_category[k.category].push_back(s);
+    }
+    for (uint32_t q = 0; q < num_queries_; ++q) {
+      const CorrelationKeys& k = query_keys_[q];
+      size_t added = 0;
+      auto try_bucket = [&](const std::vector<uint32_t>* bucket) {
+        if (bucket == nullptr) return;
+        for (uint32_t s : *bucket) {
+          if (added >= config.max_correlation_degree) return;
+          const uint64_t key = (static_cast<uint64_t>(q) << 32) | s;
+          if (linked.count(key)) continue;
+          const uint8_t mask = k.SharedWith(service_keys_[s]);
+          if (mask == 0) continue;
+          g.AddLink(q, s, EdgeKind::kCorrelation, 0.0f, mask);
+          linked[key] = true;
+          ++added;
+        }
+      };
+      auto find = [](const auto& m, int64_t key) {
+        auto it = m.find(key);
+        return it == m.end() ? nullptr : &it->second;
+      };
+      // Brand is the most specific signal, then category, then city.
+      if (k.brand >= 0) try_bucket(find(by_brand, k.brand));
+      if (k.category >= 0) try_bucket(find(by_category, k.category));
+      if (k.city >= 0) try_bucket(find(by_city, k.city));
+    }
+  }
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace garcia::graph

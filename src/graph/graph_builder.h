@@ -1,0 +1,83 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Builds the service search graph from behavior logs, applying the paper's
+// two edge-establishing conditions (Sec. III):
+//
+//  * Interaction condition — the service was clicked under the query in the
+//    past 30 days; CTR is kept as an edge feature.
+//  * Correlation condition — the query and service share a correlation key
+//    (city / brand / category); the shared kinds form the edge feature.
+//
+// This mirrors the "Node Feature Extractor" / "Relation Extractor" stages of
+// the online deployment diagram (Fig. 9).
+
+#ifndef GARCIA_GRAPH_GRAPH_BUILDER_H_
+#define GARCIA_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/search_graph.h"
+
+namespace garcia::graph {
+
+/// Correlation keys of one query or service; -1 means "not applicable".
+struct CorrelationKeys {
+  int32_t city = -1;
+  int32_t brand = -1;
+  int32_t category = -1;
+
+  /// Bitmask of keys shared by both sides (both non-negative and equal).
+  uint8_t SharedWith(const CorrelationKeys& other) const;
+};
+
+/// Tunables for graph construction.
+struct GraphBuildConfig {
+  /// Minimum click count for the interaction condition.
+  uint32_t min_clicks = 1;
+  /// Cap on correlation-only edges added per query (keeps hub correlations
+  /// from producing dense cliques, the "underline noise" the paper avoids).
+  size_t max_correlation_degree = 10;
+};
+
+/// Accumulates logs, then emits a finalized SearchGraph.
+class GraphBuilder {
+ public:
+  GraphBuilder(size_t num_queries, size_t num_services, size_t attr_dim);
+
+  /// Correlation metadata; required before Build if correlation edges are
+  /// wanted. Vectors must be sized num_queries / num_services.
+  void SetQueryCorrelations(std::vector<CorrelationKeys> keys);
+  void SetServiceCorrelations(std::vector<CorrelationKeys> keys);
+
+  /// Accumulates impressions/clicks of service s under query q.
+  void AddInteraction(uint32_t query_id, uint32_t service_id,
+                      uint32_t impressions, uint32_t clicks);
+
+  /// Node attribute matrix to copy into the graph (rows: queries then
+  /// services).
+  core::Matrix& attributes() { return attrs_; }
+
+  /// Applies both conditions and returns the finalized graph.
+  SearchGraph Build(const GraphBuildConfig& config) const;
+
+  size_t num_queries() const { return num_queries_; }
+  size_t num_services() const { return num_services_; }
+
+ private:
+  size_t num_queries_;
+  size_t num_services_;
+  core::Matrix attrs_;
+  std::vector<CorrelationKeys> query_keys_;
+  std::vector<CorrelationKeys> service_keys_;
+
+  struct Counts {
+    uint32_t impressions = 0;
+    uint32_t clicks = 0;
+  };
+  std::unordered_map<uint64_t, Counts> interactions_;  // key: q << 32 | s
+};
+
+}  // namespace garcia::graph
+
+#endif  // GARCIA_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,68 @@
+#include "graph/head_tail.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace garcia::graph {
+
+HeadTailSplit HeadTailSplit::ByExposureTopK(
+    const std::vector<uint64_t>& exposure, size_t head_count) {
+  const size_t n = exposure.size();
+  head_count = std::min(head_count, n);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return exposure[a] > exposure[b];
+  });
+  HeadTailSplit split;
+  split.is_head.assign(n, false);
+  for (size_t i = 0; i < head_count; ++i) split.is_head[order[i]] = true;
+  for (uint32_t q = 0; q < n; ++q) {
+    (split.is_head[q] ? split.head_queries : split.tail_queries).push_back(q);
+  }
+  return split;
+}
+
+HeadTailSplit HeadTailSplit::ByExposureFraction(
+    const std::vector<uint64_t>& exposure, double fraction) {
+  GARCIA_CHECK_GT(fraction, 0.0);
+  GARCIA_CHECK_LE(fraction, 1.0);
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(exposure.size())));
+  return ByExposureTopK(exposure, k);
+}
+
+Subgraph ExtractQuerySubgraph(const SearchGraph& full,
+                              const std::vector<uint32_t>& query_ids) {
+  std::vector<int32_t> local_of(full.num_queries(), -1);
+  for (size_t i = 0; i < query_ids.size(); ++i) {
+    GARCIA_CHECK_LT(query_ids[i], full.num_queries());
+    GARCIA_CHECK_EQ(local_of[query_ids[i]], -1) << "duplicate query id";
+    local_of[query_ids[i]] = static_cast<int32_t>(i);
+  }
+
+  SearchGraph sub(query_ids.size(), full.num_services(), full.attr_dim());
+
+  // Attributes: subset queries then all services.
+  for (size_t i = 0; i < query_ids.size(); ++i) {
+    sub.attributes().CopyRowFrom(full.attributes(), query_ids[i], i);
+  }
+  for (uint32_t s = 0; s < full.num_services(); ++s) {
+    sub.attributes().CopyRowFrom(full.attributes(), full.ServiceNode(s),
+                                 sub.ServiceNode(s));
+  }
+
+  // Each logical link is stored in both directions; recreate it once from
+  // the query->service direction.
+  for (const Edge& e : full.edges()) {
+    if (!full.IsQueryNode(e.src)) continue;
+    const int32_t lq = local_of[e.src];
+    if (lq < 0) continue;
+    sub.AddLink(static_cast<uint32_t>(lq), full.ServiceIdOf(e.dst), e.kind,
+                e.ctr, e.corr_mask);
+  }
+  sub.Finalize();
+  return Subgraph(std::move(sub), query_ids, std::move(local_of));
+}
+
+}  // namespace garcia::graph

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Head/tail query split by exposure and per-partition subgraph extraction.
+//
+// The paper splits Q into Q_head (top queries by past-month exposure) and
+// Q_tail, and organizes "head and tail graphs in advance for performing
+// adaptive encoding" (Sec. V-A1). A subgraph keeps a subset of the queries
+// and ALL services — the split is query-level, so every service appears in
+// both partitions and receives both a head and a tail embedding (which KTCL
+// aligns, Eq. 5).
+
+#ifndef GARCIA_GRAPH_HEAD_TAIL_H_
+#define GARCIA_GRAPH_HEAD_TAIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/search_graph.h"
+
+namespace garcia::graph {
+
+/// Query-level head/tail partition.
+struct HeadTailSplit {
+  std::vector<bool> is_head;           // indexed by query id
+  std::vector<uint32_t> head_queries;  // ascending
+  std::vector<uint32_t> tail_queries;  // ascending
+
+  /// Top `head_count` queries by exposure become heads (ties broken by id,
+  /// matching the deterministic "top 10 thousand queries" rule).
+  static HeadTailSplit ByExposureTopK(const std::vector<uint64_t>& exposure,
+                                      size_t head_count);
+
+  /// Top fraction (e.g. 0.01 for the paper's "top 1%" statistic).
+  static HeadTailSplit ByExposureFraction(
+      const std::vector<uint64_t>& exposure, double fraction);
+};
+
+/// A query-subset view of a SearchGraph with its own local id space.
+/// Local query ids are [0, queries.size()); services keep their global
+/// service ids (local service node = queries.size() + service_id).
+struct Subgraph {
+  SearchGraph graph;
+  std::vector<uint32_t> global_query_ids;  // local query -> global query
+  std::vector<int32_t> local_query_of;     // global query -> local (-1 absent)
+
+  Subgraph(SearchGraph g, std::vector<uint32_t> global_ids,
+           std::vector<int32_t> local_of)
+      : graph(std::move(g)),
+        global_query_ids(std::move(global_ids)),
+        local_query_of(std::move(local_of)) {}
+
+  bool ContainsQuery(uint32_t global_query_id) const {
+    return local_query_of[global_query_id] >= 0;
+  }
+};
+
+/// Extracts the subgraph induced by the given queries plus all services.
+/// Keeps every edge whose query endpoint is in the subset; node attributes
+/// are copied for retained rows.
+Subgraph ExtractQuerySubgraph(const SearchGraph& full,
+                              const std::vector<uint32_t>& query_ids);
+
+}  // namespace garcia::graph
+
+#endif  // GARCIA_GRAPH_HEAD_TAIL_H_

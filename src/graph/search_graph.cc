@@ -1,0 +1,88 @@
+#include "graph/search_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace garcia::graph {
+
+void Edge::WriteFeatures(float* out) const {
+  out[0] = ctr;
+  out[1] = kind == EdgeKind::kInteraction ? 1.0f : 0.0f;
+  out[2] = (corr_mask & kCorrCity) ? 1.0f : 0.0f;
+  out[3] = (corr_mask & kCorrBrand) ? 1.0f : 0.0f;
+  out[4] = (corr_mask & kCorrCategory) ? 1.0f : 0.0f;
+}
+
+SearchGraph::SearchGraph(size_t num_queries, size_t num_services,
+                         size_t attr_dim)
+    : num_queries_(num_queries),
+      num_services_(num_services),
+      attrs_(num_queries + num_services, attr_dim) {}
+
+uint32_t SearchGraph::QueryNode(uint32_t query_id) const {
+  GARCIA_CHECK_LT(query_id, num_queries_);
+  return query_id;
+}
+
+uint32_t SearchGraph::ServiceNode(uint32_t service_id) const {
+  GARCIA_CHECK_LT(service_id, num_services_);
+  return static_cast<uint32_t>(num_queries_) + service_id;
+}
+
+uint32_t SearchGraph::ServiceIdOf(uint32_t node) const {
+  GARCIA_CHECK_GE(node, num_queries_);
+  GARCIA_CHECK_LT(node, num_nodes());
+  return node - static_cast<uint32_t>(num_queries_);
+}
+
+void SearchGraph::AddLink(uint32_t query_id, uint32_t service_id,
+                          EdgeKind kind, float ctr, uint8_t corr_mask) {
+  GARCIA_CHECK(!finalized_) << "AddLink after Finalize";
+  const uint32_t q = QueryNode(query_id);
+  const uint32_t s = ServiceNode(service_id);
+  edges_.push_back({q, s, kind, ctr, corr_mask});
+  edges_.push_back({s, q, kind, ctr, corr_mask});
+}
+
+void SearchGraph::Finalize() {
+  GARCIA_CHECK(!finalized_);
+  finalized_ = true;
+
+  // Sort directed edges by destination to build the CSR index.
+  std::vector<size_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return edges_[a].dst < edges_[b].dst;
+  });
+
+  const size_t e = edges_.size();
+  edge_src_.resize(e);
+  edge_dst_.resize(e);
+  edge_feats_ = core::Matrix(e, kEdgeFeatureDim);
+  for (size_t i = 0; i < e; ++i) {
+    const Edge& edge = edges_[order[i]];
+    edge_src_[i] = edge.src;
+    edge_dst_[i] = edge.dst;
+    edge.WriteFeatures(edge_feats_.row(i));
+  }
+
+  csr_offsets_.assign(num_nodes() + 1, 0);
+  for (size_t i = 0; i < e; ++i) csr_offsets_[edge_dst_[i] + 1]++;
+  for (size_t i = 1; i <= num_nodes(); ++i) {
+    csr_offsets_[i] += csr_offsets_[i - 1];
+  }
+}
+
+size_t SearchGraph::Degree(uint32_t node) const {
+  GARCIA_CHECK(finalized_);
+  GARCIA_CHECK_LT(node, num_nodes());
+  return csr_offsets_[node + 1] - csr_offsets_[node];
+}
+
+std::pair<size_t, size_t> SearchGraph::IncomingRange(uint32_t node) const {
+  GARCIA_CHECK(finalized_);
+  GARCIA_CHECK_LT(node, num_nodes());
+  return {csr_offsets_[node], csr_offsets_[node + 1]};
+}
+
+}  // namespace garcia::graph

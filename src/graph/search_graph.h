@@ -1,0 +1,112 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// The service search graph of Sec. III: a bipartite query/service graph with
+// typed, feature-carrying edges.
+//
+// Node id space is unified: queries occupy [0, num_queries) and services
+// occupy [num_queries, num_queries + num_services). Edges are stored
+// directed (each logical link appears in both directions) so that GNN
+// aggregation "dst <- src" can treat the edge list uniformly.
+
+#ifndef GARCIA_GRAPH_SEARCH_GRAPH_H_
+#define GARCIA_GRAPH_SEARCH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+
+namespace garcia::graph {
+
+/// Why an edge exists (Sec. III establishes exactly these two conditions).
+enum class EdgeKind : uint8_t {
+  kInteraction = 0,  // service clicked under the query in the past 30 days
+  kCorrelation = 1,  // query and service share city/brand/category
+};
+
+/// Correlation dimensions used by the correlation condition and by KTCL
+/// anchor mining ("share the same correlations, e.g., city, brand and
+/// category").
+enum CorrelationBit : uint8_t {
+  kCorrCity = 1 << 0,
+  kCorrBrand = 1 << 1,
+  kCorrCategory = 1 << 2,
+};
+
+/// Dense edge feature layout: [ctr, is_interaction, city, brand, category].
+constexpr size_t kEdgeFeatureDim = 5;
+
+/// One directed edge with its features.
+struct Edge {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  EdgeKind kind = EdgeKind::kInteraction;
+  float ctr = 0.0f;       // meaningful for interaction edges
+  uint8_t corr_mask = 0;  // OR of CorrelationBit, for correlation edges
+
+  /// Writes the kEdgeFeatureDim-dimensional feature vector.
+  void WriteFeatures(float* out) const;
+};
+
+/// Immutable-after-Finalize bipartite graph with CSR over incoming edges.
+class SearchGraph {
+ public:
+  /// attr_dim is the node attribute width (the paper uses ~11 semantic
+  /// attributes; our generator matches that).
+  SearchGraph(size_t num_queries, size_t num_services, size_t attr_dim);
+
+  size_t num_queries() const { return num_queries_; }
+  size_t num_services() const { return num_services_; }
+  size_t num_nodes() const { return num_queries_ + num_services_; }
+  size_t num_edges() const { return edges_.size(); }
+  size_t attr_dim() const { return attrs_.cols(); }
+
+  bool IsQueryNode(uint32_t node) const { return node < num_queries_; }
+  uint32_t QueryNode(uint32_t query_id) const;
+  uint32_t ServiceNode(uint32_t service_id) const;
+  uint32_t ServiceIdOf(uint32_t node) const;
+
+  /// Adds the query<->service link in both directions. Must precede
+  /// Finalize().
+  void AddLink(uint32_t query_id, uint32_t service_id, EdgeKind kind,
+               float ctr, uint8_t corr_mask);
+
+  /// Node attribute row (mutable until training starts).
+  core::Matrix& attributes() { return attrs_; }
+  const core::Matrix& attributes() const { return attrs_; }
+
+  /// Builds the CSR index; no AddLink afterwards.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge array views for GNN aggregation (valid after Finalize):
+  /// parallel arrays over directed edges sorted by dst.
+  const std::vector<uint32_t>& edge_src() const { return edge_src_; }
+  const std::vector<uint32_t>& edge_dst() const { return edge_dst_; }
+  /// E x kEdgeFeatureDim dense features, same ordering.
+  const core::Matrix& edge_features() const { return edge_feats_; }
+
+  /// In-degree of a node (number of incoming directed edges).
+  size_t Degree(uint32_t node) const;
+
+  /// Incoming neighbors of a node: pairs of (src, edge index into the
+  /// sorted arrays), contiguous by CSR.
+  std::pair<size_t, size_t> IncomingRange(uint32_t node) const;
+
+ private:
+  size_t num_queries_;
+  size_t num_services_;
+  std::vector<Edge> edges_;  // both directions of every link
+  core::Matrix attrs_;
+
+  bool finalized_ = false;
+  std::vector<uint32_t> edge_src_;
+  std::vector<uint32_t> edge_dst_;
+  core::Matrix edge_feats_;
+  std::vector<size_t> csr_offsets_;  // num_nodes + 1
+};
+
+}  // namespace garcia::graph
+
+#endif  // GARCIA_GRAPH_SEARCH_GRAPH_H_

@@ -1,0 +1,159 @@
+#include "intent/intention_forest.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace garcia::intent {
+
+uint32_t IntentionForest::AddRoot(std::string name) {
+  GARCIA_CHECK(!finalized_);
+  const uint32_t id = static_cast<uint32_t>(parent_.size());
+  parent_.push_back(kNoParent);
+  children_.emplace_back();
+  names_.push_back(std::move(name));
+  roots_.push_back(id);
+  return id;
+}
+
+uint32_t IntentionForest::AddChild(uint32_t parent, std::string name) {
+  GARCIA_CHECK(!finalized_);
+  CheckId(parent);
+  const uint32_t id = static_cast<uint32_t>(parent_.size());
+  parent_.push_back(static_cast<int32_t>(parent));
+  children_.emplace_back();
+  names_.push_back(std::move(name));
+  children_[parent].push_back(id);
+  return id;
+}
+
+void IntentionForest::Finalize() {
+  GARCIA_CHECK(!finalized_);
+  finalized_ = true;
+  const size_t n = parent_.size();
+  depth_.assign(n, 0);
+  tree_.assign(n, 0);
+  // Ids are assigned in creation order and children are created after their
+  // parents, so one forward pass computes depth and tree.
+  for (uint32_t id = 0; id < n; ++id) {
+    if (parent_[id] == kNoParent) {
+      depth_[id] = 0;
+      tree_[id] = id;
+    } else {
+      const uint32_t p = static_cast<uint32_t>(parent_[id]);
+      GARCIA_CHECK_LT(p, id) << "parent created after child";
+      depth_[id] = depth_[p] + 1;
+      tree_[id] = tree_[p];
+    }
+  }
+  size_t max_depth = 0;
+  for (uint32_t id = 0; id < n; ++id) {
+    max_depth = std::max<size_t>(max_depth, depth_[id]);
+  }
+  levels_.assign(max_depth + 1, {});
+  for (uint32_t id = 0; id < n; ++id) levels_[depth_[id]].push_back(id);
+}
+
+int32_t IntentionForest::parent(uint32_t id) const {
+  CheckId(id);
+  return parent_[id];
+}
+
+const std::vector<uint32_t>& IntentionForest::children(uint32_t id) const {
+  CheckId(id);
+  return children_[id];
+}
+
+const std::string& IntentionForest::name(uint32_t id) const {
+  CheckId(id);
+  return names_[id];
+}
+
+uint32_t IntentionForest::depth(uint32_t id) const {
+  GARCIA_CHECK(finalized_);
+  CheckId(id);
+  return depth_[id];
+}
+
+uint32_t IntentionForest::tree_of(uint32_t id) const {
+  GARCIA_CHECK(finalized_);
+  CheckId(id);
+  return tree_[id];
+}
+
+size_t IntentionForest::num_levels() const {
+  GARCIA_CHECK(finalized_);
+  return levels_.size();
+}
+
+const std::vector<std::vector<uint32_t>>& IntentionForest::levels() const {
+  GARCIA_CHECK(finalized_);
+  return levels_;
+}
+
+std::vector<uint32_t> IntentionForest::AncestorChain(uint32_t id) const {
+  CheckId(id);
+  std::vector<uint32_t> chain;
+  int32_t cur = static_cast<int32_t>(id);
+  while (cur != kNoParent) {
+    chain.push_back(static_cast<uint32_t>(cur));
+    cur = parent_[cur];
+  }
+  return chain;
+}
+
+std::vector<uint32_t> IntentionForest::HardNegatives(uint32_t id) const {
+  GARCIA_CHECK(finalized_);
+  CheckId(id);
+  std::vector<uint32_t> out;
+  for (uint32_t other : levels_[depth_[id]]) {
+    if (other != id && tree_[other] == tree_[id]) out.push_back(other);
+  }
+  return out;
+}
+
+std::vector<uint32_t> IntentionForest::EasyNegatives(uint32_t id) const {
+  GARCIA_CHECK(finalized_);
+  CheckId(id);
+  std::vector<uint32_t> out;
+  for (uint32_t other : levels_[depth_[id]]) {
+    if (tree_[other] != tree_[id]) out.push_back(other);
+  }
+  return out;
+}
+
+std::vector<uint32_t> IntentionForest::SampleNegatives(uint32_t id,
+                                                       size_t n_hard,
+                                                       size_t n_easy,
+                                                       core::Rng* rng) const {
+  std::vector<uint32_t> hard = HardNegatives(id);
+  std::vector<uint32_t> easy = EasyNegatives(id);
+  std::vector<uint32_t> out;
+  out.reserve(n_hard + n_easy);
+  auto take = [rng, &out](std::vector<uint32_t>* pool, size_t k) {
+    if (pool->size() <= k) {
+      out.insert(out.end(), pool->begin(), pool->end());
+      return;
+    }
+    auto picks = rng->SampleWithoutReplacement(pool->size(), k);
+    for (size_t i : picks) out.push_back((*pool)[i]);
+  };
+  take(&hard, n_hard);
+  // Easy negatives fill any hard shortfall.
+  const size_t easy_budget = n_easy + (n_hard - std::min(n_hard, out.size()));
+  take(&easy, easy_budget);
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> IntentionForest::BottomUpSchedule() const {
+  GARCIA_CHECK(finalized_);
+  std::vector<std::vector<uint32_t>> schedule(levels_.rbegin(),
+                                              levels_.rend());
+  return schedule;
+}
+
+void IntentionForest::CheckId(uint32_t id) const {
+  GARCIA_CHECK_LT(id, parent_.size());
+}
+
+}  // namespace garcia::intent

@@ -1,0 +1,97 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Intention trees (Def. 1): a forest of ≤H-level hierarchies whose nodes are
+// intentions. Parents carry coarser concepts; queries/services attach to
+// intentions (usually leaves).
+//
+// The forest provides everything the model needs:
+//  * a bottom-up level schedule for the tree encoder (Eq. 3),
+//  * ancestor chains P_{q,i} for IGCL positives (Eq. 9),
+//  * same-level negative pools, split into "hard" (same tree) and "easy"
+//    (other trees) negatives.
+
+#ifndef GARCIA_INTENT_INTENTION_FOREST_H_
+#define GARCIA_INTENT_INTENTION_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace garcia::intent {
+
+constexpr int32_t kNoParent = -1;
+
+/// A forest of intention trees over ids [0, size).
+class IntentionForest {
+ public:
+  IntentionForest() = default;
+
+  /// Adds a root intention; returns its id.
+  uint32_t AddRoot(std::string name = "");
+
+  /// Adds a child of an existing intention; returns its id.
+  uint32_t AddChild(uint32_t parent, std::string name = "");
+
+  /// Freezes the structure and builds level/tree indexes.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t size() const { return parent_.size(); }
+  size_t num_trees() const { return roots_.size(); }
+
+  int32_t parent(uint32_t id) const;
+  const std::vector<uint32_t>& children(uint32_t id) const;
+  const std::string& name(uint32_t id) const;
+
+  /// Depth from the root (root = 0). Valid after Finalize.
+  uint32_t depth(uint32_t id) const;
+
+  /// Root id of the tree containing the intention. Valid after Finalize.
+  uint32_t tree_of(uint32_t id) const;
+
+  /// Deepest depth in the forest + 1 = number of levels (the paper's H ≤ 5).
+  size_t num_levels() const;
+
+  bool IsLeaf(uint32_t id) const { return children_[id].empty(); }
+  const std::vector<uint32_t>& roots() const { return roots_; }
+
+  /// Ids grouped by depth; index 0 is all roots. Valid after Finalize.
+  const std::vector<std::vector<uint32_t>>& levels() const;
+
+  /// The intention plus its ancestors up to the root: {id, parent, ...,
+  /// root}. This is the positive set P_{q,i} of IGCL.
+  std::vector<uint32_t> AncestorChain(uint32_t id) const;
+
+  /// "Hard" negatives: same depth as `id`, same tree, excluding `id`.
+  std::vector<uint32_t> HardNegatives(uint32_t id) const;
+
+  /// "Easy" negatives: same depth as `id`, different tree.
+  std::vector<uint32_t> EasyNegatives(uint32_t id) const;
+
+  /// Samples up to n_hard + n_easy distinct negatives (hard first, easy as
+  /// fill) — the negative set D of Eq. 9.
+  std::vector<uint32_t> SampleNegatives(uint32_t id, size_t n_hard,
+                                        size_t n_easy, core::Rng* rng) const;
+
+  /// Bottom-up aggregation order: levels from deepest to root. Each entry is
+  /// a level's node ids; the tree encoder runs one aggregation per step.
+  std::vector<std::vector<uint32_t>> BottomUpSchedule() const;
+
+ private:
+  void CheckId(uint32_t id) const;
+
+  bool finalized_ = false;
+  std::vector<int32_t> parent_;
+  std::vector<std::vector<uint32_t>> children_;
+  std::vector<std::string> names_;
+  std::vector<uint32_t> roots_;
+  // Computed by Finalize:
+  std::vector<uint32_t> depth_;
+  std::vector<uint32_t> tree_;
+  std::vector<std::vector<uint32_t>> levels_;
+};
+
+}  // namespace garcia::intent
+
+#endif  // GARCIA_INTENT_INTENTION_FOREST_H_

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Shared skeleton for the full-graph GNN baselines (LightGCN, KGAT, SGL,
+// SimGCL). Like the paper's extended baselines, all of them consume the
+// node/edge attributes of the service search graph and share the same
+// two-layer MLP click head and Adam/BCE training loop; they differ only in
+// how node embeddings are computed and in optional self-supervised
+// auxiliary losses.
+
+#ifndef GARCIA_MODELS_BASELINE_GNN_H_
+#define GARCIA_MODELS_BASELINE_GNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/common.h"
+#include "models/gnn_encoder.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace garcia::models {
+
+class GnnBaseline : public RankingModel {
+ public:
+  explicit GnnBaseline(const TrainConfig& config);
+  ~GnnBaseline() override;
+
+  void Fit(const data::Scenario& scenario) override;
+  std::vector<float> Predict(
+      const data::Scenario& scenario,
+      const std::vector<data::Example>& examples) override;
+
+  core::Matrix ExportQueryEmbeddings(const data::Scenario& s) override;
+  core::Matrix ExportServiceEmbeddings(const data::Scenario& s) override;
+
+ protected:
+  /// Creates model-specific modules; base modules (id embedding, attribute
+  /// projection, click head) already exist when this runs.
+  virtual void BuildModules(const data::Scenario& /*scenario*/) {}
+
+  /// Node embedding matrix (num_nodes x dim) for the current parameters.
+  virtual nn::Tensor ComputeEmbeddings() = 0;
+
+  /// Optional self-supervised loss added to BCE; undefined Tensor = none.
+  virtual nn::Tensor AuxiliaryLoss(core::Rng* /*rng*/) { return nn::Tensor(); }
+
+  /// Extra trainable parameters from BuildModules.
+  virtual std::vector<nn::Tensor> ExtraParameters() const { return {}; }
+
+  /// z^(0): id embedding + projected attributes.
+  nn::Tensor BaseEmbeddings() const;
+
+  const data::Scenario* scenario_ = nullptr;
+  TrainConfig cfg_;
+  core::Rng rng_;
+  std::unique_ptr<nn::Embedding> id_embedding_;
+  std::unique_ptr<nn::Linear> attr_proj_;
+  std::unique_ptr<nn::Mlp> click_head_;
+  bool fitted_ = false;
+
+ private:
+  nn::Tensor BatchLogits(const nn::Tensor& emb,
+                         const std::vector<data::Example>& examples,
+                         const std::vector<uint32_t>& batch) const;
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_BASELINE_GNN_H_

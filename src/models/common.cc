@@ -1,0 +1,47 @@
+#include "models/common.h"
+
+#include <numeric>
+
+namespace garcia::models {
+
+eval::SlicedMetrics EvaluateModel(RankingModel* model,
+                                  const data::Scenario& scenario,
+                                  const std::vector<data::Example>& examples) {
+  std::vector<float> scores = model->Predict(scenario, examples);
+  GARCIA_CHECK_EQ(scores.size(), examples.size());
+  std::vector<float> labels(examples.size());
+  std::vector<uint32_t> qids(examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    labels[i] = examples[i].label;
+    qids[i] = examples[i].query;
+  }
+  return eval::ComputeSlicedMetrics(labels, scores, qids,
+                                    scenario.split.is_head);
+}
+
+BatchIterator::BatchIterator(size_t num_examples, size_t batch_size,
+                             core::Rng* rng)
+    : order_(num_examples), batch_size_(batch_size), rng_(rng) {
+  GARCIA_CHECK_GT(batch_size, 0u);
+  std::iota(order_.begin(), order_.end(), 0);
+  Reset();
+}
+
+std::vector<uint32_t> BatchIterator::Next() {
+  if (cursor_ >= order_.size()) return {};
+  const size_t end = std::min(order_.size(), cursor_ + batch_size_);
+  std::vector<uint32_t> batch(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  return batch;
+}
+
+void BatchIterator::Reset() {
+  rng_->Shuffle(&order_);
+  cursor_ = 0;
+}
+
+size_t BatchIterator::batches_per_epoch() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,122 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Shared model interface, hyper-parameters, and training helpers.
+//
+// Every ranking model (GARCIA and the five baselines) trains on a
+// data::Scenario and scores (query, service) examples. Hyper-parameters
+// follow the paper's implementation details (Sec. V-B3): embedding size 64,
+// batch size 1024, Adam, L=2, H=5, alpha=0.1, beta=0.01, tau=0.1. Defaults
+// here are scaled for the ~1000x smaller synthetic datasets (dim 32, higher
+// lr); the paper values are noted inline.
+
+#ifndef GARCIA_MODELS_COMMON_H_
+#define GARCIA_MODELS_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/scenario.h"
+#include "eval/metrics.h"
+
+namespace garcia::models {
+
+/// Hyper-parameters shared across models; GARCIA-specific knobs included so
+/// ablation benches can toggle them.
+struct TrainConfig {
+  size_t embedding_dim = 32;  // paper: 64
+  size_t num_layers = 2;      // L (paper: 2)
+  float learning_rate = 3e-3f;  // paper: 1e-4 at production scale
+  size_t batch_size = 1024;   // paper: 1024
+  size_t finetune_epochs = 6;
+  size_t pretrain_epochs = 4;
+  /// Caps steps per epoch so full-graph encodings stay affordable;
+  /// 0 = no cap.
+  size_t max_batches_per_epoch = 24;
+  uint64_t seed = 7;
+
+  // Multi-granularity contrastive learning (Eq. 11).
+  float tau = 0.1f;    // temperature (paper: 0.1)
+  float alpha = 0.1f;  // SECL weight (paper: 0.1)
+  float beta = 0.01f;  // IGCL weight (paper: 0.01)
+  size_t cl_batch_size = 256;  // entities sampled per CL term per step
+
+  // Intention tree.
+  size_t tree_levels = 5;  // H (paper: 5)
+
+  // Ablation toggles (Figs. 3, 4, 7).
+  bool use_ktcl = true;
+  bool use_secl = true;
+  bool use_igcl = true;
+  bool use_intention = true;   // false = no intention encoder at all
+  bool share_encoders = false;  // true = GARCIA-Share (Fig. 3)
+  bool use_attention = true;   // false = uniform 1/deg aggregation
+  /// KTCL semantic-relevance scorer for anchor mining: token Jaccard
+  /// (default) or the character-n-gram embedding encoder (the paper's
+  /// future-work slot for a text model such as BERT).
+  bool ktcl_ngram_mining = false;
+
+  // Baseline-specific.
+  float ssl_weight = 0.1f;     // SGL / SimGCL auxiliary loss weight
+  float edge_dropout = 0.2f;   // SGL view augmentation
+  float simgcl_eps = 0.1f;     // SimGCL noise magnitude
+
+  // Serving variant: score with inner product instead of the MLP head
+  // (the paper's online deployment, Sec. V-F1).
+  bool inner_product_head = false;
+};
+
+/// A trained ranking model.
+class RankingModel {
+ public:
+  virtual ~RankingModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the scenario's train split (and uses validation only for
+  /// monitoring). Must be called before Predict.
+  virtual void Fit(const data::Scenario& scenario) = 0;
+
+  /// Click scores (higher = more likely clicked) for examples.
+  virtual std::vector<float> Predict(
+      const data::Scenario& scenario,
+      const std::vector<data::Example>& examples) = 0;
+
+  /// Embeddings for online serving (queries then services, row-aligned with
+  /// ids). Models without an embedding space may return empty matrices.
+  virtual core::Matrix ExportQueryEmbeddings(const data::Scenario&) {
+    return core::Matrix();
+  }
+  virtual core::Matrix ExportServiceEmbeddings(const data::Scenario&) {
+    return core::Matrix();
+  }
+};
+
+/// Head/tail/overall metrics of a model on one example slice.
+eval::SlicedMetrics EvaluateModel(RankingModel* model,
+                                  const data::Scenario& scenario,
+                                  const std::vector<data::Example>& examples);
+
+/// Yields shuffled mini-batches of example indices.
+class BatchIterator {
+ public:
+  BatchIterator(size_t num_examples, size_t batch_size, core::Rng* rng);
+
+  /// Next batch; empty when the epoch is exhausted.
+  std::vector<uint32_t> Next();
+
+  /// Reshuffles and restarts.
+  void Reset();
+
+  size_t batches_per_epoch() const;
+
+ private:
+  std::vector<uint32_t> order_;
+  size_t batch_size_;
+  size_t cursor_ = 0;
+  core::Rng* rng_;
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_COMMON_H_

@@ -1,0 +1,117 @@
+#include "models/contrastive.h"
+
+#include <unordered_map>
+
+#include "core/string_util.h"
+#include "models/text_encoder.h"
+
+namespace garcia::models {
+
+KtclAnchors MineCrossGroupAnchors(const data::Scenario& s,
+                                  const std::vector<uint32_t>& source_queries,
+                                  const std::vector<uint32_t>& target_queries,
+                                  KtclRelevance relevance) {
+  KtclAnchors out;
+  if (target_queries.empty()) return out;
+
+  // Precompute target embeddings once for the n-gram scorer.
+  NgramTextEncoder encoder;
+  std::vector<SparseVector> target_embs;
+  if (relevance == KtclRelevance::kNgramCosine) {
+    target_embs.reserve(target_queries.size());
+    for (uint32_t p : target_queries) {
+      target_embs.push_back(encoder.Encode(s.query_text[p]));
+    }
+  }
+
+  for (uint32_t q : source_queries) {
+    const SparseVector q_emb = relevance == KtclRelevance::kNgramCosine
+                                   ? encoder.Encode(s.query_text[q])
+                                   : SparseVector{};
+    int best = -1;
+    double best_rel = 0.0;
+    uint64_t best_exposure = 0;
+    for (size_t pi = 0; pi < target_queries.size(); ++pi) {
+      const uint32_t p = target_queries[pi];
+      // Criterion 2: shared correlation.
+      if (s.query_keys[q].SharedWith(s.query_keys[p]) == 0) continue;
+      // Criterion 1: semantic relevance.
+      const double rel =
+          relevance == KtclRelevance::kNgramCosine
+              ? NgramTextEncoder::Cosine(q_emb, target_embs[pi])
+              : core::TokenJaccard(s.query_text[q], s.query_text[p]);
+      if (rel <= 0.0) continue;
+      // Criterion 3: exposure as tie-break.
+      const uint64_t e = s.query_exposure[p];
+      if (rel > best_rel || (rel == best_rel && e > best_exposure)) {
+        best = static_cast<int>(p);
+        best_rel = rel;
+        best_exposure = e;
+      }
+    }
+    if (best >= 0) {
+      out.tail_query.push_back(q);
+      out.head_query.push_back(static_cast<uint32_t>(best));
+    }
+  }
+  return out;
+}
+
+KtclAnchors MineKtclAnchors(const data::Scenario& s,
+                            KtclRelevance relevance) {
+  return MineCrossGroupAnchors(s, s.split.tail_queries,
+                               s.split.head_queries, relevance);
+}
+
+IgclBatch BuildIgclBatch(const IntentionEncoder& encoder,
+                         const std::vector<uint32_t>& entity_intentions) {
+  const auto& forest = encoder.forest();
+  IgclBatch batch;
+
+  // Candidate set: all intentions within the level budget, with a dense
+  // position index.
+  std::unordered_map<uint32_t, uint32_t> pos_of;
+  for (size_t depth = 0; depth < encoder.levels(); ++depth) {
+    if (depth >= forest.num_levels()) break;
+    for (uint32_t id : forest.levels()[depth]) {
+      pos_of[id] = static_cast<uint32_t>(batch.candidate_ids.size());
+      batch.candidate_ids.push_back(id);
+    }
+  }
+  GARCIA_CHECK(!batch.candidate_ids.empty());
+
+  // Pairs.
+  struct PairInfo {
+    uint32_t anchor_row;
+    uint32_t positive;
+    uint32_t anchor_level;  // level of the attached intention i
+  };
+  std::vector<PairInfo> pairs;
+  for (size_t row = 0; row < entity_intentions.size(); ++row) {
+    const uint32_t attached = encoder.Attach(entity_intentions[row]);
+    const uint32_t level_i = forest.depth(attached);
+    for (uint32_t j : encoder.PositiveChain(entity_intentions[row])) {
+      pairs.push_back({static_cast<uint32_t>(row), j, level_i});
+    }
+  }
+
+  batch.mask = core::Matrix(pairs.size(), batch.candidate_ids.size());
+  batch.anchor_rows.reserve(pairs.size());
+  batch.targets.reserve(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    batch.anchor_rows.push_back(pairs[p].anchor_row);
+    auto it = pos_of.find(pairs[p].positive);
+    GARCIA_CHECK(it != pos_of.end());
+    batch.targets.push_back(it->second);
+    // Admit the positive plus every intention at the anchor's level
+    // (same tree = "hard", other trees = "easy").
+    batch.mask.at(p, it->second) = 1.0f;
+    for (uint32_t neg : forest.levels()[pairs[p].anchor_level]) {
+      auto nit = pos_of.find(neg);
+      if (nit != pos_of.end()) batch.mask.at(p, nit->second) = 1.0f;
+    }
+  }
+  return batch;
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,81 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Multi-granularity contrastive learning support (Sec. IV-B): KTCL anchor
+// mining and IGCL batch assembly. The losses themselves are nn::InfoNce /
+// nn::MaskedInfoNce applied to tensors prepared here and by GarciaModel.
+
+#ifndef GARCIA_MODELS_CONTRASTIVE_H_
+#define GARCIA_MODELS_CONTRASTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scenario.h"
+#include "models/intention_encoder.h"
+
+namespace garcia::models {
+
+/// Mined <tail query, head query> anchor pairs for KTCL (Sec. IV-B1).
+/// Selection criteria, per the paper:
+///  1. the head query has the most semantic-level relevance with the tail
+///     query (token Jaccard — our stand-in for the production text encoder);
+///  2. the pair shares at least one correlation (city / brand / category);
+///  3. ties are broken toward the head query with the most exposure.
+/// Tail queries with no positively-relevant, correlation-sharing head are
+/// skipped.
+struct KtclAnchors {
+  std::vector<uint32_t> tail_query;
+  std::vector<uint32_t> head_query;  // parallel to tail_query
+
+  size_t size() const { return tail_query.size(); }
+};
+
+/// Semantic-relevance scorer used by criterion 1.
+enum class KtclRelevance {
+  kTokenJaccard,  // default, word-level overlap
+  kNgramCosine,   // character-n-gram embedding cosine (future-work text
+                  // module; catches sub-token matches like iphone/phone)
+};
+
+KtclAnchors MineKtclAnchors(const data::Scenario& scenario,
+                            KtclRelevance relevance =
+                                KtclRelevance::kTokenJaccard);
+
+/// Generalized anchor mining between an arbitrary (lower-frequency)
+/// source group and a (higher-frequency) target group of queries — the
+/// paper's future-work direction of "splitting queries into multiple
+/// groups via frequency ... and performing knowledge transfer between
+/// query groups" (Sec. VI). MineKtclAnchors is the special case
+/// source = tail, target = head.
+KtclAnchors MineCrossGroupAnchors(const data::Scenario& scenario,
+                                  const std::vector<uint32_t>& source_queries,
+                                  const std::vector<uint32_t>& target_queries,
+                                  KtclRelevance relevance =
+                                      KtclRelevance::kTokenJaccard);
+
+/// A prepared IGCL batch (Eq. 9). For each (entity, positive-ancestor j)
+/// pair there is one anchor row; candidates are all intentions within the
+/// encoder's level budget; the per-pair mask admits exactly {j} ∪ D_{p,j},
+/// where D is every intention at the same level as the entity's (attached)
+/// intention i — "hard" negatives from the same tree plus "easy" negatives
+/// from other trees.
+struct IgclBatch {
+  /// Index into the entity batch (duplicated across that entity's pairs).
+  std::vector<uint32_t> anchor_rows;
+  /// Intention ids forming the candidate set (depth < H).
+  std::vector<uint32_t> candidate_ids;
+  /// Position of each pair's positive within candidate_ids.
+  std::vector<uint32_t> targets;
+  /// pairs x candidates admission mask.
+  core::Matrix mask;
+
+  size_t num_pairs() const { return anchor_rows.size(); }
+};
+
+/// entity_intentions holds the raw (leaf) intention of each batch entity;
+/// re-attachment to the level budget happens inside.
+IgclBatch BuildIgclBatch(const IntentionEncoder& encoder,
+                         const std::vector<uint32_t>& entity_intentions);
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_CONTRASTIVE_H_

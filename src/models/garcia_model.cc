@@ -1,0 +1,451 @@
+#include "models/garcia_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace garcia::models {
+
+using core::Matrix;
+using nn::Tensor;
+
+GarciaModel::GarciaModel(const TrainConfig& config)
+    : cfg_(config), rng_(config.seed) {}
+
+GarciaModel::~GarciaModel() = default;
+
+void GarciaModel::Setup(const data::Scenario& s) {
+  scenario_ = &s;
+  const size_t d = cfg_.embedding_dim;
+
+  if (cfg_.share_encoders) {
+    // GARCIA-Share: one unified encoder over the full graph.
+    std::vector<uint32_t> all_queries(s.num_queries());
+    for (uint32_t q = 0; q < s.num_queries(); ++q) all_queries[q] = q;
+    head_sub_.emplace(graph::ExtractQuerySubgraph(s.graph, all_queries));
+    tail_sub_.reset();
+    head_encoder_ = std::make_unique<GarciaGnnEncoder>(
+        head_sub_->graph.num_nodes(), s.graph.attr_dim(), d, cfg_.num_layers,
+        &rng_, cfg_.use_attention);
+    tail_encoder_.reset();
+  } else {
+    head_sub_.emplace(
+        graph::ExtractQuerySubgraph(s.graph, s.split.head_queries));
+    tail_sub_.emplace(
+        graph::ExtractQuerySubgraph(s.graph, s.split.tail_queries));
+    head_encoder_ = std::make_unique<GarciaGnnEncoder>(
+        head_sub_->graph.num_nodes(), s.graph.attr_dim(), d, cfg_.num_layers,
+        &rng_, cfg_.use_attention);
+    tail_encoder_ = std::make_unique<GarciaGnnEncoder>(
+        tail_sub_->graph.num_nodes(), s.graph.attr_dim(), d, cfg_.num_layers,
+        &rng_, cfg_.use_attention);
+  }
+
+  if (cfg_.use_intention) {
+    intention_encoder_ = std::make_unique<IntentionEncoder>(
+        s.forest, d, cfg_.tree_levels, &rng_);
+  } else {
+    intention_encoder_.reset();
+  }
+
+  // Eq. 12: two-layer perceptron on [z_q || z_s].
+  click_head_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{2 * d, d, 1}, &rng_);
+
+  anchors_ = MineKtclAnchors(s, cfg_.ktcl_ngram_mining
+                                    ? KtclRelevance::kNgramCosine
+                                    : KtclRelevance::kTokenJaccard);
+  GARCIA_LOG(Debug) << "GARCIA setup: " << anchors_.size()
+                    << " KTCL anchor pairs, head nodes "
+                    << head_sub_->graph.num_nodes();
+}
+
+GarciaModel::Encoded GarciaModel::EncodeAll() const {
+  Encoded e;
+  e.head = head_encoder_->Encode(head_sub_->graph);
+  if (cfg_.share_encoders) {
+    e.tail = e.head;
+  } else {
+    e.tail = tail_encoder_->Encode(tail_sub_->graph);
+  }
+  return e;
+}
+
+std::pair<bool, uint32_t> GarciaModel::QueryRow(uint32_t query) const {
+  if (cfg_.share_encoders) {
+    return {true, static_cast<uint32_t>(head_sub_->local_query_of[query])};
+  }
+  if (scenario_->split.is_head[query]) {
+    return {true, static_cast<uint32_t>(head_sub_->local_query_of[query])};
+  }
+  return {false, static_cast<uint32_t>(tail_sub_->local_query_of[query])};
+}
+
+uint32_t GarciaModel::ServiceRow(bool head_partition, uint32_t service) const {
+  const graph::Subgraph& sub =
+      (head_partition || cfg_.share_encoders) ? *head_sub_ : *tail_sub_;
+  return sub.graph.ServiceNode(service);
+}
+
+Tensor GarciaModel::KtclLoss(const data::Scenario& s, const Encoded& e,
+                             core::Rng* rng) const {
+  std::vector<Tensor> terms;
+
+  // Query side (Eq. 4): pull each tail query toward its mined head anchor,
+  // against in-batch head negatives.
+  if (anchors_.size() >= 2) {
+    const size_t b = std::min(cfg_.cl_batch_size, anchors_.size());
+    auto picks = rng->SampleWithoutReplacement(anchors_.size(), b);
+    std::vector<uint32_t> tail_rows;
+    std::vector<uint32_t> head_rows;  // deduped candidate rows
+    std::vector<uint32_t> targets;
+    std::unordered_map<uint32_t, uint32_t> head_pos;
+    for (size_t i : picks) {
+      const uint32_t tq = anchors_.tail_query[i];
+      const uint32_t hq = anchors_.head_query[i];
+      tail_rows.push_back(QueryRow(tq).second);
+      auto [it, inserted] =
+          head_pos.emplace(hq, static_cast<uint32_t>(head_rows.size()));
+      if (inserted) head_rows.push_back(QueryRow(hq).second);
+      targets.push_back(it->second);
+    }
+    if (head_rows.size() >= 2) {
+      Tensor anchors_t = nn::GatherRows(e.tail.readout, tail_rows);
+      Tensor cands_t = nn::GatherRows(e.head.readout, head_rows);
+      terms.push_back(nn::InfoNce(anchors_t, cands_t, targets, cfg_.tau));
+    }
+  }
+
+  // Service side (Eq. 5): align the two views of each service.
+  {
+    const size_t b =
+        std::min<size_t>(cfg_.cl_batch_size, s.num_services());
+    if (b >= 2) {
+      auto picks = rng->SampleWithoutReplacement(s.num_services(), b);
+      std::vector<uint32_t> head_rows, tail_rows, identity;
+      for (size_t i = 0; i < picks.size(); ++i) {
+        head_rows.push_back(
+            ServiceRow(true, static_cast<uint32_t>(picks[i])));
+        tail_rows.push_back(
+            ServiceRow(false, static_cast<uint32_t>(picks[i])));
+        identity.push_back(static_cast<uint32_t>(i));
+      }
+      Tensor zh = nn::GatherRows(e.head.readout, head_rows);
+      Tensor zt = nn::GatherRows(e.tail.readout, tail_rows);
+      terms.push_back(nn::Add(nn::InfoNce(zh, zt, identity, cfg_.tau),
+                              nn::InfoNce(zt, zh, identity, cfg_.tau)));
+    }
+  }
+
+  if (terms.empty()) return Tensor::Constant(Matrix(1, 1));
+  Tensor total = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) total = nn::Add(total, terms[i]);
+  return total;
+}
+
+Tensor GarciaModel::SeclLoss(const Encoded& e, core::Rng* rng) const {
+  // Eq. 7: anchor z^{(0)}, positives z^{(l)} of the same node, in-batch
+  // negatives; applied per partition, averaged over layers.
+  std::vector<Tensor> terms;
+  auto add_partition = [&](const GnnOutput& out) {
+    const size_t n = out.readout.rows();
+    const size_t b = std::min<size_t>(cfg_.cl_batch_size, n);
+    if (b < 2 || out.layers.size() < 2) return;
+    auto picks = rng->SampleWithoutReplacement(n, b);
+    std::vector<uint32_t> rows(picks.begin(), picks.end());
+    std::vector<uint32_t> identity(b);
+    for (size_t i = 0; i < b; ++i) identity[i] = static_cast<uint32_t>(i);
+    Tensor z0 = nn::GatherRows(out.layers[0], rows);
+    std::vector<Tensor> per_layer;
+    for (size_t l = 1; l < out.layers.size(); ++l) {
+      Tensor zl = nn::GatherRows(out.layers[l], rows);
+      per_layer.push_back(nn::InfoNce(z0, zl, identity, cfg_.tau));
+    }
+    terms.push_back(nn::Average(per_layer));
+  };
+  add_partition(e.head);
+  if (!cfg_.share_encoders) add_partition(e.tail);
+
+  if (terms.empty()) return Tensor::Constant(Matrix(1, 1));
+  Tensor total = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) total = nn::Add(total, terms[i]);
+  return total;
+}
+
+Tensor GarciaModel::IgclLoss(const data::Scenario& s, const Encoded& e,
+                             core::Rng* rng) const {
+  GARCIA_CHECK(intention_encoder_ != nullptr);
+  // Sample an entity batch: half queries, half services; gather their
+  // readout rows from the proper partition.
+  const size_t half = std::max<size_t>(1, cfg_.cl_batch_size / 2);
+  const size_t nq = std::min(half, s.num_queries());
+  const size_t ns = std::min(half, s.num_services());
+
+  std::vector<uint32_t> head_rows, tail_rows;
+  std::vector<uint32_t> intents_head, intents_tail;
+  auto q_picks = rng->SampleWithoutReplacement(s.num_queries(), nq);
+  for (size_t qi : q_picks) {
+    const uint32_t q = static_cast<uint32_t>(qi);
+    auto [is_head, row] = QueryRow(q);
+    if (is_head) {
+      head_rows.push_back(row);
+      intents_head.push_back(s.query_intent[q]);
+    } else {
+      tail_rows.push_back(row);
+      intents_tail.push_back(s.query_intent[q]);
+    }
+  }
+  auto s_picks = rng->SampleWithoutReplacement(s.num_services(), ns);
+  for (size_t si : s_picks) {
+    const uint32_t svc = static_cast<uint32_t>(si);
+    // Alternate partitions so both service views receive the signal.
+    const bool head_side = cfg_.share_encoders || (svc % 2 == 0);
+    if (head_side) {
+      head_rows.push_back(ServiceRow(true, svc));
+      intents_head.push_back(s.service_intent[svc]);
+    } else {
+      tail_rows.push_back(ServiceRow(false, svc));
+      intents_tail.push_back(s.service_intent[svc]);
+    }
+  }
+
+  // Assemble the entity embedding batch (head rows then tail rows).
+  Tensor entity_emb;
+  std::vector<uint32_t> intents;
+  if (!head_rows.empty() && !tail_rows.empty()) {
+    entity_emb = nn::ConcatRows(nn::GatherRows(e.head.readout, head_rows),
+                                nn::GatherRows(e.tail.readout, tail_rows));
+  } else if (!head_rows.empty()) {
+    entity_emb = nn::GatherRows(e.head.readout, head_rows);
+  } else {
+    entity_emb = nn::GatherRows(e.tail.readout, tail_rows);
+  }
+  intents = intents_head;
+  intents.insert(intents.end(), intents_tail.begin(), intents_tail.end());
+  if (intents.empty()) return Tensor::Constant(Matrix(1, 1));
+
+  IgclBatch batch = BuildIgclBatch(*intention_encoder_, intents);
+  if (batch.num_pairs() == 0 || batch.candidate_ids.size() < 2) {
+    return Tensor::Constant(Matrix(1, 1));
+  }
+  Tensor intent_table = intention_encoder_->Encode();
+  Tensor anchors_t = nn::GatherRows(entity_emb, batch.anchor_rows);
+  Tensor cands = nn::GatherRows(intent_table, batch.candidate_ids);
+  return nn::MaskedInfoNce(anchors_t, cands, batch.targets, batch.mask,
+                           cfg_.tau);
+}
+
+Tensor GarciaModel::PretrainLoss(const data::Scenario& s, const Encoded& e,
+                                 core::Rng* rng) {
+  // Eq. 11: L_P = L_KTCL + alpha L_SECL + beta L_IGCL.
+  Tensor total = Tensor::Constant(Matrix(1, 1));
+  if (cfg_.use_ktcl) total = nn::Add(total, KtclLoss(s, e, rng));
+  if (cfg_.use_secl && cfg_.alpha > 0.0f) {
+    total = nn::Add(total, nn::Scale(SeclLoss(e, rng), cfg_.alpha));
+  }
+  if (cfg_.use_igcl && cfg_.beta > 0.0f && intention_encoder_ != nullptr) {
+    total = nn::Add(total, nn::Scale(IgclLoss(s, e, rng), cfg_.beta));
+  }
+  return total;
+}
+
+Tensor GarciaModel::BatchLogits(const std::vector<data::Example>& examples,
+                                const std::vector<uint32_t>& batch,
+                                const Encoded& e,
+                                std::vector<uint32_t>* order) const {
+  std::vector<uint32_t> hq_rows, hs_rows, tq_rows, ts_rows;
+  std::vector<uint32_t> head_order, tail_order;
+  for (uint32_t bi : batch) {
+    const data::Example& ex = examples[bi];
+    auto [is_head, qrow] = QueryRow(ex.query);
+    if (is_head) {
+      hq_rows.push_back(qrow);
+      hs_rows.push_back(ServiceRow(true, ex.service));
+      head_order.push_back(bi);
+    } else {
+      tq_rows.push_back(qrow);
+      ts_rows.push_back(ServiceRow(false, ex.service));
+      tail_order.push_back(bi);
+    }
+  }
+  order->clear();
+  order->insert(order->end(), head_order.begin(), head_order.end());
+  order->insert(order->end(), tail_order.begin(), tail_order.end());
+
+  // With the online inner-product head, services must be scored through
+  // the SAME single embedding that is exported for retrieval (the mean of
+  // the two aligned views) — otherwise training and serving diverge.
+  auto service_view = [&](const Encoded& enc,
+                          const std::vector<uint32_t>& head_side_rows,
+                          const std::vector<uint32_t>& tail_side_rows,
+                          bool head_partition) -> Tensor {
+    const std::vector<uint32_t>& own =
+        head_partition ? head_side_rows : tail_side_rows;
+    Tensor z_own = nn::GatherRows(
+        head_partition ? enc.head.readout : enc.tail.readout, own);
+    if (!cfg_.inner_product_head || cfg_.share_encoders) return z_own;
+    const std::vector<uint32_t>& other =
+        head_partition ? tail_side_rows : head_side_rows;
+    Tensor z_other = nn::GatherRows(
+        head_partition ? enc.tail.readout : enc.head.readout, other);
+    return nn::Scale(nn::Add(z_own, z_other), 0.5f);
+  };
+
+  auto make_side = [&](bool head_partition, const std::vector<uint32_t>& q,
+                       const std::vector<uint32_t>& sv) -> Tensor {
+    const GnnOutput& out = head_partition ? e.head : e.tail;
+    Tensor zq = nn::GatherRows(out.readout, q);
+    // Row ids of the same services in the other partition.
+    std::vector<uint32_t> sv_other(sv.size());
+    if (!cfg_.share_encoders) {
+      for (size_t i = 0; i < sv.size(); ++i) {
+        const uint32_t svc =
+            head_partition ? head_sub_->graph.ServiceIdOf(sv[i])
+                           : tail_sub_->graph.ServiceIdOf(sv[i]);
+        sv_other[i] = ServiceRow(!head_partition, svc);
+      }
+    }
+    Tensor zs = head_partition ? service_view(e, sv, sv_other, true)
+                               : service_view(e, sv_other, sv, false);
+    if (cfg_.inner_product_head) return nn::RowDot(zq, zs);
+    return click_head_->Forward(nn::ConcatCols(zq, zs));
+  };
+
+  if (!head_order.empty() && !tail_order.empty()) {
+    return nn::ConcatRows(make_side(true, hq_rows, hs_rows),
+                          make_side(false, tq_rows, ts_rows));
+  }
+  if (!head_order.empty()) return make_side(true, hq_rows, hs_rows);
+  GARCIA_CHECK(!tail_order.empty());
+  return make_side(false, tq_rows, ts_rows);
+}
+
+void GarciaModel::Fit(const data::Scenario& s) {
+  Setup(s);
+
+  std::vector<Tensor> params = head_encoder_->Parameters();
+  auto append = [&params](const std::vector<Tensor>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  if (tail_encoder_) append(tail_encoder_->Parameters());
+  if (intention_encoder_) append(intention_encoder_->Parameters());
+  append(click_head_->Parameters());
+
+  // ---- Pre-training (Sec. IV-C1) ----
+  const bool any_cl = cfg_.use_ktcl || cfg_.use_secl || cfg_.use_igcl;
+  if (any_cl && cfg_.pretrain_epochs > 0) {
+    nn::Adam opt(params, cfg_.learning_rate);
+    const size_t steps = std::max<size_t>(1, cfg_.max_batches_per_epoch / 2);
+    for (size_t epoch = 0; epoch < cfg_.pretrain_epochs; ++epoch) {
+      double epoch_loss = 0.0;
+      for (size_t step = 0; step < steps; ++step) {
+        opt.ZeroGrad();
+        Encoded e = EncodeAll();
+        Tensor loss = PretrainLoss(s, e, &rng_);
+        loss.Backward();
+        nn::ClipGradNorm(params, 5.0);
+        opt.Step();
+        epoch_loss += loss.scalar();
+        if (epoch == 0 && step == 0) first_pretrain_loss_ = loss.scalar();
+        last_pretrain_loss_ = loss.scalar();
+      }
+      GARCIA_LOG(Debug) << name() << " pretrain epoch " << epoch
+                        << " loss=" << epoch_loss / steps;
+    }
+  }
+
+  // ---- Fine-tuning (Sec. IV-C2): pre-trained parameters initialize the
+  // search-task training. ----
+  nn::Adam opt(params, cfg_.learning_rate);
+  BatchIterator it(s.train.size(), cfg_.batch_size, &rng_);
+  for (size_t epoch = 0; epoch < cfg_.finetune_epochs; ++epoch) {
+    it.Reset();
+    size_t steps = 0;
+    double epoch_loss = 0.0;
+    while (true) {
+      if (cfg_.max_batches_per_epoch > 0 &&
+          steps >= cfg_.max_batches_per_epoch) {
+        break;
+      }
+      std::vector<uint32_t> batch = it.Next();
+      if (batch.empty()) break;
+      opt.ZeroGrad();
+      Encoded e = EncodeAll();
+      std::vector<uint32_t> order;
+      Tensor logits = BatchLogits(s.train, batch, e, &order);
+      Matrix labels(order.size(), 1);
+      for (size_t i = 0; i < order.size(); ++i) {
+        labels.at(i, 0) = s.train[order[i]].label;
+      }
+      Tensor loss = nn::BceWithLogits(logits, labels);
+      loss.Backward();
+      nn::ClipGradNorm(params, 5.0);
+      opt.Step();
+      epoch_loss += loss.scalar();
+      last_finetune_loss_ = loss.scalar();
+      ++steps;
+    }
+    GARCIA_LOG(Debug) << name() << " finetune epoch " << epoch
+                      << " loss=" << (steps ? epoch_loss / steps : 0.0);
+  }
+  fitted_ = true;
+}
+
+std::vector<float> GarciaModel::Predict(
+    const data::Scenario& s, const std::vector<data::Example>& examples) {
+  GARCIA_CHECK(fitted_) << "Fit must run before Predict";
+  GARCIA_CHECK(scenario_ == &s) << "Predict on a different scenario";
+  if (examples.empty()) return {};
+  Encoded e = EncodeAll();
+  std::vector<uint32_t> batch(examples.size());
+  for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> order;
+  Tensor logits = BatchLogits(examples, batch, e, &order);
+  std::vector<float> scores(examples.size(), 0.0f);
+  for (size_t r = 0; r < order.size(); ++r) {
+    const float z = logits.value().at(r, 0);
+    scores[order[r]] =
+        z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                  : std::exp(z) / (1.0f + std::exp(z));
+  }
+  return scores;
+}
+
+core::Matrix GarciaModel::ExportQueryEmbeddings(const data::Scenario& s) {
+  GARCIA_CHECK(fitted_);
+  GARCIA_CHECK(scenario_ == &s);
+  Encoded e = EncodeAll();
+  Matrix out(s.num_queries(), cfg_.embedding_dim);
+  for (uint32_t q = 0; q < s.num_queries(); ++q) {
+    auto [is_head, row] = QueryRow(q);
+    const Matrix& src =
+        is_head ? e.head.readout.value() : e.tail.readout.value();
+    out.CopyRowFrom(src, row, q);
+  }
+  return out;
+}
+
+core::Matrix GarciaModel::ExportServiceEmbeddings(const data::Scenario& s) {
+  GARCIA_CHECK(fitted_);
+  GARCIA_CHECK(scenario_ == &s);
+  Encoded e = EncodeAll();
+  Matrix out(s.num_services(), cfg_.embedding_dim);
+  for (uint32_t svc = 0; svc < s.num_services(); ++svc) {
+    const uint32_t hrow = ServiceRow(true, svc);
+    if (cfg_.share_encoders) {
+      out.CopyRowFrom(e.head.readout.value(), hrow, svc);
+      continue;
+    }
+    // Services carry two aligned views (KTCL, Eq. 5); serve their mean.
+    const uint32_t trow = ServiceRow(false, svc);
+    for (size_t k = 0; k < cfg_.embedding_dim; ++k) {
+      out.at(svc, k) = 0.5f * (e.head.readout.value().at(hrow, k) +
+                               e.tail.readout.value().at(trow, k));
+    }
+  }
+  return out;
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,105 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// GARCIA (Sec. IV): adaptive head/tail GNN encoding over the service search
+// graph, hierarchical intention encoding, multi-granularity contrastive
+// pre-training (KTCL + SECL + IGCL, Eq. 11), and BCE fine-tuning of the
+// MLP click head (Eq. 12-13).
+//
+// Config toggles cover every ablation in the paper:
+//  * share_encoders  -> GARCIA-Share (Fig. 3)
+//  * use_secl=false  -> GARCIA w.o. SE (Fig. 4)
+//  * use_igcl=false  -> GARCIA w.o. IG (Fig. 4)
+//  * use_ktcl=use_secl=use_igcl=false -> GARCIA w.o. ALL (Fig. 4)
+//  * use_intention=false -> the no-intention reference of Fig. 7
+//  * tree_levels     -> H sweep (Fig. 7); alpha/beta/tau -> Figs. 5, 6, 8
+//  * inner_product_head -> the online serving variant (Fig. 9)
+
+#ifndef GARCIA_MODELS_GARCIA_MODEL_H_
+#define GARCIA_MODELS_GARCIA_MODEL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/common.h"
+#include "models/contrastive.h"
+#include "models/gnn_encoder.h"
+#include "models/intention_encoder.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace garcia::models {
+
+class GarciaModel : public RankingModel {
+ public:
+  explicit GarciaModel(const TrainConfig& config);
+  ~GarciaModel() override;
+
+  std::string name() const override { return "GARCIA"; }
+  void Fit(const data::Scenario& scenario) override;
+  std::vector<float> Predict(
+      const data::Scenario& scenario,
+      const std::vector<data::Example>& examples) override;
+
+  core::Matrix ExportQueryEmbeddings(const data::Scenario& s) override;
+  core::Matrix ExportServiceEmbeddings(const data::Scenario& s) override;
+
+  /// Pre-training loss values (test/diagnostic hooks).
+  float first_pretrain_loss() const { return first_pretrain_loss_; }
+  float last_pretrain_loss() const { return last_pretrain_loss_; }
+  float last_finetune_loss() const { return last_finetune_loss_; }
+  /// Number of mined KTCL anchor pairs (after Fit).
+  size_t num_anchor_pairs() const { return anchors_.size(); }
+
+ private:
+  struct Encoded {
+    GnnOutput head;
+    GnnOutput tail;  // aliases head when encoders are shared
+  };
+
+  /// Builds encoders and partitions for the scenario (first Fit step).
+  void Setup(const data::Scenario& s);
+  Encoded EncodeAll() const;
+
+  /// (is_head_partition, local node row) of a query / service within the
+  /// partition used for its representation.
+  std::pair<bool, uint32_t> QueryRow(uint32_t query) const;
+  uint32_t ServiceRow(bool head_partition, uint32_t service) const;
+
+  nn::Tensor PretrainLoss(const data::Scenario& s, const Encoded& e,
+                          core::Rng* rng);
+  nn::Tensor KtclLoss(const data::Scenario& s, const Encoded& e,
+                      core::Rng* rng) const;
+  nn::Tensor SeclLoss(const Encoded& e, core::Rng* rng) const;
+  nn::Tensor IgclLoss(const data::Scenario& s, const Encoded& e,
+                      core::Rng* rng) const;
+
+  /// Click logits for a batch of examples given an encoding pass. Rows are
+  /// permuted (head-partition examples first); *order maps logit row ->
+  /// position within `batch`.
+  nn::Tensor BatchLogits(const std::vector<data::Example>& examples,
+                         const std::vector<uint32_t>& batch, const Encoded& e,
+                         std::vector<uint32_t>* order) const;
+
+  TrainConfig cfg_;
+  core::Rng rng_;
+  bool fitted_ = false;
+
+  // Scenario-bound state (built by Setup).
+  const data::Scenario* scenario_ = nullptr;
+  std::optional<graph::Subgraph> head_sub_;
+  std::optional<graph::Subgraph> tail_sub_;
+  std::unique_ptr<GarciaGnnEncoder> head_encoder_;
+  std::unique_ptr<GarciaGnnEncoder> tail_encoder_;  // null when shared
+  std::unique_ptr<IntentionEncoder> intention_encoder_;
+  std::unique_ptr<nn::Mlp> click_head_;
+  KtclAnchors anchors_;
+
+  float first_pretrain_loss_ = 0.0f;
+  float last_pretrain_loss_ = 0.0f;
+  float last_finetune_loss_ = 0.0f;
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_GARCIA_MODEL_H_

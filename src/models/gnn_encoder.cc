@@ -1,0 +1,131 @@
+#include "models/gnn_encoder.h"
+
+#include <cmath>
+
+namespace garcia::models {
+
+using nn::Tensor;
+
+GarciaGnnEncoder::GarciaGnnEncoder(size_t num_nodes, size_t attr_dim,
+                                   size_t dim, size_t num_layers,
+                                   core::Rng* rng, bool use_attention)
+    : dim_(dim), num_layers_(num_layers), use_attention_(use_attention) {
+  id_embedding_ = std::make_unique<nn::Embedding>(num_nodes, dim, rng);
+  RegisterChild(id_embedding_.get());
+  attr_proj_ = std::make_unique<nn::Linear>(attr_dim, dim, rng);
+  RegisterChild(attr_proj_.get());
+  const size_t de = graph::kEdgeFeatureDim;
+  layers_.resize(num_layers);
+  for (auto& layer : layers_) {
+    layer.attention = std::make_unique<nn::Linear>(2 * dim + de, 1, rng,
+                                                   /*bias=*/false);
+    layer.aggregate = std::make_unique<nn::Linear>(dim + de, dim, rng);
+    layer.update = std::make_unique<nn::Linear>(2 * dim, dim, rng);
+    RegisterChild(layer.attention.get());
+    RegisterChild(layer.aggregate.get());
+    RegisterChild(layer.update.get());
+  }
+}
+
+GnnOutput GarciaGnnEncoder::Encode(const graph::SearchGraph& g) const {
+  GARCIA_CHECK(g.finalized());
+  GARCIA_CHECK_EQ(g.num_nodes(), id_embedding_->num_entities());
+  const size_t n = g.num_nodes();
+
+  GnnOutput out;
+  // z^(0): id embedding + projected attributes.
+  Tensor z = nn::Add(id_embedding_->Table(),
+                     attr_proj_->Forward(Tensor::Constant(g.attributes())));
+  out.layers.push_back(z);
+
+  const auto& src = g.edge_src();
+  const auto& dst = g.edge_dst();
+  Tensor efeat = Tensor::Constant(g.edge_features());
+
+  for (size_t l = 0; l < num_layers_; ++l) {
+    const Layer& layer = layers_[l];
+    if (src.empty()) {
+      // No edges: message is zero; update still mixes z with the zero
+      // message so parameters stay exercised.
+      Tensor zero_m = Tensor::Constant(core::Matrix(n, dim_));
+      Tensor m = nn::Tanh(layer.aggregate->Forward(
+          nn::ConcatCols(zero_m, Tensor::Constant(core::Matrix(
+                                     n, graph::kEdgeFeatureDim)))));
+      z = nn::Relu(layer.update->Forward(nn::ConcatCols(z, m)));
+      out.layers.push_back(z);
+      continue;
+    }
+    Tensor z_src = nn::GatherRows(z, src);
+    Tensor alpha;
+    if (use_attention_) {
+      Tensor z_dst = nn::GatherRows(z, dst);
+      // Attention logits over [z_dst || z_src || e]; α via per-destination
+      // segment softmax ("implemented by the recent emerging attention
+      // mechanism", Eq. 2).
+      Tensor att_in = nn::ConcatCols(nn::ConcatCols(z_dst, z_src), efeat);
+      Tensor logits = nn::LeakyRelu(layer.attention->Forward(att_in), 0.2f);
+      alpha = nn::SegmentSoftmax(logits, dst, n);
+    } else {
+      // Uniform 1/deg weights (segment softmax of constant scores).
+      alpha = nn::SegmentSoftmax(
+          Tensor::Constant(core::Matrix(src.size(), 1)), dst, n);
+    }
+    // Weighted sum of [z_v || e], then W_A + Tanh.
+    Tensor msg_in = nn::ConcatCols(z_src, efeat);
+    Tensor weighted = nn::MulColBroadcast(msg_in, alpha);
+    Tensor summed = nn::SegmentSum(weighted, dst, n);
+    Tensor m = nn::Tanh(layer.aggregate->Forward(summed));
+    // Update: ReLU(W_U [z || m]).
+    z = nn::Relu(layer.update->Forward(nn::ConcatCols(z, m)));
+    out.layers.push_back(z);
+  }
+
+  out.readout = nn::Average(out.layers);
+  return out;
+}
+
+nn::Tensor GcnPropagate(const nn::Tensor& z,
+                        const std::vector<uint32_t>& edge_src,
+                        const std::vector<uint32_t>& edge_dst,
+                        size_t num_nodes,
+                        const std::vector<uint8_t>* keep) {
+  GARCIA_CHECK_EQ(edge_src.size(), edge_dst.size());
+  GARCIA_CHECK_EQ(z.rows(), num_nodes);
+  // Degrees over kept edges. In- and out-degree are tracked separately so
+  // asymmetric edge dropout (SGL) keeps every surviving edge weighted; on
+  // the bidirectionally-stored graph without dropout they coincide with the
+  // undirected degree.
+  std::vector<double> deg_in(num_nodes, 0.0), deg_out(num_nodes, 0.0);
+  for (size_t e = 0; e < edge_src.size(); ++e) {
+    if (keep != nullptr && !(*keep)[e]) continue;
+    deg_in[edge_dst[e]] += 1.0;
+    deg_out[edge_src[e]] += 1.0;
+  }
+  std::vector<uint32_t> src_kept, dst_kept;
+  src_kept.reserve(edge_src.size());
+  dst_kept.reserve(edge_src.size());
+  core::Matrix weights(keep == nullptr
+                           ? edge_src.size()
+                           : edge_src.size(),  // shrunk below when dropping
+                       1);
+  size_t kept = 0;
+  for (size_t e = 0; e < edge_src.size(); ++e) {
+    if (keep != nullptr && !(*keep)[e]) continue;
+    const double d = deg_out[edge_src[e]] * deg_in[edge_dst[e]];
+    weights.at(kept, 0) =
+        d > 0.0 ? static_cast<float>(1.0 / std::sqrt(d)) : 0.0f;
+    src_kept.push_back(edge_src[e]);
+    dst_kept.push_back(edge_dst[e]);
+    ++kept;
+  }
+  if (kept == 0) return Tensor::Constant(core::Matrix(num_nodes, z.cols()));
+  core::Matrix w_kept(kept, 1);
+  for (size_t e = 0; e < kept; ++e) w_kept.at(e, 0) = weights.at(e, 0);
+
+  Tensor gathered = nn::GatherRows(z, src_kept);
+  Tensor weighted =
+      nn::MulColBroadcast(gathered, Tensor::Constant(std::move(w_kept)));
+  return nn::SegmentSum(weighted, dst_kept, num_nodes);
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// GNN encoders over the service search graph.
+//
+// GarciaGnnEncoder implements Eq. 2 of the paper:
+//   Aggregate: m_q = Tanh(W_A · Σ_{v∈N_q} α_{q,v} [z_v || e_{q,v}])
+//   Update:    z_q^{l+1} = ReLU(W_U [z_q^l || m_q])
+//   Readout:   z_q = mean_l z_q^{(l)}
+// with α produced by a GAT-style attention over [z_q || z_v || e] and
+// normalized per destination via segment softmax.
+//
+// The file also provides the shared symmetric-normalized propagation used
+// by the LightGCN family of baselines.
+
+#ifndef GARCIA_MODELS_GNN_ENCODER_H_
+#define GARCIA_MODELS_GNN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/search_graph.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace garcia::models {
+
+/// Per-layer node representations of one encoding pass.
+struct GnnOutput {
+  /// layers[l] is the N x d matrix z^{(l)}, l = 0..L.
+  std::vector<nn::Tensor> layers;
+  /// Mean over layers (the readout of Eq. 2).
+  nn::Tensor readout;
+};
+
+/// The adaptive encoder of Sec. IV-A1, bound to one graph partition.
+/// Node initial states are id embeddings plus a linear projection of the
+/// node attributes (the paper initializes from "original attributes or
+/// learnable embedding table"; we use both).
+class GarciaGnnEncoder : public nn::Module {
+ public:
+  /// use_attention=false replaces the learned attention with uniform
+  /// 1/deg weights (the "attention vs mean aggregation" ablation of
+  /// DESIGN.md §5).
+  GarciaGnnEncoder(size_t num_nodes, size_t attr_dim, size_t dim,
+                   size_t num_layers, core::Rng* rng,
+                   bool use_attention = true);
+
+  /// Runs L layers over the (finalized) graph. The graph must have
+  /// num_nodes nodes and attr_dim attributes.
+  GnnOutput Encode(const graph::SearchGraph& g) const;
+
+  size_t dim() const { return dim_; }
+  size_t num_layers() const { return num_layers_; }
+
+ private:
+  size_t dim_;
+  size_t num_layers_;
+  bool use_attention_;
+  std::unique_ptr<nn::Embedding> id_embedding_;
+  std::unique_ptr<nn::Linear> attr_proj_;
+  struct Layer {
+    std::unique_ptr<nn::Linear> attention;  // [z_dst||z_src||e] -> 1
+    std::unique_ptr<nn::Linear> aggregate;  // W_A: [z_src||e] -> d
+    std::unique_ptr<nn::Linear> update;     // W_U: [z||m] -> d
+  };
+  std::vector<Layer> layers_;
+};
+
+/// One step of symmetric-normalized sum aggregation (LightGCN style):
+/// out[i] = Σ_{e: dst=i} z[src_e] / sqrt(deg(src_e) · deg(dst_e)).
+/// `keep` optionally masks edges (SGL edge dropout); degrees are computed
+/// on the kept edges.
+nn::Tensor GcnPropagate(const nn::Tensor& z,
+                        const std::vector<uint32_t>& edge_src,
+                        const std::vector<uint32_t>& edge_dst,
+                        size_t num_nodes,
+                        const std::vector<uint8_t>* keep = nullptr);
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_GNN_ENCODER_H_

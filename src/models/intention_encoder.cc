@@ -1,0 +1,81 @@
+#include "models/intention_encoder.h"
+
+#include <algorithm>
+
+namespace garcia::models {
+
+using nn::Tensor;
+
+IntentionEncoder::IntentionEncoder(const intent::IntentionForest& forest,
+                                   size_t dim, size_t levels, core::Rng* rng)
+    : forest_(forest),
+      levels_(std::clamp<size_t>(levels, 1, forest.num_levels())) {
+  GARCIA_CHECK(forest.finalized());
+  embedding_ = std::make_unique<nn::Embedding>(forest.size(), dim, rng);
+  RegisterChild(embedding_.get());
+  transform_ = std::make_unique<nn::Linear>(dim, dim, rng);
+  RegisterChild(transform_.get());
+}
+
+Tensor IntentionEncoder::Encode() const {
+  const size_t n = forest_.size();
+  Tensor z = embedding_->Table();
+
+  // Bottom-up: for each level from the deepest incorporated one to the
+  // roots, recompute that level's rows from the current table, then write
+  // them back by re-assembling the full matrix with a gather over
+  // [old rows ; new level rows].
+  for (size_t depth_plus1 = levels_; depth_plus1 > 0; --depth_plus1) {
+    const size_t depth = depth_plus1 - 1;
+    const auto& level = forest_.levels()[depth];
+    if (level.empty()) continue;
+
+    // Child-sum for this level via segment ops: one entry per (child ->
+    // position of parent in `level`).
+    std::vector<uint32_t> child_ids;
+    std::vector<uint32_t> parent_pos;
+    for (size_t p = 0; p < level.size(); ++p) {
+      for (uint32_t c : forest_.children(level[p])) {
+        // Children deeper than the level budget are excluded (H sweep).
+        if (forest_.depth(c) >= levels_) continue;
+        child_ids.push_back(c);
+        parent_pos.push_back(static_cast<uint32_t>(p));
+      }
+    }
+
+    Tensor self = nn::GatherRows(z, level);
+    Tensor summed = self;
+    if (!child_ids.empty()) {
+      Tensor child_rows = nn::GatherRows(z, child_ids);
+      Tensor child_sum = nn::SegmentSum(child_rows, parent_pos, level.size());
+      summed = nn::Add(self, child_sum);
+    }
+    Tensor updated = nn::Tanh(transform_->Forward(summed));  // σ = tanh
+
+    // Write back: new_table[i] = updated[pos] for level nodes, old row
+    // otherwise, expressed as a gather over the row-concatenation.
+    std::vector<uint32_t> perm(n);
+    for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+    for (size_t p = 0; p < level.size(); ++p) {
+      perm[level[p]] = static_cast<uint32_t>(n + p);
+    }
+    z = nn::GatherRows(nn::ConcatRows(z, updated), perm);
+  }
+  return z;
+}
+
+uint32_t IntentionEncoder::Attach(uint32_t intention) const {
+  if (forest_.depth(intention) < levels_) return intention;
+  const auto chain = forest_.AncestorChain(intention);
+  for (uint32_t node : chain) {
+    if (forest_.depth(node) < levels_) return node;
+  }
+  return chain.back();  // root (depth 0) always qualifies
+}
+
+std::vector<uint32_t> IntentionEncoder::PositiveChain(
+    uint32_t intention) const {
+  return forest_.AncestorChain(Attach(intention));
+}
+
+}  // namespace garcia::models

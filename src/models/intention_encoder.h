@@ -1,0 +1,62 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Hierarchical intention encoder (Sec. IV-A2, Eq. 3):
+//
+//   z_i^{(h+1)} = σ(W_T (z_i^{(h)} + Σ_{v ∈ children(i)} z_v^{(h)}))
+//
+// applied bottom-up from the deepest incorporated level to the roots, so
+// every intention's representation is aware of its subtree — the paper's
+// "hierarchical structure aware" representation.
+//
+// The H knob (Fig. 7) controls how many levels of the forest participate:
+// only intentions with depth < H exist for the model; queries/services
+// attached to deeper intentions are re-attached to their depth (H-1)
+// ancestor.
+
+#ifndef GARCIA_MODELS_INTENTION_ENCODER_H_
+#define GARCIA_MODELS_INTENTION_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "intent/intention_forest.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace garcia::models {
+
+class IntentionEncoder : public nn::Module {
+ public:
+  /// levels = H; clamped to the forest's actual level count.
+  IntentionEncoder(const intent::IntentionForest& forest, size_t dim,
+                   size_t levels, core::Rng* rng);
+
+  /// Encodes the whole forest; row i is z_i^T. Rows of intentions deeper
+  /// than H-1 are excluded from aggregation (their rows equal their raw
+  /// embedding and are never used by callers).
+  nn::Tensor Encode() const;
+
+  /// The deepest incorporated depth (= H-1).
+  size_t max_depth() const { return levels_ - 1; }
+  size_t levels() const { return levels_; }
+
+  /// Re-attaches an intention to its deepest ancestor within the level
+  /// budget: returns the node itself when depth(id) < H, else the ancestor
+  /// at depth H-1.
+  uint32_t Attach(uint32_t intention) const;
+
+  /// Ancestor chain of the (re-attached) intention, truncated to the level
+  /// budget — the IGCL positive set P.
+  std::vector<uint32_t> PositiveChain(uint32_t intention) const;
+
+  const intent::IntentionForest& forest() const { return forest_; }
+
+ private:
+  const intent::IntentionForest& forest_;
+  size_t levels_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::Linear> transform_;  // W_T
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_INTENTION_ENCODER_H_

@@ -1,0 +1,65 @@
+#include "models/kgat.h"
+
+namespace garcia::models {
+
+using nn::Tensor;
+
+void Kgat::BuildModules(const data::Scenario&) {
+  const size_t d = cfg_.embedding_dim;
+  relation_proj_ = std::make_unique<nn::Linear>(graph::kEdgeFeatureDim, d,
+                                                &rng_);
+  layers_.resize(cfg_.num_layers);
+  for (auto& l : layers_) {
+    l.w_sum = std::make_unique<nn::Linear>(d, d, &rng_);
+    l.w_prod = std::make_unique<nn::Linear>(d, d, &rng_);
+  }
+}
+
+std::vector<Tensor> Kgat::ExtraParameters() const {
+  std::vector<Tensor> out = relation_proj_->Parameters();
+  for (const auto& l : layers_) {
+    auto p1 = l.w_sum->Parameters();
+    auto p2 = l.w_prod->Parameters();
+    out.insert(out.end(), p1.begin(), p1.end());
+    out.insert(out.end(), p2.begin(), p2.end());
+  }
+  return out;
+}
+
+Tensor Kgat::ComputeEmbeddings() {
+  const graph::SearchGraph& g = scenario_->graph;
+  const size_t n = g.num_nodes();
+  std::vector<Tensor> outputs;
+  Tensor z = BaseEmbeddings();
+  outputs.push_back(z);
+
+  Tensor e_rel;
+  if (g.num_edges() > 0) {
+    e_rel = relation_proj_->Forward(Tensor::Constant(g.edge_features()));
+  }
+  for (size_t l = 0; l < cfg_.num_layers; ++l) {
+    if (g.num_edges() == 0) {
+      outputs.push_back(z);
+      continue;
+    }
+    Tensor z_src = nn::GatherRows(z, g.edge_src());
+    Tensor z_dst = nn::GatherRows(z, g.edge_dst());
+    // KGAT attention: pi(h, r, t) = (W z_t)^T tanh(W z_h + e_r); with W
+    // folded into the shared embedding space this is
+    // <z_src, tanh(z_dst + e_r)>, normalized per destination.
+    Tensor score = nn::RowDot(z_src, nn::Tanh(nn::Add(z_dst, e_rel)));
+    Tensor alpha = nn::SegmentSoftmax(score, g.edge_dst(), n);
+    Tensor agg =
+        nn::SegmentSum(nn::MulColBroadcast(z_src, alpha), g.edge_dst(), n);
+    // Bi-interaction aggregator: LeakyReLU(W1(z+agg)) + LeakyReLU(W2(z⊙agg)).
+    Tensor sum_part =
+        nn::LeakyRelu(layers_[l].w_sum->Forward(nn::Add(z, agg)), 0.2f);
+    Tensor prod_part =
+        nn::LeakyRelu(layers_[l].w_prod->Forward(nn::Mul(z, agg)), 0.2f);
+    z = nn::Add(sum_part, prod_part);
+    outputs.push_back(z);
+  }
+  return nn::Average(outputs);
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// KGAT baseline (Wang et al., KDD'19), adapted to the service search graph:
+// relation-aware attentive propagation (the relation embedding comes from
+// the typed edge features) with bi-interaction aggregation.
+
+#ifndef GARCIA_MODELS_KGAT_H_
+#define GARCIA_MODELS_KGAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/baseline_gnn.h"
+
+namespace garcia::models {
+
+class Kgat : public GnnBaseline {
+ public:
+  explicit Kgat(const TrainConfig& config) : GnnBaseline(config) {}
+
+  std::string name() const override { return "KGAT"; }
+
+ protected:
+  void BuildModules(const data::Scenario& s) override;
+  nn::Tensor ComputeEmbeddings() override;
+  std::vector<nn::Tensor> ExtraParameters() const override;
+
+ private:
+  std::unique_ptr<nn::Linear> relation_proj_;  // edge features -> d
+  struct Layer {
+    std::unique_ptr<nn::Linear> w_sum;   // bi-interaction: W1 (z + agg)
+    std::unique_ptr<nn::Linear> w_prod;  // bi-interaction: W2 (z ⊙ agg)
+  };
+  std::vector<Layer> layers_;
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_KGAT_H_

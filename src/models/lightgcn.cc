@@ -1,0 +1,23 @@
+#include "models/lightgcn.h"
+
+namespace garcia::models {
+
+using nn::Tensor;
+
+Tensor LightGcn::PropagateFrom(const Tensor& z0,
+                               const std::vector<uint8_t>* keep) const {
+  const graph::SearchGraph& g = scenario_->graph;
+  std::vector<Tensor> layers = {z0};
+  Tensor z = z0;
+  for (size_t l = 0; l < cfg_.num_layers; ++l) {
+    z = GcnPropagate(z, g.edge_src(), g.edge_dst(), g.num_nodes(), keep);
+    layers.push_back(z);
+  }
+  return nn::Average(layers);
+}
+
+Tensor LightGcn::ComputeEmbeddings() {
+  return PropagateFrom(BaseEmbeddings(), nullptr);
+}
+
+}  // namespace garcia::models

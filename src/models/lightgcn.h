@@ -1,0 +1,32 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// LightGCN baseline (He et al., SIGIR'20), attribute-extended per the
+// paper's setup: symmetric-normalized neighborhood sums over the service
+// search graph, layer-mean readout, no per-layer transforms.
+
+#ifndef GARCIA_MODELS_LIGHTGCN_H_
+#define GARCIA_MODELS_LIGHTGCN_H_
+
+#include <string>
+#include <vector>
+
+#include "models/baseline_gnn.h"
+
+namespace garcia::models {
+
+class LightGcn : public GnnBaseline {
+ public:
+  explicit LightGcn(const TrainConfig& config) : GnnBaseline(config) {}
+
+  std::string name() const override { return "LightGCN"; }
+
+ protected:
+  nn::Tensor ComputeEmbeddings() override;
+
+  /// Propagation with an optional edge-keep mask (SGL reuses this).
+  nn::Tensor PropagateFrom(const nn::Tensor& z0,
+                           const std::vector<uint8_t>* keep) const;
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_LIGHTGCN_H_

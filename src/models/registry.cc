@@ -1,0 +1,36 @@
+#include "models/registry.h"
+
+#include "models/garcia_model.h"
+#include "models/kgat.h"
+#include "models/lightgcn.h"
+#include "models/sgl.h"
+#include "models/simgcl.h"
+#include "models/wide_deep.h"
+
+namespace garcia::models {
+
+const std::vector<std::string>& AllModelNames() {
+  static const std::vector<std::string> kNames = {
+      "Wide&Deep", "LightGCN", "KGAT", "SGL", "SimSGL", "GARCIA"};
+  return kNames;
+}
+
+const std::vector<std::string>& BaselineModelNames() {
+  static const std::vector<std::string> kNames = {
+      "Wide&Deep", "LightGCN", "KGAT", "SGL", "SimSGL"};
+  return kNames;
+}
+
+std::unique_ptr<RankingModel> CreateModel(const std::string& name,
+                                          const TrainConfig& config) {
+  if (name == "Wide&Deep") return std::make_unique<WideDeep>(config);
+  if (name == "LightGCN") return std::make_unique<LightGcn>(config);
+  if (name == "KGAT") return std::make_unique<Kgat>(config);
+  if (name == "SGL") return std::make_unique<Sgl>(config);
+  if (name == "SimSGL") return std::make_unique<SimGcl>(config);
+  if (name == "GARCIA") return std::make_unique<GarciaModel>(config);
+  GARCIA_CHECK(false) << "unknown model: " << name;
+  return nullptr;
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,29 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Factory for the six evaluated models, keyed by the names used in the
+// paper's tables.
+
+#ifndef GARCIA_MODELS_REGISTRY_H_
+#define GARCIA_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/common.h"
+
+namespace garcia::models {
+
+/// Names in paper-table order: Wide&Deep, LightGCN, KGAT, SGL, SimSGL,
+/// GARCIA.
+const std::vector<std::string>& AllModelNames();
+
+/// Baselines only (everything except GARCIA).
+const std::vector<std::string>& BaselineModelNames();
+
+/// Creates a model by its table name. CHECK-fails on unknown names.
+std::unique_ptr<RankingModel> CreateModel(const std::string& name,
+                                          const TrainConfig& config);
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_REGISTRY_H_

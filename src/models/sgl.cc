@@ -1,0 +1,37 @@
+#include "models/sgl.h"
+
+namespace garcia::models {
+
+using nn::Tensor;
+
+Tensor Sgl::AuxiliaryLoss(core::Rng* rng) {
+  const graph::SearchGraph& g = scenario_->graph;
+  if (g.num_edges() == 0) return Tensor();
+  auto make_keep = [&] {
+    std::vector<uint8_t> keep(g.num_edges());
+    for (auto& k : keep) {
+      k = rng->Bernoulli(1.0 - cfg_.edge_dropout) ? 1 : 0;
+    }
+    return keep;
+  };
+  const std::vector<uint8_t> keep1 = make_keep();
+  const std::vector<uint8_t> keep2 = make_keep();
+  Tensor z0 = BaseEmbeddings();
+  Tensor v1 = PropagateFrom(z0, &keep1);
+  Tensor v2 = PropagateFrom(z0, &keep2);
+
+  const size_t n = g.num_nodes();
+  const size_t b = std::min(cfg_.cl_batch_size, n);
+  if (b < 2) return Tensor();
+  auto picks = rng->SampleWithoutReplacement(n, b);
+  std::vector<uint32_t> rows(picks.begin(), picks.end());
+  std::vector<uint32_t> identity(b);
+  for (size_t i = 0; i < b; ++i) identity[i] = static_cast<uint32_t>(i);
+  Tensor a = nn::GatherRows(v1, rows);
+  Tensor c = nn::GatherRows(v2, rows);
+  // SGL's canonical ssl temperature is 0.2.
+  return nn::Add(nn::InfoNce(a, c, identity, 0.2f),
+                 nn::InfoNce(c, a, identity, 0.2f));
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,59 @@
+#include "models/simgcl.h"
+
+#include <cmath>
+
+namespace garcia::models {
+
+using core::Matrix;
+using nn::Tensor;
+
+Tensor SimGcl::NoisyView(const Tensor& z0, core::Rng* rng) const {
+  const graph::SearchGraph& g = scenario_->graph;
+  std::vector<Tensor> layers;
+  Tensor z = z0;
+  for (size_t l = 0; l < cfg_.num_layers; ++l) {
+    z = GcnPropagate(z, g.edge_src(), g.edge_dst(), g.num_nodes(), nullptr);
+    // Sign-aligned uniform noise of magnitude eps per row (SimGCL Eq. 5):
+    // z' = z + eps * normalize(u) ⊙ sign(z).
+    Matrix noise(z.rows(), z.cols());
+    for (size_t i = 0; i < noise.rows(); ++i) {
+      double norm = 0.0;
+      for (size_t j = 0; j < noise.cols(); ++j) {
+        noise.at(i, j) = static_cast<float>(rng->Uniform());
+        norm += static_cast<double>(noise.at(i, j)) * noise.at(i, j);
+      }
+      norm = std::sqrt(std::max(norm, 1e-12));
+      for (size_t j = 0; j < noise.cols(); ++j) {
+        const float sign = z.value().at(i, j) >= 0.0f ? 1.0f : -1.0f;
+        noise.at(i, j) = static_cast<float>(cfg_.simgcl_eps *
+                                            (noise.at(i, j) / norm)) *
+                         sign;
+      }
+    }
+    z = nn::Add(z, Tensor::Constant(std::move(noise)));
+    layers.push_back(z);
+  }
+  return nn::Average(layers);
+}
+
+Tensor SimGcl::AuxiliaryLoss(core::Rng* rng) {
+  const graph::SearchGraph& g = scenario_->graph;
+  if (g.num_edges() == 0) return Tensor();
+  Tensor z0 = BaseEmbeddings();
+  Tensor v1 = NoisyView(z0, rng);
+  Tensor v2 = NoisyView(z0, rng);
+
+  const size_t n = g.num_nodes();
+  const size_t b = std::min(cfg_.cl_batch_size, n);
+  if (b < 2) return Tensor();
+  auto picks = rng->SampleWithoutReplacement(n, b);
+  std::vector<uint32_t> rows(picks.begin(), picks.end());
+  std::vector<uint32_t> identity(b);
+  for (size_t i = 0; i < b; ++i) identity[i] = static_cast<uint32_t>(i);
+  Tensor a = nn::GatherRows(v1, rows);
+  Tensor c = nn::GatherRows(v2, rows);
+  return nn::Add(nn::InfoNce(a, c, identity, 0.2f),
+                 nn::InfoNce(c, a, identity, 0.2f));
+}
+
+}  // namespace garcia::models

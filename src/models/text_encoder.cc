@@ -1,0 +1,67 @@
+#include "models/text_encoder.h"
+
+#include <cmath>
+
+#include "core/macros.h"
+#include "core/string_util.h"
+
+namespace garcia::models {
+
+namespace {
+
+uint64_t Fnv1a(const char* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+NgramTextEncoder::NgramTextEncoder(size_t n, size_t num_buckets)
+    : n_(n), num_buckets_(num_buckets) {
+  GARCIA_CHECK_GE(n, 1u);
+  GARCIA_CHECK_GE(num_buckets, 16u);
+}
+
+SparseVector NgramTextEncoder::Encode(const std::string& text) const {
+  SparseVector v;
+  const std::string lowered = core::ToLower(text);
+  // Boundary markers so that whole short tokens form n-grams too.
+  std::string padded = "^" + lowered + "$";
+  if (padded.size() < n_) return v;
+  for (size_t i = 0; i + n_ <= padded.size(); ++i) {
+    const uint32_t bucket = static_cast<uint32_t>(
+        Fnv1a(padded.data() + i, n_) % num_buckets_);
+    v[bucket] += 1.0f;
+  }
+  // L2 normalize.
+  double norm = 0.0;
+  for (const auto& [b, w] : v) norm += static_cast<double>(w) * w;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (auto& [b, w] : v) w = static_cast<float>(w / norm);
+  }
+  return v;
+}
+
+double NgramTextEncoder::Cosine(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [bucket, w] : small) {
+    auto it = large.find(bucket);
+    if (it != large.end()) dot += static_cast<double>(w) * it->second;
+  }
+  return dot;  // inputs are unit-norm
+}
+
+double NgramTextEncoder::Similarity(const std::string& a,
+                                    const std::string& b) const {
+  return Cosine(Encode(a), Encode(b));
+}
+
+}  // namespace garcia::models

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Character n-gram text encoder — the repo's stand-in for the paper's
+// future-work direction of "incorporating semantic-level information
+// through text mining modules (e.g., BERT)" (Sec. VI).
+//
+// Texts are embedded as L2-normalized hashed bags of character trigrams;
+// similarity is the cosine of these sparse vectors. Compared to token
+// Jaccard it is robust to sub-token overlap ("iphone" vs "phone"), the
+// failure case the paper's BERT module would address.
+
+#ifndef GARCIA_MODELS_TEXT_ENCODER_H_
+#define GARCIA_MODELS_TEXT_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace garcia::models {
+
+/// Sparse L2-normalized embedding: bucket -> weight.
+using SparseVector = std::unordered_map<uint32_t, float>;
+
+class NgramTextEncoder {
+ public:
+  /// n = n-gram length (default trigrams); num_buckets = hash space.
+  explicit NgramTextEncoder(size_t n = 3, size_t num_buckets = 1 << 16);
+
+  /// Embeds a text (lowercased; padded with boundary markers so short
+  /// tokens still produce n-grams).
+  SparseVector Encode(const std::string& text) const;
+
+  /// Cosine similarity of two texts (0 when either is empty).
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// Cosine of two precomputed embeddings.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  size_t n() const { return n_; }
+  size_t num_buckets() const { return num_buckets_; }
+
+ private:
+  size_t n_;
+  size_t num_buckets_;
+};
+
+}  // namespace garcia::models
+
+#endif  // GARCIA_MODELS_TEXT_ENCODER_H_

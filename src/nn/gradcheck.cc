@@ -1,0 +1,47 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace garcia::nn {
+
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               const std::vector<Tensor>& params, float eps,
+                               size_t stride) {
+  GARCIA_CHECK_GE(stride, 1u);
+  // Analytic pass.
+  for (const Tensor& p : params) {
+    const_cast<Tensor&>(p).ZeroGrad();
+  }
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<core::Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Tensor& p : params) {
+    analytic.push_back(p.has_grad()
+                           ? p.grad()
+                           : core::Matrix(p.rows(), p.cols()));
+  }
+
+  GradCheckResult result;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    core::Matrix& w = const_cast<Tensor&>(params[pi]).mutable_value();
+    for (size_t k = 0; k < w.size(); k += stride) {
+      const float orig = w.data()[k];
+      w.data()[k] = orig + eps;
+      const double lp = loss_fn().scalar();
+      w.data()[k] = orig - eps;
+      const double lm = loss_fn().scalar();
+      w.data()[k] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double a = analytic[pi].data()[k];
+      const double abs_err = std::fabs(a - numeric);
+      const double rel_err = abs_err / std::max(1.0, std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      ++result.checked_entries;
+    }
+  }
+  return result;
+}
+
+}  // namespace garcia::nn

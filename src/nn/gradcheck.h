@@ -1,0 +1,34 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Finite-difference gradient verification. Test-support code, but placed in
+// the library so model tests and op tests share it.
+
+#ifndef GARCIA_NN_GRADCHECK_H_
+#define GARCIA_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace garcia::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;   // max |analytic - numeric|
+  double max_rel_error = 0.0;   // scaled by max(1, |numeric|)
+  size_t checked_entries = 0;
+};
+
+/// Verifies autograd gradients of a scalar-valued function against central
+/// finite differences.
+///
+/// loss_fn must rebuild the computation (fresh tape) from the current values
+/// of `params` on every call. Every entry of every parameter is perturbed by
+/// ±eps; entries are restored afterwards. `stride` checks every k-th entry
+/// for large parameters.
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               const std::vector<Tensor>& params,
+                               float eps = 1e-3f, size_t stride = 1);
+
+}  // namespace garcia::nn
+
+#endif  // GARCIA_NN_GRADCHECK_H_

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Loss functions. All losses return 1x1 scalars averaged over the batch
+// (the paper writes sums; a constant factor that the loss weights absorb).
+
+#ifndef GARCIA_NN_LOSS_H_
+#define GARCIA_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace garcia::nn {
+
+/// Mean softmax cross-entropy over rows: L = mean_i [ logsumexp(row_i) -
+/// row_i[targets[i]] ]. Numerically stable; gradient is (softmax - onehot)/N.
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<uint32_t>& targets);
+
+/// InfoNCE (Eq. 4/5/7/9 of the paper): cosine similarity between anchors and
+/// candidates, temperature tau, candidates[targets[i]] is the positive of
+/// anchors[i], every other candidate row is a negative.
+Tensor InfoNce(const Tensor& anchors, const Tensor& candidates,
+               const std::vector<uint32_t>& targets, float tau);
+
+/// InfoNCE with an explicit per-anchor candidate mask: mask(i, j) == 1 keeps
+/// candidate j in anchor i's denominator (the positive must be kept). Used by
+/// IGCL, whose negative sets differ per anchor (Eq. 9).
+Tensor MaskedInfoNce(const Tensor& anchors, const Tensor& candidates,
+                     const std::vector<uint32_t>& targets,
+                     const core::Matrix& mask, float tau);
+
+/// Mean binary cross-entropy on logits (Eq. 13), stable form:
+/// l = max(z,0) - z y + log(1 + exp(-|z|)). targets is the same shape.
+Tensor BceWithLogits(const Tensor& logits, const core::Matrix& targets);
+
+}  // namespace garcia::nn
+
+#endif  // GARCIA_NN_LOSS_H_

@@ -1,0 +1,84 @@
+#include "nn/module.h"
+
+#include "nn/ops.h"
+
+namespace garcia::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* c : children_) {
+    auto sub = c->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+size_t Module::NumParameters() const {
+  size_t n = 0;
+  for (const Tensor& p : Parameters()) n += p.value().size();
+  return n;
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  auto dst = Parameters();
+  auto src = other.Parameters();
+  GARCIA_CHECK_EQ(dst.size(), src.size()) << "module structure mismatch";
+  for (size_t i = 0; i < dst.size(); ++i) {
+    GARCIA_CHECK_EQ(dst[i].rows(), src[i].rows());
+    GARCIA_CHECK_EQ(dst[i].cols(), src[i].cols());
+    dst[i].mutable_value() = src[i].value();
+  }
+}
+
+Tensor Module::RegisterParameter(core::Matrix init) {
+  Tensor t = Tensor::Leaf(std::move(init), /*requires_grad=*/true);
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterChild(Module* child) {
+  GARCIA_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+Linear::Linear(size_t in_dim, size_t out_dim, core::Rng* rng, bool bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight_ = RegisterParameter(core::Matrix::Xavier(in_dim, out_dim, rng));
+  if (bias) bias_ = RegisterParameter(core::Matrix(1, out_dim));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  GARCIA_CHECK_EQ(x.cols(), in_dim_);
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = AddRowBroadcast(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(size_t num_entities, size_t dim, core::Rng* rng,
+                     float init_scale) {
+  table_ = RegisterParameter(
+      core::Matrix::Randn(num_entities, dim, rng, 0.0f, init_scale));
+}
+
+Tensor Embedding::Forward(const std::vector<uint32_t>& ids) const {
+  return GatherRows(table_, ids);
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, core::Rng* rng) {
+  GARCIA_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterChild(layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+}  // namespace garcia::nn

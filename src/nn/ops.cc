@@ -1,0 +1,563 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace garcia::nn {
+
+using core::Matrix;
+using internal::TensorNode;
+
+namespace {
+
+/// Parent node i of an op output.
+TensorNode* Parent(TensorNode* out, size_t i) { return out->parents[i].get(); }
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.cols(), b.rows());
+  Matrix out = Matrix::Matmul(a.value(), b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    if (pa->requires_grad) {
+      // dA += dC @ B^T
+      Matrix::Gemm(false, true, 1.0f, n->grad, pb->value, 1.0f,
+                   &pa->EnsureGrad());
+    }
+    if (pb->requires_grad) {
+      // dB += A^T @ dC
+      Matrix::Gemm(true, false, 1.0f, pa->value, n->grad, 1.0f,
+                   &pb->EnsureGrad());
+    }
+  });
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  Matrix::Gemm(false, true, 1.0f, a.value(), b.value(), 0.0f, &out);
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    if (pa->requires_grad) {
+      // C = A B^T  =>  dA += dC @ B
+      Matrix::Gemm(false, false, 1.0f, n->grad, pb->value, 1.0f,
+                   &pa->EnsureGrad());
+    }
+    if (pb->requires_grad) {
+      // dB += dC^T @ A
+      Matrix::Gemm(true, false, 1.0f, n->grad, pa->value, 1.0f,
+                   &pb->EnsureGrad());
+    }
+  });
+}
+
+Tensor Transpose(const Tensor& x) {
+  Matrix out(x.cols(), x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) out.at(j, i) = x.value().at(i, j);
+  }
+  return Tensor::FromOp(std::move(out), {x}, [](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (!p->requires_grad) return;
+    Matrix& g = p->EnsureGrad();
+    for (size_t i = 0; i < n->grad.rows(); ++i) {
+      for (size_t j = 0; j < n->grad.cols(); ++j) {
+        g.at(j, i) += n->grad.at(i, j);
+      }
+    }
+  });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.rows(), b.rows());
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = a.value();
+  out.Add(b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* n) {
+    for (int i = 0; i < 2; ++i) {
+      TensorNode* p = Parent(n, i);
+      if (p->requires_grad) p->AccumulateGrad(n->grad);
+    }
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.rows(), b.rows());
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = a.value();
+  out.Sub(b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    if (pa->requires_grad) pa->AccumulateGrad(n->grad);
+    if (pb->requires_grad) {
+      Matrix neg = n->grad;
+      neg.Scale(-1.0f);
+      pb->AccumulateGrad(neg);
+    }
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.rows(), b.rows());
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = a.value();
+  out.Hadamard(b.value());
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    if (pa->requires_grad) {
+      Matrix g = n->grad;
+      g.Hadamard(pb->value);
+      pa->AccumulateGrad(g);
+    }
+    if (pb->requires_grad) {
+      Matrix g = n->grad;
+      g.Hadamard(pa->value);
+      pb->AccumulateGrad(g);
+    }
+  });
+}
+
+Tensor Scale(const Tensor& x, float s) {
+  Matrix out = x.value();
+  out.Scale(s);
+  return Tensor::FromOp(std::move(out), {x}, [s](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (!p->requires_grad) return;
+    Matrix g = n->grad;
+    g.Scale(s);
+    p->AccumulateGrad(g);
+  });
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) += c;
+  }
+  return Tensor::FromOp(std::move(out), {x}, [](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (p->requires_grad) p->AccumulateGrad(n->grad);
+  });
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  GARCIA_CHECK_EQ(bias.rows(), 1u);
+  GARCIA_CHECK_EQ(bias.cols(), x.cols());
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) {
+      out.at(i, j) += bias.value().at(0, j);
+    }
+  }
+  return Tensor::FromOp(std::move(out), {x, bias}, [](TensorNode* n) {
+    TensorNode* px = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    if (px->requires_grad) px->AccumulateGrad(n->grad);
+    if (pb->requires_grad) {
+      Matrix& g = pb->EnsureGrad();
+      for (size_t i = 0; i < n->grad.rows(); ++i) {
+        for (size_t j = 0; j < n->grad.cols(); ++j) {
+          g.at(0, j) += n->grad.at(i, j);
+        }
+      }
+    }
+  });
+}
+
+Tensor MulColBroadcast(const Tensor& x, const Tensor& w) {
+  GARCIA_CHECK_EQ(w.cols(), 1u);
+  GARCIA_CHECK_EQ(w.rows(), x.rows());
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    const float wi = w.value().at(i, 0);
+    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) *= wi;
+  }
+  return Tensor::FromOp(std::move(out), {x, w}, [](TensorNode* n) {
+    TensorNode* px = Parent(n, 0);
+    TensorNode* pw = Parent(n, 1);
+    if (px->requires_grad) {
+      Matrix g = n->grad;
+      for (size_t i = 0; i < g.rows(); ++i) {
+        const float wi = pw->value.at(i, 0);
+        for (size_t j = 0; j < g.cols(); ++j) g.at(i, j) *= wi;
+      }
+      px->AccumulateGrad(g);
+    }
+    if (pw->requires_grad) {
+      Matrix& g = pw->EnsureGrad();
+      for (size_t i = 0; i < n->grad.rows(); ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < n->grad.cols(); ++j) {
+          acc += static_cast<double>(n->grad.at(i, j)) * px->value.at(i, j);
+        }
+        g.at(i, 0) += static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+Tensor Average(const std::vector<Tensor>& xs) {
+  GARCIA_CHECK(!xs.empty());
+  Matrix out = xs[0].value();
+  for (size_t i = 1; i < xs.size(); ++i) {
+    GARCIA_CHECK_EQ(xs[i].rows(), out.rows());
+    GARCIA_CHECK_EQ(xs[i].cols(), out.cols());
+    out.Add(xs[i].value());
+  }
+  const float inv = 1.0f / static_cast<float>(xs.size());
+  out.Scale(inv);
+  return Tensor::FromOp(std::move(out), xs, [inv](TensorNode* n) {
+    Matrix g = n->grad;
+    g.Scale(inv);
+    for (auto& p : n->parents) {
+      if (p->requires_grad) p->AccumulateGrad(g);
+    }
+  });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.rows(), b.rows());
+  const size_t da = a.cols(), db = b.cols();
+  Matrix out(a.rows(), da + db);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    std::copy(a.value().row(i), a.value().row(i) + da, out.row(i));
+    std::copy(b.value().row(i), b.value().row(i) + db, out.row(i) + da);
+  }
+  return Tensor::FromOp(std::move(out), {a, b}, [da, db](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    if (pa->requires_grad) {
+      Matrix& g = pa->EnsureGrad();
+      for (size_t i = 0; i < g.rows(); ++i) {
+        for (size_t j = 0; j < da; ++j) g.at(i, j) += n->grad.at(i, j);
+      }
+    }
+    if (pb->requires_grad) {
+      Matrix& g = pb->EnsureGrad();
+      for (size_t i = 0; i < g.rows(); ++i) {
+        for (size_t j = 0; j < db; ++j) g.at(i, j) += n->grad.at(i, da + j);
+      }
+    }
+  });
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  const size_t ra = a.rows(), rb = b.rows();
+  Matrix out(ra + rb, a.cols());
+  for (size_t i = 0; i < ra; ++i) out.CopyRowFrom(a.value(), i, i);
+  for (size_t i = 0; i < rb; ++i) out.CopyRowFrom(b.value(), i, ra + i);
+  return Tensor::FromOp(std::move(out), {a, b}, [ra, rb](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    const size_t cols = n->grad.cols();
+    if (pa->requires_grad) {
+      Matrix& g = pa->EnsureGrad();
+      for (size_t i = 0; i < ra; ++i) {
+        for (size_t j = 0; j < cols; ++j) g.at(i, j) += n->grad.at(i, j);
+      }
+    }
+    if (pb->requires_grad) {
+      Matrix& g = pb->EnsureGrad();
+      for (size_t i = 0; i < rb; ++i) {
+        for (size_t j = 0; j < cols; ++j) g.at(i, j) += n->grad.at(ra + i, j);
+      }
+    }
+  });
+}
+
+Tensor GatherRows(const Tensor& x, std::vector<uint32_t> indices) {
+  Matrix out(indices.size(), x.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    GARCIA_CHECK_LT(indices[i], x.rows());
+    out.CopyRowFrom(x.value(), indices[i], i);
+  }
+  return Tensor::FromOp(
+      std::move(out), {x}, [idx = std::move(indices)](TensorNode* n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        Matrix& g = p->EnsureGrad();
+        const size_t cols = n->grad.cols();
+        for (size_t i = 0; i < idx.size(); ++i) {
+          float* dst = g.row(idx[i]);
+          const float* src = n->grad.row(i);
+          for (size_t j = 0; j < cols; ++j) dst[j] += src[j];
+        }
+      });
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseOp(const Tensor& x, Fwd fwd, Bwd bwd_from_in_out) {
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) = fwd(out.at(i, j));
+  }
+  return Tensor::FromOp(std::move(out), {x},
+                        [bwd_from_in_out](TensorNode* n) {
+                          TensorNode* p = Parent(n, 0);
+                          if (!p->requires_grad) return;
+                          Matrix g = n->grad;
+                          for (size_t i = 0; i < g.rows(); ++i) {
+                            for (size_t j = 0; j < g.cols(); ++j) {
+                              g.at(i, j) *= bwd_from_in_out(p->value.at(i, j),
+                                                            n->value.at(i, j));
+                            }
+                          }
+                          p->AccumulateGrad(g);
+                        });
+}
+
+}  // namespace
+
+Tensor Tanh(const Tensor& x) {
+  return ElementwiseOp(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return ElementwiseOp(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float in, float) { return in > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  return ElementwiseOp(
+      x, [slope](float v) { return v > 0.0f ? v : slope * v; },
+      [slope](float in, float) { return in > 0.0f ? 1.0f : slope; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return ElementwiseOp(
+      x,
+      [](float v) {
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor L2NormalizeRows(const Tensor& x, float eps) {
+  const size_t n = x.rows(), d = x.cols();
+  Matrix out(n, d);
+  std::vector<float> norms(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    const float* r = x.value().row(i);
+    for (size_t j = 0; j < d; ++j) s += static_cast<double>(r[j]) * r[j];
+    const float norm = static_cast<float>(std::sqrt(s));
+    norms[i] = std::max(norm, eps);
+    const float inv = norm > eps ? 1.0f / norm : 0.0f;
+    // Zero rows (norm <= eps) map to zero rows.
+    for (size_t j = 0; j < d; ++j) out.at(i, j) = r[j] * inv;
+  }
+  return Tensor::FromOp(
+      std::move(out), {x}, [norms = std::move(norms), eps](TensorNode* n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        Matrix& g = p->EnsureGrad();
+        const size_t d = n->value.cols();
+        for (size_t i = 0; i < n->value.rows(); ++i) {
+          if (norms[i] <= eps) continue;  // zero row: zero gradient
+          const float* y = n->value.row(i);
+          const float* dy = n->grad.row(i);
+          double dot = 0.0;
+          for (size_t j = 0; j < d; ++j) dot += static_cast<double>(dy[j]) * y[j];
+          const float inv = 1.0f / norms[i];
+          float* gi = g.row(i);
+          for (size_t j = 0; j < d; ++j) {
+            gi[j] += (dy[j] - static_cast<float>(dot) * y[j]) * inv;
+          }
+        }
+      });
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  Matrix out = x.value();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    float* r = out.row(i);
+    float mx = r[0];
+    for (size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < out.cols(); ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t j = 0; j < out.cols(); ++j) r[j] *= inv;
+  }
+  return Tensor::FromOp(std::move(out), {x}, [](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (!p->requires_grad) return;
+    Matrix& g = p->EnsureGrad();
+    for (size_t i = 0; i < n->value.rows(); ++i) {
+      const float* y = n->value.row(i);
+      const float* dy = n->grad.row(i);
+      double dot = 0.0;
+      for (size_t j = 0; j < n->value.cols(); ++j) {
+        dot += static_cast<double>(dy[j]) * y[j];
+      }
+      float* gi = g.row(i);
+      for (size_t j = 0; j < n->value.cols(); ++j) {
+        gi[j] += y[j] * (dy[j] - static_cast<float>(dot));
+      }
+    }
+  });
+}
+
+Tensor SumAll(const Tensor& x) {
+  Matrix out(1, 1);
+  out.at(0, 0) = static_cast<float>(x.value().Sum());
+  return Tensor::FromOp(std::move(out), {x}, [](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (!p->requires_grad) return;
+    Matrix g(p->value.rows(), p->value.cols(), n->grad.at(0, 0));
+    p->AccumulateGrad(g);
+  });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  GARCIA_CHECK_GT(x.value().size(), 0u);
+  const float inv = 1.0f / static_cast<float>(x.value().size());
+  Matrix out(1, 1);
+  out.at(0, 0) = static_cast<float>(x.value().Sum()) * inv;
+  return Tensor::FromOp(std::move(out), {x}, [inv](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (!p->requires_grad) return;
+    Matrix g(p->value.rows(), p->value.cols(), n->grad.at(0, 0) * inv);
+    p->AccumulateGrad(g);
+  });
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  GARCIA_CHECK_EQ(a.rows(), b.rows());
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), 1);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    const float* ra = a.value().row(i);
+    const float* rb = b.value().row(i);
+    for (size_t j = 0; j < a.cols(); ++j) s += static_cast<double>(ra[j]) * rb[j];
+    out.at(i, 0) = static_cast<float>(s);
+  }
+  return Tensor::FromOp(std::move(out), {a, b}, [](TensorNode* n) {
+    TensorNode* pa = Parent(n, 0);
+    TensorNode* pb = Parent(n, 1);
+    const size_t d = pa->value.cols();
+    if (pa->requires_grad) {
+      Matrix& g = pa->EnsureGrad();
+      for (size_t i = 0; i < n->grad.rows(); ++i) {
+        const float gi = n->grad.at(i, 0);
+        const float* rb = pb->value.row(i);
+        float* gr = g.row(i);
+        for (size_t j = 0; j < d; ++j) gr[j] += gi * rb[j];
+      }
+    }
+    if (pb->requires_grad) {
+      Matrix& g = pb->EnsureGrad();
+      for (size_t i = 0; i < n->grad.rows(); ++i) {
+        const float gi = n->grad.at(i, 0);
+        const float* ra = pa->value.row(i);
+        float* gr = g.row(i);
+        for (size_t j = 0; j < d; ++j) gr[j] += gi * ra[j];
+      }
+    }
+  });
+}
+
+Tensor Dropout(const Tensor& x, float p, core::Rng* rng) {
+  GARCIA_CHECK_GE(p, 0.0f);
+  GARCIA_CHECK_LT(p, 1.0f);
+  if (p == 0.0f) return Scale(x, 1.0f);
+  const float inv_keep = 1.0f / (1.0f - p);
+  Matrix mask(x.rows(), x.cols());
+  for (size_t i = 0; i < mask.rows(); ++i) {
+    for (size_t j = 0; j < mask.cols(); ++j) {
+      mask.at(i, j) = rng->Bernoulli(1.0 - p) ? inv_keep : 0.0f;
+    }
+  }
+  Matrix out = x.value();
+  out.Hadamard(mask);
+  return Tensor::FromOp(std::move(out), {x},
+                        [mask = std::move(mask)](TensorNode* n) {
+                          TensorNode* p0 = Parent(n, 0);
+                          if (!p0->requires_grad) return;
+                          Matrix g = n->grad;
+                          g.Hadamard(mask);
+                          p0->AccumulateGrad(g);
+                        });
+}
+
+Tensor SegmentSum(const Tensor& x, std::vector<uint32_t> seg,
+                  size_t num_segments) {
+  GARCIA_CHECK_EQ(seg.size(), x.rows());
+  Matrix out(num_segments, x.cols());
+  for (size_t e = 0; e < seg.size(); ++e) {
+    GARCIA_CHECK_LT(seg[e], num_segments);
+    float* dst = out.row(seg[e]);
+    const float* src = x.value().row(e);
+    for (size_t j = 0; j < x.cols(); ++j) dst[j] += src[j];
+  }
+  return Tensor::FromOp(std::move(out), {x},
+                        [seg = std::move(seg)](TensorNode* n) {
+                          TensorNode* p = Parent(n, 0);
+                          if (!p->requires_grad) return;
+                          Matrix& g = p->EnsureGrad();
+                          const size_t cols = g.cols();
+                          for (size_t e = 0; e < seg.size(); ++e) {
+                            const float* src = n->grad.row(seg[e]);
+                            float* dst = g.row(e);
+                            for (size_t j = 0; j < cols; ++j) dst[j] += src[j];
+                          }
+                        });
+}
+
+Tensor SegmentSoftmax(const Tensor& scores, std::vector<uint32_t> seg,
+                      size_t num_segments) {
+  GARCIA_CHECK_EQ(scores.cols(), 1u);
+  GARCIA_CHECK_EQ(seg.size(), scores.rows());
+  const size_t e_count = seg.size();
+  std::vector<float> seg_max(num_segments, -1e30f);
+  for (size_t e = 0; e < e_count; ++e) {
+    GARCIA_CHECK_LT(seg[e], num_segments);
+    seg_max[seg[e]] = std::max(seg_max[seg[e]], scores.value().at(e, 0));
+  }
+  std::vector<double> seg_sum(num_segments, 0.0);
+  Matrix out(e_count, 1);
+  for (size_t e = 0; e < e_count; ++e) {
+    out.at(e, 0) = std::exp(scores.value().at(e, 0) - seg_max[seg[e]]);
+    seg_sum[seg[e]] += out.at(e, 0);
+  }
+  for (size_t e = 0; e < e_count; ++e) {
+    out.at(e, 0) = static_cast<float>(out.at(e, 0) / seg_sum[seg[e]]);
+  }
+  const size_t ns = num_segments;
+  return Tensor::FromOp(
+      std::move(out), {scores}, [seg = std::move(seg), ns](TensorNode* n) {
+        TensorNode* p = Parent(n, 0);
+        if (!p->requires_grad) return;
+        // dscore_e = α_e (dα_e − Σ_{e' in same segment} dα_{e'} α_{e'})
+        std::vector<double> seg_dot(ns, 0.0);
+        for (size_t e = 0; e < seg.size(); ++e) {
+          seg_dot[seg[e]] += static_cast<double>(n->grad.at(e, 0)) *
+                             n->value.at(e, 0);
+        }
+        Matrix& g = p->EnsureGrad();
+        for (size_t e = 0; e < seg.size(); ++e) {
+          g.at(e, 0) += n->value.at(e, 0) *
+                        (n->grad.at(e, 0) -
+                         static_cast<float>(seg_dot[seg[e]]));
+        }
+      });
+}
+
+}  // namespace garcia::nn

@@ -1,0 +1,106 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace garcia::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    GARCIA_CHECK(p.requires_grad()) << "optimizer given a non-trainable tensor";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Tensor& p : params_) {
+      velocity_.emplace_back(p.rows(), p.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.has_grad()) continue;
+    const core::Matrix& g = p.grad();
+    core::Matrix& w = p.mutable_value();
+    if (momentum_ != 0.0f) {
+      core::Matrix& v = velocity_[i];
+      for (size_t k = 0; k < w.size(); ++k) {
+        v.data()[k] = momentum_ * v.data()[k] + g.data()[k];
+        w.data()[k] -= lr_ * v.data()[k];
+      }
+    } else {
+      for (size_t k = 0; k < w.size(); ++k) {
+        w.data()[k] -= lr_ * g.data()[k];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float step_size = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.has_grad()) continue;
+    const core::Matrix& g = p.grad();
+    core::Matrix& w = p.mutable_value();
+    core::Matrix& m = m_[i];
+    core::Matrix& v = v_[i];
+    for (size_t k = 0; k < w.size(); ++k) {
+      float gk = g.data()[k];
+      if (weight_decay_ != 0.0f) gk += weight_decay_ * w.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0f - beta1_) * gk;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0f - beta2_) * gk * gk;
+      w.data()[k] -=
+          step_size * m.data()[k] / (std::sqrt(v.data()[k]) + eps_);
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    if (!p.has_grad()) continue;
+    const core::Matrix& g = p.grad();
+    for (size_t k = 0; k < g.size(); ++k) {
+      sq += static_cast<double>(g.data()[k]) * g.data()[k];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const Tensor& p : params) {
+      if (!p.has_grad()) continue;
+      const_cast<core::Matrix&>(p.grad()).Scale(scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace garcia::nn

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// First-order optimizers over leaf parameter tensors.
+
+#ifndef GARCIA_NN_OPTIMIZER_H_
+#define GARCIA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace garcia::nn {
+
+/// Base optimizer; owns the parameter list and the zero-grad step.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently accumulated gradients.
+  /// Parameters without an accumulated gradient are skipped.
+  virtual void Step() = 0;
+
+  /// Zeroes accumulated gradients (keeps allocations).
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<core::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay. The paper trains
+/// every model with Adam.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<core::Matrix> m_;
+  std::vector<core::Matrix> v_;
+};
+
+/// Rescales gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+}  // namespace garcia::nn
+
+#endif  // GARCIA_NN_OPTIMIZER_H_

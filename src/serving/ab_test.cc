@@ -1,0 +1,82 @@
+#include "serving/ab_test.h"
+
+#include "core/rng.h"
+
+namespace garcia::serving {
+
+double AbTestResult::CtrImprovement(size_t day) const {
+  return treatment[day].ctr - baseline[day].ctr;
+}
+
+double AbTestResult::ValidCtrImprovement(size_t day) const {
+  return treatment[day].valid_ctr - baseline[day].valid_ctr;
+}
+
+double AbTestResult::MeanCtrImprovement() const {
+  double s = 0.0;
+  for (size_t d = 0; d < baseline.size(); ++d) s += CtrImprovement(d);
+  return baseline.empty() ? 0.0 : s / baseline.size();
+}
+
+double AbTestResult::MeanValidCtrImprovement() const {
+  double s = 0.0;
+  for (size_t d = 0; d < baseline.size(); ++d) s += ValidCtrImprovement(d);
+  return baseline.empty() ? 0.0 : s / baseline.size();
+}
+
+namespace {
+
+/// Simulates one request against one arm; returns {clicked, valid}.
+std::pair<bool, bool> SimulateRequest(const data::Scenario& s,
+                                      const Ranker& ranker, uint32_t query,
+                                      const AbTestConfig& cfg,
+                                      core::Rng* rng) {
+  const RankedList list = ranker.Rank(query, cfg.top_k);
+  double examine = 1.0;
+  for (const auto& [service, score] : list) {
+    if (rng->Bernoulli(examine * s.TrueClickProbability(query, service))) {
+      // Second-stage "valid" click: conversion odds grow with quality.
+      const double p_valid = 0.25 + 0.6 * s.services[service].quality;
+      return {true, rng->Bernoulli(p_valid)};
+    }
+    examine *= cfg.position_decay;
+  }
+  return {false, false};
+}
+
+}  // namespace
+
+AbTestResult RunAbTest(const data::Scenario& scenario, const Ranker& baseline,
+                       const Ranker& treatment, const AbTestConfig& config) {
+  core::Rng traffic_rng(config.seed);
+  core::ZipfSampler traffic(scenario.num_queries(),
+                            scenario.config.zipf_exponent);
+  AbTestResult result;
+  result.baseline.resize(config.num_days);
+  result.treatment.resize(config.num_days);
+  for (size_t day = 0; day < config.num_days; ++day) {
+    size_t clicks_a = 0, valid_a = 0, clicks_b = 0, valid_b = 0;
+    for (size_t r = 0; r < config.requests_per_day; ++r) {
+      const uint32_t query =
+          static_cast<uint32_t>(traffic.Sample(&traffic_rng));
+      // Paired buckets: identical query and an identically-seeded user for
+      // both arms, so day-level noise cancels.
+      core::Rng user_a = traffic_rng.Fork();
+      core::Rng user_b = user_a;  // same user behavior stream
+      auto [ca, va] = SimulateRequest(scenario, baseline, query, config,
+                                      &user_a);
+      auto [cb, vb] = SimulateRequest(scenario, treatment, query, config,
+                                      &user_b);
+      clicks_a += ca;
+      valid_a += va;
+      clicks_b += cb;
+      valid_b += vb;
+    }
+    const double n = static_cast<double>(config.requests_per_day);
+    result.baseline[day] = {clicks_a / n, valid_a / n};
+    result.treatment[day] = {clicks_b / n, valid_b / n};
+  }
+  return result;
+}
+
+}  // namespace garcia::serving

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Online A/B bucket-test simulator (Sec. V-F2, Fig. 10).
+//
+// The paper's production experiment is substituted by a simulated user
+// population (see DESIGN.md): traffic follows the scenario's Zipf query
+// distribution; each request shows the arm's top-K list; the user clicks
+// according to the scenario's latent ground-truth click model with a
+// position-discount cascade; a click converts to a "valid" click (the
+// paper's Valid CTR / CVR analogue) with probability increasing in the
+// service's quality. Both arms face identical sampled requests (paired
+// buckets), isolating the ranker effect.
+
+#ifndef GARCIA_SERVING_AB_TEST_H_
+#define GARCIA_SERVING_AB_TEST_H_
+
+#include <vector>
+
+#include "data/scenario.h"
+#include "serving/ranking_service.h"
+
+namespace garcia::serving {
+
+struct AbTestConfig {
+  size_t num_days = 7;              // paper: 2022/10/01 - 2022/10/07
+  size_t requests_per_day = 4000;
+  size_t top_k = 10;                // list length shown to the user
+  double position_decay = 0.85;     // examination prob multiplier per rank
+  uint64_t seed = 1001;
+};
+
+/// One arm's daily outcome.
+struct DailyMetrics {
+  double ctr = 0.0;
+  double valid_ctr = 0.0;
+};
+
+struct AbTestResult {
+  std::vector<DailyMetrics> baseline;   // per day
+  std::vector<DailyMetrics> treatment;  // per day
+
+  /// Absolute improvement (treatment - baseline), as reported in Fig. 10.
+  double CtrImprovement(size_t day) const;
+  double ValidCtrImprovement(size_t day) const;
+  double MeanCtrImprovement() const;
+  double MeanValidCtrImprovement() const;
+};
+
+/// Runs the paired bucket test.
+AbTestResult RunAbTest(const data::Scenario& scenario, const Ranker& baseline,
+                       const Ranker& treatment, const AbTestConfig& config);
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_AB_TEST_H_

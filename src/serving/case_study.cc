@@ -1,0 +1,62 @@
+#include "serving/case_study.h"
+
+#include <algorithm>
+
+namespace garcia::serving {
+
+double CaseStudy::MeanMau(const std::vector<CaseStudyEntry>& list) {
+  if (list.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& e : list) s += static_cast<double>(e.mau);
+  return s / list.size();
+}
+
+double CaseStudy::MeanRating(const std::vector<CaseStudyEntry>& list) {
+  if (list.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& e : list) s += e.rating;
+  return s / list.size();
+}
+
+namespace {
+
+std::vector<CaseStudyEntry> Annotate(const data::Scenario& s,
+                                     const RankedList& list) {
+  std::vector<CaseStudyEntry> out;
+  out.reserve(list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    const uint32_t svc = list[i].first;
+    const data::ServiceMeta& m = s.services[svc];
+    out.push_back({static_cast<uint32_t>(i + 1), svc, m.name, m.mau,
+                   m.rating});
+  }
+  return out;
+}
+
+}  // namespace
+
+CaseStudy BuildCaseStudy(const data::Scenario& scenario,
+                         const Ranker& baseline, const Ranker& treatment,
+                         uint32_t query, size_t k) {
+  GARCIA_CHECK_LT(query, scenario.num_queries());
+  CaseStudy cs;
+  cs.query = query;
+  cs.query_text = scenario.query_text[query];
+  cs.baseline = Annotate(scenario, baseline.Rank(query, k));
+  cs.treatment = Annotate(scenario, treatment.Rank(query, k));
+  return cs;
+}
+
+std::vector<uint32_t> PickTailCaseQueries(const data::Scenario& scenario,
+                                          size_t count) {
+  // Tail queries with the most exposure among tails: rare but real queries,
+  // like the paper's "Iphone rental".
+  std::vector<uint32_t> tails = scenario.split.tail_queries;
+  std::stable_sort(tails.begin(), tails.end(), [&](uint32_t a, uint32_t b) {
+    return scenario.query_exposure[a] > scenario.query_exposure[b];
+  });
+  if (tails.size() > count) tails.resize(count);
+  return tails;
+}
+
+}  // namespace garcia::serving

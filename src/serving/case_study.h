@@ -1,0 +1,47 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Case-study report (Sec. V-F3, Fig. 11): for a tail query, the top-K lists
+// of two rankers annotated with each service's MAU and authoritative
+// rating, plus the aggregate quality measures used to compare them.
+
+#ifndef GARCIA_SERVING_CASE_STUDY_H_
+#define GARCIA_SERVING_CASE_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/scenario.h"
+#include "serving/ranking_service.h"
+
+namespace garcia::serving {
+
+struct CaseStudyEntry {
+  uint32_t rank = 0;  // 1-based
+  uint32_t service = 0;
+  std::string name;
+  uint64_t mau = 0;
+  int rating = 1;
+};
+
+struct CaseStudy {
+  uint32_t query = 0;
+  std::string query_text;
+  std::vector<CaseStudyEntry> baseline;
+  std::vector<CaseStudyEntry> treatment;
+
+  /// Mean MAU / rating of a list — the quality signals Fig. 11 shades.
+  static double MeanMau(const std::vector<CaseStudyEntry>& list);
+  static double MeanRating(const std::vector<CaseStudyEntry>& list);
+};
+
+CaseStudy BuildCaseStudy(const data::Scenario& scenario,
+                         const Ranker& baseline, const Ranker& treatment,
+                         uint32_t query, size_t k);
+
+/// Picks representative tail queries: low exposure but non-trivial traffic,
+/// sorted for determinism. Returns up to `count` query ids.
+std::vector<uint32_t> PickTailCaseQueries(const data::Scenario& scenario,
+                                          size_t count);
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_CASE_STUDY_H_

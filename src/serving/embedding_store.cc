@@ -1,0 +1,52 @@
+#include "serving/embedding_store.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace garcia::serving {
+
+namespace {
+constexpr char kMagic[4] = {'G', 'E', 'M', 'B'};
+}
+
+const float* EmbeddingStore::vector(uint32_t id) const {
+  GARCIA_CHECK_LT(id, embeddings_.rows());
+  return embeddings_.row(id);
+}
+
+core::Status EmbeddingStore::Save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return core::Status::IoError("cannot open " + path);
+  f.write(kMagic, 4);
+  const uint64_t rows = embeddings_.rows();
+  const uint64_t cols = embeddings_.cols();
+  f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  f.write(reinterpret_cast<const char*>(embeddings_.data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  if (!f) return core::Status::IoError("write failed for " + path);
+  return core::Status::Ok();
+}
+
+core::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return core::Status::IoError("cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0) {
+    return core::Status::InvalidArgument(path + " is not an embedding store");
+  }
+  uint64_t rows = 0, cols = 0;
+  f.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  f.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!f || rows * cols == 0 || rows > (1ull << 32) || cols > (1ull << 16)) {
+    return core::Status::InvalidArgument("corrupt embedding store header");
+  }
+  core::Matrix m(rows, cols);
+  f.read(reinterpret_cast<char*>(m.data()),
+         static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  if (!f) return core::Status::IoError("truncated embedding store " + path);
+  return EmbeddingStore(std::move(m));
+}
+
+}  // namespace garcia::serving

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Persistent embedding store: the offline-to-online hand-off of Fig. 9
+// ("embedding inference for queries and services is daily executed for
+// online serving"). Binary format with a small header; load verifies shape.
+
+#ifndef GARCIA_SERVING_EMBEDDING_STORE_H_
+#define GARCIA_SERVING_EMBEDDING_STORE_H_
+
+#include <string>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace garcia::serving {
+
+/// Row i holds entity i's embedding.
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+  explicit EmbeddingStore(core::Matrix embeddings)
+      : embeddings_(std::move(embeddings)) {}
+
+  size_t size() const { return embeddings_.rows(); }
+  size_t dim() const { return embeddings_.cols(); }
+  bool empty() const { return embeddings_.empty(); }
+
+  const core::Matrix& matrix() const { return embeddings_; }
+  const float* vector(uint32_t id) const;
+
+  /// Binary serialization ("GEMB" magic + dims + row-major floats).
+  core::Status Save(const std::string& path) const;
+  static core::Result<EmbeddingStore> Load(const std::string& path);
+
+ private:
+  core::Matrix embeddings_;
+};
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_EMBEDDING_STORE_H_

@@ -1,0 +1,50 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Online ranking module (Fig. 9): "once a new-coming user issues a request,
+// efficient embedding retrieval and similarity calculation are successively
+// employed ... the system only keeps top K services with the highest
+// similarities".
+
+#ifndef GARCIA_SERVING_RANKING_SERVICE_H_
+#define GARCIA_SERVING_RANKING_SERVICE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "serving/embedding_store.h"
+
+namespace garcia::serving {
+
+/// (service id, score), sorted by descending score.
+using RankedList = std::vector<std::pair<uint32_t, float>>;
+
+/// Exact inner-product top-K over a candidate matrix.
+RankedList TopKInnerProduct(const float* query_vec, size_t dim,
+                            const core::Matrix& candidates, size_t k);
+
+/// Anything that can rank services for a query (A/B arms implement this).
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+  virtual RankedList Rank(uint32_t query, size_t k) const = 0;
+};
+
+/// Embedding-retrieval ranker: score(q, s) = <z_q, z_s> (the paper's online
+/// inner-product variant of Eq. 12).
+class EmbeddingRanker : public Ranker {
+ public:
+  EmbeddingRanker(EmbeddingStore queries, EmbeddingStore services);
+
+  RankedList Rank(uint32_t query, size_t k) const override;
+
+  size_t num_queries() const { return queries_.size(); }
+  size_t num_services() const { return services_.size(); }
+
+ private:
+  EmbeddingStore queries_;
+  EmbeddingStore services_;
+};
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_RANKING_SERVICE_H_

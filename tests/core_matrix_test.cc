@@ -1,0 +1,167 @@
+#include "core/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace garcia::core {
+namespace {
+
+TEST(MatrixTest, ConstructAndFill) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(m.at(i, j), 1.5f);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_FLOAT_EQ(i.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(i.at(0, 1), 0.0f);
+  Matrix m({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_TRUE(Matrix::Matmul(m, i).AllClose(m));
+  EXPECT_TRUE(Matrix::Matmul(i, m).AllClose(m));
+}
+
+TEST(MatrixTest, MatmulKnownValues) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  Matrix c = Matrix::Matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatrixTest, MatmulRectangular) {
+  Matrix a({{1, 0, 2}, {0, 3, 0}});  // 2x3
+  Matrix b({{1, 1}, {2, 0}, {0, 1}});  // 3x2
+  Matrix c = Matrix::Matmul(a, b);     // 2x2
+  EXPECT_TRUE(c.AllClose(Matrix({{1, 3}, {6, 0}})));
+}
+
+TEST(MatrixTest, GemmTransposeA) {
+  Matrix a({{1, 2}, {3, 4}, {5, 6}});  // 3x2 -> A^T is 2x3
+  Matrix b({{1, 0}, {0, 1}, {1, 1}});  // 3x2
+  Matrix c(2, 2);
+  Matrix::Gemm(true, false, 1.0f, a, b, 0.0f, &c);
+  // A^T B = [[1+5, 3+5],[2+6, 4+6]] = [[6,8],[8,10]]
+  EXPECT_TRUE(c.AllClose(Matrix({{6, 8}, {8, 10}})));
+}
+
+TEST(MatrixTest, GemmTransposeB) {
+  Matrix a({{1, 2, 3}});            // 1x3
+  Matrix b({{1, 1, 1}, {0, 1, 2}});  // 2x3 -> B^T is 3x2
+  Matrix c(1, 2);
+  Matrix::Gemm(false, true, 1.0f, a, b, 0.0f, &c);
+  EXPECT_TRUE(c.AllClose(Matrix({{6, 8}})));
+}
+
+TEST(MatrixTest, GemmBothTransposed) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  Matrix c(2, 2);
+  Matrix::Gemm(true, true, 1.0f, a, b, 0.0f, &c);
+  // A^T B^T = (B A)^T; B A = [[23,34],[31,46]]; transpose = [[23,31],[34,46]]
+  EXPECT_TRUE(c.AllClose(Matrix({{23, 31}, {34, 46}})));
+}
+
+TEST(MatrixTest, GemmAlphaBeta) {
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix b({{2, 0}, {0, 2}});
+  Matrix c({{1, 1}, {1, 1}});
+  Matrix::Gemm(false, false, 3.0f, a, b, 0.5f, &c);
+  // 3*I*2I + 0.5*ones = [[6.5, .5],[.5, 6.5]]
+  EXPECT_TRUE(c.AllClose(Matrix({{6.5, 0.5}, {0.5, 6.5}})));
+}
+
+TEST(MatrixTest, GemmMatchesNaiveOnRandom) {
+  Rng rng(101);
+  const size_t m = 17, k = 23, n = 13;
+  Matrix a = Matrix::Randn(m, k, &rng);
+  Matrix b = Matrix::Randn(k, n, &rng);
+  Matrix c = Matrix::Matmul(a, b);
+  for (size_t i = 0; i < m; i += 5) {
+    for (size_t j = 0; j < n; j += 4) {
+      double acc = 0.0;
+      for (size_t l = 0; l < k; ++l) acc += a.at(i, l) * b.at(l, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-4);
+    }
+  }
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{10, 20}, {30, 40}});
+  a.Add(b);
+  EXPECT_TRUE(a.AllClose(Matrix({{11, 22}, {33, 44}})));
+  a.Sub(b);
+  EXPECT_TRUE(a.AllClose(Matrix({{1, 2}, {3, 4}})));
+  a.Scale(2.0f);
+  EXPECT_TRUE(a.AllClose(Matrix({{2, 4}, {6, 8}})));
+  a.Hadamard(Matrix({{1, 0}, {0, 1}}));
+  EXPECT_TRUE(a.AllClose(Matrix({{2, 0}, {0, 8}})));
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m({{3, -4}, {0, 12}});
+  EXPECT_DOUBLE_EQ(m.Sum(), 11.0);
+  EXPECT_NEAR(m.FrobeniusNorm(), 13.0, 1e-6);
+  EXPECT_FLOAT_EQ(m.AbsMax(), 12.0f);
+}
+
+TEST(MatrixTest, CopyRowFrom) {
+  Matrix src({{1, 2}, {3, 4}});
+  Matrix dst(3, 2);
+  dst.CopyRowFrom(src, 1, 2);
+  EXPECT_FLOAT_EQ(dst.at(2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(dst.at(2, 1), 4.0f);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, AllCloseShapeMismatch) {
+  EXPECT_FALSE(Matrix(2, 2).AllClose(Matrix(2, 3)));
+}
+
+TEST(MatrixTest, XavierBounds) {
+  Rng rng(7);
+  Matrix m = Matrix::Xavier(64, 32, &rng);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  EXPECT_LE(m.AbsMax(), bound + 1e-6f);
+  EXPECT_GT(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(MatrixTest, RandnMoments) {
+  Rng rng(9);
+  Matrix m = Matrix::Randn(200, 200, &rng);
+  EXPECT_NEAR(m.Sum() / m.size(), 0.0, 0.02);
+  const double var = m.FrobeniusNorm() * m.FrobeniusNorm() / m.size();
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(MatrixTest, ToStringSmall) {
+  Matrix m({{1, 2}});
+  EXPECT_NE(m.ToString().find("Matrix(1x2)"), std::string::npos);
+}
+
+TEST(MatrixTest, EmptyMatmul) {
+  Matrix a(0, 3), b(3, 0);
+  Matrix c = Matrix::Matmul(a, b);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace garcia::core

@@ -1,0 +1,195 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace garcia::core {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit with 1000 draws
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.UniformInt(int64_t{-3}, int64_t{3});
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    lo_seen |= (x == -3);
+    hi_seen |= (x == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // 50! permutations; identity is essentially impossible
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto s = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (size_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextU64() == child.NextU64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler z(1000, 1.1);
+  double sum = 0.0;
+  for (size_t k = 0; k < z.n(); ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfMonotoneDecreasing) {
+  ZipfSampler z(100, 1.0);
+  for (size_t k = 1; k < 100; ++k) EXPECT_LE(z.Pmf(k), z.Pmf(k - 1) + 1e-12);
+}
+
+TEST(ZipfSamplerTest, HeadDominates) {
+  // The defining long-tail property: top 1% of ranks captures a large
+  // fraction of the mass when s > 1.
+  ZipfSampler z(10000, 1.2);
+  double head_mass = 0.0;
+  for (size_t k = 0; k < 100; ++k) head_mass += z.Pmf(k);
+  EXPECT_GT(head_mass, 0.6);
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesPmf) {
+  ZipfSampler z(50, 1.0);
+  Rng rng(41);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(&rng)]++;
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.Pmf(k), 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler a(w);
+  Rng rng(43);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[a.Sample(&rng)]++;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler a({0.0, 1.0, 0.0, 1.0});
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    size_t s = a.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  AliasSampler a({5.0});
+  Rng rng(53);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace garcia::core

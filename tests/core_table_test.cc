@@ -1,0 +1,69 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace garcia::core {
+namespace {
+
+TEST(TableTest, HeaderAndRows) {
+  Table t({"Model", "AUC"});
+  t.AddRow({"GARCIA", "0.9320"});
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0)[0], "GARCIA");
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"Model", "Head", "Tail"});
+  t.AddNumericRow("GARCIA", {0.93613, 0.82849}, 4);
+  EXPECT_EQ(t.row(0)[1], "0.9361");
+  EXPECT_EQ(t.row(0)[2], "0.8285");
+}
+
+TEST(TableTest, AsciiAlignment) {
+  Table t({"A", "LongHeader"});
+  t.AddRow({"xxxx", "y"});
+  std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("| A    | LongHeader |"), std::string::npos);
+  EXPECT_NE(ascii.find("| xxxx | y          |"), std::string::npos);
+  EXPECT_NE(ascii.find("|------|"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"name", "value"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainFieldsUnquoted) {
+  Table t({"x"});
+  t.AddRow({"plain"});
+  EXPECT_EQ(t.ToCsv(), "x\nplain\n");
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.AddRow({"a", "1"});
+  const std::string path = "/tmp/garcia_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,1");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir/t.csv").ok());
+}
+
+}  // namespace
+}  // namespace garcia::core

@@ -1,0 +1,122 @@
+// Property tests on the synthetic feedback stream: the statistical
+// guarantees the experiments rely on (Zipf exposure ordering, chronology,
+// split fractions, graph/feedback consistency).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/scenario.h"
+
+namespace garcia::data {
+namespace {
+
+class FeedbackTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static Scenario Make(uint64_t event_seed) {
+    ScenarioConfig cfg;
+    cfg.name = "feedback";
+    cfg.num_queries = 300;
+    cfg.num_services = 100;
+    cfg.num_intentions = 50;
+    cfg.num_trees = 5;
+    cfg.num_impressions = 20000;
+    cfg.event_seed = event_seed;
+    return GenerateScenario(cfg);
+  }
+};
+
+TEST_P(FeedbackTest, ExposureFollowsZipfRankOrderStochastically) {
+  Scenario s = Make(GetParam());
+  // Query ids are popularity ranks; aggregate exposure over coarse rank
+  // buckets must decrease.
+  uint64_t bucket[3] = {0, 0, 0};
+  for (uint32_t q = 0; q < 300; ++q) {
+    bucket[q < 3 ? 0 : (q < 30 ? 1 : 2)] += s.query_exposure[q];
+  }
+  EXPECT_GT(bucket[0], bucket[1]);  // top 3 out-pull next 27
+  EXPECT_GT(bucket[0], bucket[2]);  // ... and the remaining 270
+}
+
+TEST_P(FeedbackTest, AllDaysCovered) {
+  Scenario s = Make(GetParam());
+  std::set<uint16_t> days;
+  for (const Example& e : s.train) days.insert(e.day);
+  EXPECT_EQ(days.size(), s.config.num_days);
+}
+
+TEST_P(FeedbackTest, SplitFractionsApproximate) {
+  Scenario s = Make(GetParam());
+  const double n = static_cast<double>(s.config.num_impressions);
+  EXPECT_NEAR(s.validation.size() / n, s.config.validation_fraction, 0.02);
+  EXPECT_NEAR(s.test.size() / n, s.config.test_fraction, 0.02);
+}
+
+TEST_P(FeedbackTest, InteractionEdgesComeFromClickedTrainPairs) {
+  Scenario s = Make(GetParam());
+  std::unordered_set<uint64_t> clicked_pairs;
+  for (const Example& e : s.train) {
+    if (e.label > 0.5f) {
+      clicked_pairs.insert((static_cast<uint64_t>(e.query) << 32) |
+                           e.service);
+    }
+  }
+  for (const graph::Edge& e : s.graph.edges()) {
+    if (!s.graph.IsQueryNode(e.src)) continue;
+    if (e.kind != graph::EdgeKind::kInteraction) continue;
+    const uint64_t key = (static_cast<uint64_t>(e.src) << 32) |
+                         s.graph.ServiceIdOf(e.dst);
+    EXPECT_TRUE(clicked_pairs.count(key))
+        << "interaction edge without a clicked train example";
+  }
+}
+
+TEST_P(FeedbackTest, CorrelationEdgesShareAKey) {
+  Scenario s = Make(GetParam());
+  for (const graph::Edge& e : s.graph.edges()) {
+    if (!s.graph.IsQueryNode(e.src)) continue;
+    if (e.kind != graph::EdgeKind::kCorrelation) continue;
+    const uint32_t q = e.src;
+    const uint32_t svc = s.graph.ServiceIdOf(e.dst);
+    EXPECT_NE(s.query_keys[q].SharedWith(s.service_keys[svc]), 0);
+    EXPECT_EQ(e.corr_mask,
+              s.query_keys[q].SharedWith(s.service_keys[svc]));
+  }
+}
+
+TEST_P(FeedbackTest, CtrEdgeFeatureWithinUnitInterval) {
+  Scenario s = Make(GetParam());
+  const auto& feats = s.graph.edge_features();
+  for (size_t e = 0; e < feats.rows(); ++e) {
+    EXPECT_GE(feats.at(e, 0), 0.0f);
+    EXPECT_LE(feats.at(e, 0), 1.0f);
+  }
+}
+
+TEST_P(FeedbackTest, ObservedCtrTracksLatentModelCoarsely) {
+  // Group impressions by true-probability decile; empirical click rates
+  // must be monotone across well-populated deciles.
+  Scenario s = Make(GetParam());
+  double clicks[4] = {0, 0, 0, 0};
+  double counts[4] = {0, 0, 0, 0};
+  for (const Example& e : s.train) {
+    const double p = s.TrueClickProbability(e.query, e.service);
+    const int b = p < 0.25 ? 0 : (p < 0.5 ? 1 : (p < 0.75 ? 2 : 3));
+    clicks[b] += e.label;
+    counts[b] += 1.0;
+  }
+  double prev = -1.0;
+  for (int b = 0; b < 4; ++b) {
+    if (counts[b] < 100) continue;
+    const double rate = clicks[b] / counts[b];
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeedbackTest,
+                         ::testing::Values(2u, 77u, 20220901u));
+
+}  // namespace
+}  // namespace garcia::data

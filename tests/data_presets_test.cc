@@ -1,0 +1,92 @@
+#include "data/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+
+namespace garcia::data {
+namespace {
+
+constexpr double kTestScale = 0.25;  // keep preset tests fast
+
+TEST(PresetsTest, SixDatasetsInPaperOrder) {
+  ASSERT_EQ(AllDatasets().size(), 6u);
+  EXPECT_EQ(DatasetName(AllDatasets()[0]), "Sep. A");
+  EXPECT_EQ(DatasetName(AllDatasets()[3]), "Software");
+  EXPECT_EQ(IndustrialDatasets().size(), 3u);
+  EXPECT_EQ(PublicDatasets().size(), 3u);
+}
+
+TEST(PresetsTest, IndustrialWindowsSharePopulation) {
+  auto a = PresetConfig(DatasetId::kSepA);
+  auto b = PresetConfig(DatasetId::kSepB);
+  auto c = PresetConfig(DatasetId::kSepC);
+  EXPECT_EQ(a.entity_seed, b.entity_seed);
+  EXPECT_EQ(b.entity_seed, c.entity_seed);
+  EXPECT_NE(a.event_seed, b.event_seed);
+  EXPECT_NE(b.event_seed, c.event_seed);
+}
+
+TEST(PresetsTest, HeadFractionsMatchPaperTable1) {
+  EXPECT_NEAR(PresetConfig(DatasetId::kSoftware).head_fraction, 0.1095, 1e-9);
+  EXPECT_NEAR(PresetConfig(DatasetId::kVideoGame).head_fraction, 0.0362,
+              1e-9);
+  EXPECT_NEAR(PresetConfig(DatasetId::kMusic).head_fraction, 0.0363, 1e-9);
+  // Industrial: paper reports 1.18%-1.51% head queries.
+  const double f = PresetConfig(DatasetId::kSepA).head_fraction;
+  EXPECT_GT(f, 0.008);
+  EXPECT_LT(f, 0.02);
+}
+
+TEST(PresetsTest, ScaleShrinksCounts) {
+  auto full = PresetConfig(DatasetId::kSepA, 1.0);
+  auto half = PresetConfig(DatasetId::kSepA, 0.5);
+  EXPECT_LT(half.num_queries, full.num_queries);
+  EXPECT_LT(half.num_impressions, full.num_impressions);
+}
+
+TEST(PresetsTest, IndustrialPvShareIsPaperShaped) {
+  // The defining statistic: ~1% of queries take ~90% of search PV
+  // (paper Table I: 93.57%-94.07% head PV share).
+  Scenario s = GeneratePreset(DatasetId::kSepA, kTestScale);
+  DatasetStats stats = ComputeDatasetStats(s);
+  EXPECT_GT(stats.head_pv_share, 0.75);
+  EXPECT_LT(stats.head_pv_share, 0.99);
+  EXPECT_LT(stats.head_query_share, 0.03);
+}
+
+TEST(PresetsTest, PublicDatasetsMilderSkew) {
+  Scenario sw = GeneratePreset(DatasetId::kSoftware, kTestScale);
+  DatasetStats st = ComputeDatasetStats(sw);
+  EXPECT_NEAR(st.head_query_share, 0.1095, 0.02);
+  EXPECT_LT(st.head_pv_share, 0.9);
+}
+
+TEST(PresetsTest, RelativeSizesFollowPaper) {
+  auto sw = PresetConfig(DatasetId::kSoftware);
+  auto vg = PresetConfig(DatasetId::kVideoGame);
+  auto mu = PresetConfig(DatasetId::kMusic);
+  // Video game > Music > Software in every dimension (paper Table I).
+  EXPECT_GT(vg.num_queries, mu.num_queries);
+  EXPECT_GT(mu.num_queries, sw.num_queries);
+  EXPECT_GT(vg.num_impressions, mu.num_impressions);
+  EXPECT_GT(mu.num_impressions, sw.num_impressions);
+}
+
+TEST(PresetsTest, StatsComputationsConsistent) {
+  Scenario s = GeneratePreset(DatasetId::kMusic, kTestScale);
+  DatasetStats d = ComputeDatasetStats(s);
+  EXPECT_NEAR(d.head_query_share + d.tail_query_share, 1.0, 1e-9);
+  EXPECT_NEAR(d.head_pv_share + d.tail_pv_share, 1.0, 1e-9);
+  EXPECT_EQ(d.num_train + d.num_validation + d.num_test,
+            s.config.num_impressions);
+
+  GraphStats g = ComputeGraphStats(s);
+  EXPECT_EQ(g.head_edges + g.tail_edges, s.graph.num_edges() / 2);
+  EXPECT_EQ(g.intent_nodes, s.forest.size());
+  EXPECT_EQ(g.intent_edges, s.forest.size() - s.forest.num_trees());
+  EXPECT_GT(g.tail_edges, g.head_edges);  // tails dominate link count
+}
+
+}  // namespace
+}  // namespace garcia::data

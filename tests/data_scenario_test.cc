@@ -1,0 +1,236 @@
+#include "data/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/string_util.h"
+#include "data/presets.h"
+#include "data/stats.h"
+
+namespace garcia::data {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig cfg;
+  cfg.name = "test";
+  cfg.num_queries = 200;
+  cfg.num_services = 80;
+  cfg.num_intentions = 40;
+  cfg.num_trees = 4;
+  cfg.num_impressions = 8000;
+  cfg.head_fraction = 0.05;
+  return cfg;
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static const Scenario& Get() {
+    static const Scenario* s = new Scenario(GenerateScenario(SmallConfig()));
+    return *s;
+  }
+};
+
+TEST_F(ScenarioTest, PopulationSizes) {
+  const Scenario& s = Get();
+  EXPECT_EQ(s.num_queries(), 200u);
+  EXPECT_EQ(s.num_services(), 80u);
+  EXPECT_EQ(s.query_intent.size(), 200u);
+  EXPECT_EQ(s.query_text.size(), 200u);
+  EXPECT_EQ(s.services.size(), 80u);
+  EXPECT_GE(s.forest.size(), 4u);
+  EXPECT_LE(s.forest.num_levels(), 5u);
+}
+
+TEST_F(ScenarioTest, EntitiesAttachToLeaves) {
+  const Scenario& s = Get();
+  for (uint32_t q = 0; q < s.num_queries(); ++q) {
+    EXPECT_TRUE(s.forest.IsLeaf(s.query_intent[q]));
+  }
+  for (uint32_t i = 0; i < s.num_services(); ++i) {
+    EXPECT_TRUE(s.forest.IsLeaf(s.service_intent[i]));
+  }
+}
+
+TEST_F(ScenarioTest, SplitPartitionsEvents) {
+  const Scenario& s = Get();
+  EXPECT_EQ(s.train.size() + s.validation.size() + s.test.size(),
+            s.config.num_impressions);
+  EXPECT_GT(s.train.size(), s.validation.size());
+  EXPECT_GT(s.validation.size(), 0u);
+  EXPECT_GT(s.test.size(), 0u);
+}
+
+TEST_F(ScenarioTest, ExamplesAreInRange) {
+  const Scenario& s = Get();
+  for (const Example& e : s.train) {
+    EXPECT_LT(e.query, s.num_queries());
+    EXPECT_LT(e.service, s.num_services());
+    EXPECT_TRUE(e.label == 0.0f || e.label == 1.0f);
+    EXPECT_GE(e.day, 1);
+    EXPECT_LE(e.day, s.config.num_days);
+  }
+}
+
+TEST_F(ScenarioTest, BothLabelsPresent) {
+  const Scenario& s = Get();
+  size_t pos = 0;
+  for (const Example& e : s.train) pos += e.label > 0.5f;
+  EXPECT_GT(pos, s.train.size() / 20);       // at least 5% clicks
+  EXPECT_LT(pos, s.train.size() * 19 / 20);  // not everything clicked
+}
+
+TEST_F(ScenarioTest, ExposureMatchesTrainCounts) {
+  const Scenario& s = Get();
+  std::vector<uint64_t> counts(s.num_queries(), 0);
+  for (const Example& e : s.train) counts[e.query]++;
+  EXPECT_EQ(counts, s.query_exposure);
+}
+
+TEST_F(ScenarioTest, HeadTailSplitSized) {
+  const Scenario& s = Get();
+  EXPECT_EQ(s.split.head_queries.size(), 10u);  // 5% of 200
+  EXPECT_EQ(s.split.head_queries.size() + s.split.tail_queries.size(),
+            s.num_queries());
+}
+
+TEST_F(ScenarioTest, HeadsHaveMoreExposureThanTails) {
+  const Scenario& s = Get();
+  uint64_t min_head = UINT64_MAX, max_tail = 0;
+  for (uint32_t q : s.split.head_queries) {
+    min_head = std::min(min_head, s.query_exposure[q]);
+  }
+  for (uint32_t q : s.split.tail_queries) {
+    max_tail = std::max(max_tail, s.query_exposure[q]);
+  }
+  EXPECT_GE(min_head, max_tail);
+}
+
+TEST_F(ScenarioTest, GraphIsFinalizedAndConsistent) {
+  const Scenario& s = Get();
+  EXPECT_TRUE(s.graph.finalized());
+  EXPECT_EQ(s.graph.num_queries(), s.num_queries());
+  EXPECT_EQ(s.graph.num_services(), s.num_services());
+  EXPECT_GT(s.graph.num_edges(), 0u);
+  EXPECT_EQ(s.graph.attr_dim(), s.config.attr_dim);
+}
+
+TEST_F(ScenarioTest, ClickProbabilityInUnitInterval) {
+  const Scenario& s = Get();
+  for (uint32_t q = 0; q < 20; ++q) {
+    for (uint32_t i = 0; i < 20; ++i) {
+      const double p = s.TrueClickProbability(q, i);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST_F(ScenarioTest, SameIntentHigherClickProbability) {
+  // The planted structure: a service sharing the query's intention must on
+  // average be a better match than a random cross-tree service.
+  const Scenario& s = Get();
+  double same = 0.0, cross = 0.0;
+  size_t n_same = 0, n_cross = 0;
+  for (uint32_t q = 0; q < s.num_queries(); ++q) {
+    const uint32_t qt = s.forest.tree_of(s.query_intent[q]);
+    for (uint32_t i = 0; i < s.num_services(); ++i) {
+      const double p = s.TrueClickProbability(q, i);
+      if (s.forest.tree_of(s.service_intent[i]) == qt) {
+        same += p;
+        ++n_same;
+      } else {
+        cross += p;
+        ++n_cross;
+      }
+    }
+  }
+  ASSERT_GT(n_same, 0u);
+  ASSERT_GT(n_cross, 0u);
+  EXPECT_GT(same / n_same, cross / n_cross + 0.1);
+}
+
+TEST_F(ScenarioTest, QueryTextSharesTokensWithinIntention) {
+  const Scenario& s = Get();
+  // Queries under the same leaf share the intention token prefix.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_leaf;
+  for (uint32_t q = 0; q < s.num_queries(); ++q) {
+    by_leaf[s.query_intent[q]].push_back(q);
+  }
+  for (const auto& [leaf, qs] : by_leaf) {
+    if (qs.size() < 2) continue;
+    const double j = core::TokenJaccard(s.query_text[qs[0]],
+                                        s.query_text[qs[1]]);
+    EXPECT_GT(j, 0.0) << s.query_text[qs[0]] << " vs " << s.query_text[qs[1]];
+    return;  // one pair suffices
+  }
+}
+
+TEST_F(ScenarioTest, DeterministicForSeeds) {
+  Scenario a = GenerateScenario(SmallConfig());
+  Scenario b = GenerateScenario(SmallConfig());
+  EXPECT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < std::min<size_t>(100, a.train.size()); ++i) {
+    EXPECT_EQ(a.train[i].query, b.train[i].query);
+    EXPECT_EQ(a.train[i].service, b.train[i].service);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+  EXPECT_TRUE(a.query_latents.AllClose(b.query_latents));
+}
+
+TEST_F(ScenarioTest, DifferentEventSeedSamePopulation) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.event_seed = 999;
+  Scenario b = GenerateScenario(cfg);
+  const Scenario& a = Get();
+  EXPECT_TRUE(a.query_latents.AllClose(b.query_latents));
+  // ... but different traffic.
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.train.size(), b.train.size()); ++i) {
+    if (a.train[i].query != b.train[i].query) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ScenarioTest, CorrelationKeysReflectIntentions) {
+  const Scenario& s = Get();
+  for (uint32_t q = 0; q < s.num_queries(); ++q) {
+    const auto chain = s.forest.AncestorChain(s.query_intent[q]);
+    EXPECT_EQ(s.query_keys[q].category, static_cast<int32_t>(chain.back()));
+  }
+}
+
+TEST_F(ScenarioTest, ServiceMetaSane) {
+  const Scenario& s = Get();
+  for (const ServiceMeta& m : s.services) {
+    EXPECT_GT(m.quality, 0.0);
+    EXPECT_LT(m.quality, 1.0);
+    EXPECT_GE(m.rating, 1);
+    EXPECT_LE(m.rating, 5);
+    EXPECT_GT(m.mau, 0u);
+    EXPECT_FALSE(m.name.empty());
+  }
+}
+
+TEST_F(ScenarioTest, MauCorrelatesWithQuality) {
+  const Scenario& s = Get();
+  // Spearman-ish check: the top-quality quartile has higher mean MAU than
+  // the bottom quartile.
+  std::vector<const ServiceMeta*> sorted;
+  for (const auto& m : s.services) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](auto* a, auto* b) { return a->quality < b->quality; });
+  const size_t q4 = sorted.size() / 4;
+  double lo = 0, hi = 0;
+  for (size_t i = 0; i < q4; ++i) {
+    lo += static_cast<double>(sorted[i]->mau);
+    hi += static_cast<double>(sorted[sorted.size() - 1 - i]->mau);
+  }
+  EXPECT_GT(hi, lo * 5.0);
+}
+
+}  // namespace
+}  // namespace garcia::data

@@ -1,0 +1,148 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace garcia::eval {
+namespace {
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(Auc({1, 1, 0, 0}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  core::Rng rng(1);
+  std::vector<float> labels(20000), scores(20000);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+    scores[i] = static_cast<float>(rng.Uniform());
+  }
+  EXPECT_NEAR(Auc(labels, scores), 0.5, 0.02);
+}
+
+TEST(AucTest, AllTiedScoresIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({1, 0, 1, 0}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(AucTest, PartialTies) {
+  // pos at 0.5 (tied with one neg) and one pos above.
+  // pairs: (p1,n1)=tie 0.5, (p1,n2)=1, (p2,n1)=1, (p2,n2)=1 -> 3.5/4.
+  EXPECT_NEAR(Auc({1, 1, 0, 0}, {0.5, 0.9, 0.5, 0.1}), 0.875, 1e-9);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(Auc({1, 1}, {0.1, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0, 0}, {0.1, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  std::vector<float> labels = {0, 1, 0, 1, 1, 0};
+  std::vector<float> scores = {0.2f, 0.7f, 0.4f, 0.9f, 0.5f, 0.3f};
+  std::vector<float> shifted;
+  for (float s : scores) shifted.push_back(10.0f * s - 3.0f);
+  EXPECT_DOUBLE_EQ(Auc(labels, scores), Auc(labels, shifted));
+}
+
+TEST(GroupAucTest, SkipsSingleClassGroups) {
+  // Group 0: perfect; group 1: all positives (skipped).
+  std::vector<float> labels = {1, 0, 1, 1};
+  std::vector<float> scores = {0.9f, 0.1f, 0.5f, 0.6f};
+  std::vector<uint32_t> groups = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(GroupAuc(labels, scores, groups), 1.0);
+}
+
+TEST(GroupAucTest, WeightsByGroupSize) {
+  // Group 0 (2 examples): AUC 1. Group 1 (4 examples): AUC 0.
+  std::vector<float> labels = {1, 0, 1, 1, 0, 0};
+  std::vector<float> scores = {0.9f, 0.1f, 0.1f, 0.2f, 0.8f, 0.9f};
+  std::vector<uint32_t> groups = {0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(GroupAuc(labels, scores, groups), (2.0 * 1.0 + 4.0 * 0.0) / 6.0,
+              1e-9);
+}
+
+TEST(GroupAucTest, AllGroupsDegenerateIsHalf) {
+  EXPECT_DOUBLE_EQ(GroupAuc({1, 1}, {0.5f, 0.6f}, {0, 1}), 0.5);
+}
+
+TEST(GroupAucTest, CanDifferFromGlobalAuc) {
+  // Per-group ranking perfect, but group score offsets wreck global AUC.
+  std::vector<float> labels = {1, 0, 1, 0};
+  std::vector<float> scores = {0.3f, 0.2f, 0.95f, 0.9f};
+  std::vector<uint32_t> groups = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(GroupAuc(labels, scores, groups), 1.0);
+  EXPECT_LT(Auc(labels, scores), 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<float> labels = {1, 0, 0, 1};
+  std::vector<float> scores = {0.9f, 0.2f, 0.1f, 0.8f};
+  std::vector<uint32_t> groups = {0, 0, 0, 0};
+  EXPECT_NEAR(NdcgAtK(labels, scores, groups, 10), 1.0, 1e-9);
+}
+
+TEST(NdcgTest, WorstRankingKnownValue) {
+  // One positive ranked last among 3: DCG = 1/log2(4) = 0.5, IDCG = 1.
+  std::vector<float> labels = {0, 0, 1};
+  std::vector<float> scores = {0.9f, 0.8f, 0.1f};
+  std::vector<uint32_t> groups = {0, 0, 0};
+  EXPECT_NEAR(NdcgAtK(labels, scores, groups, 10), 0.5, 1e-9);
+}
+
+TEST(NdcgTest, CutoffKExcludesDeepPositives) {
+  // Positive at rank 3 with K=2 -> DCG@2 = 0.
+  std::vector<float> labels = {0, 0, 1};
+  std::vector<float> scores = {0.9f, 0.8f, 0.1f};
+  std::vector<uint32_t> groups = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(NdcgAtK(labels, scores, groups, 2), 0.0);
+}
+
+TEST(NdcgTest, AveragesOverGroupsWithPositives) {
+  // Group 0 perfect (1.0), group 1 has no positive (skipped),
+  // group 2 worst-of-two (1/log2(3) ~ 0.6309).
+  std::vector<float> labels = {1, 0, 0, 0, 0, 1};
+  std::vector<float> scores = {0.9f, 0.1f, 0.5f, 0.4f, 0.9f, 0.2f};
+  std::vector<uint32_t> groups = {0, 0, 1, 1, 2, 2};
+  const double g2 = 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(labels, scores, groups, 10), (1.0 + g2) / 2.0, 1e-9);
+}
+
+TEST(RankingMetricsTest, EmptyInput) {
+  RankingMetrics m = ComputeRankingMetrics({}, {}, {});
+  EXPECT_EQ(m.num_examples, 0u);
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);
+}
+
+TEST(SlicedMetricsTest, SlicesByHeadFlag) {
+  // Queries 0 (head) and 1 (tail). Head ranked perfectly, tail inverted.
+  std::vector<float> labels = {1, 0, 1, 0};
+  std::vector<float> scores = {0.9f, 0.1f, 0.1f, 0.9f};
+  std::vector<uint32_t> qids = {0, 0, 1, 1};
+  std::vector<bool> is_head = {true, false};
+  SlicedMetrics m = ComputeSlicedMetrics(labels, scores, qids, is_head);
+  EXPECT_DOUBLE_EQ(m.head.auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.tail.auc, 0.0);
+  EXPECT_EQ(m.head.num_examples, 2u);
+  EXPECT_EQ(m.tail.num_examples, 2u);
+  EXPECT_EQ(m.overall.num_examples, 4u);
+  EXPECT_DOUBLE_EQ(m.overall.auc, 0.5);
+}
+
+TEST(SlicedMetricsTest, OverallCombinesBoth) {
+  std::vector<float> labels = {1, 0};
+  std::vector<float> scores = {0.9f, 0.1f};
+  std::vector<uint32_t> qids = {0, 1};
+  std::vector<bool> is_head = {true, false};
+  SlicedMetrics m = ComputeSlicedMetrics(labels, scores, qids, is_head);
+  EXPECT_DOUBLE_EQ(m.overall.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace garcia::eval

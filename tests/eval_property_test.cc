@@ -1,0 +1,117 @@
+// Parameterized property tests for the ranking metrics: invariances and
+// bounds that must hold for arbitrary label/score configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "eval/metrics.h"
+
+namespace garcia::eval {
+namespace {
+
+struct EvalCase {
+  size_t n;
+  double pos_rate;
+  uint64_t seed;
+};
+
+class MetricPropertyTest : public ::testing::TestWithParam<EvalCase> {
+ protected:
+  void SetUp() override {
+    const EvalCase c = GetParam();
+    core::Rng rng(c.seed);
+    labels_.resize(c.n);
+    scores_.resize(c.n);
+    groups_.resize(c.n);
+    for (size_t i = 0; i < c.n; ++i) {
+      labels_[i] = rng.Bernoulli(c.pos_rate) ? 1.0f : 0.0f;
+      scores_[i] = static_cast<float>(rng.Uniform());
+      groups_[i] = static_cast<uint32_t>(rng.UniformInt(uint64_t{8}));
+    }
+  }
+  std::vector<float> labels_, scores_;
+  std::vector<uint32_t> groups_;
+};
+
+TEST_P(MetricPropertyTest, AllMetricsBounded) {
+  RankingMetrics m = ComputeRankingMetrics(labels_, scores_, groups_);
+  EXPECT_GE(m.auc, 0.0);
+  EXPECT_LE(m.auc, 1.0);
+  EXPECT_GE(m.gauc, 0.0);
+  EXPECT_LE(m.gauc, 1.0);
+  EXPECT_GE(m.ndcg_at_10, 0.0);
+  EXPECT_LE(m.ndcg_at_10, 1.0);
+}
+
+TEST_P(MetricPropertyTest, AucComplementUnderScoreNegation) {
+  size_t pos = 0;
+  for (float l : labels_) pos += l > 0.5f;
+  if (pos == 0 || pos == labels_.size()) GTEST_SKIP();
+  std::vector<float> negated;
+  for (float s : scores_) negated.push_back(-s);
+  EXPECT_NEAR(Auc(labels_, scores_) + Auc(labels_, negated), 1.0, 1e-9);
+}
+
+TEST_P(MetricPropertyTest, OracleScoresMaximizeEverything) {
+  // Scoring by the label itself is a perfect ranker.
+  size_t pos = 0;
+  for (float l : labels_) pos += l > 0.5f;
+  if (pos == 0 || pos == labels_.size()) GTEST_SKIP();
+  EXPECT_DOUBLE_EQ(Auc(labels_, labels_), 1.0);
+  EXPECT_NEAR(NdcgAtK(labels_, labels_, groups_, 10), 1.0, 1e-9);
+}
+
+TEST_P(MetricPropertyTest, PermutationInvariance) {
+  // Metrics must not depend on example order.
+  std::vector<size_t> perm(labels_.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  core::Rng rng(GetParam().seed + 9);
+  rng.Shuffle(&perm);
+  std::vector<float> l2, s2;
+  std::vector<uint32_t> g2;
+  for (size_t i : perm) {
+    l2.push_back(labels_[i]);
+    s2.push_back(scores_[i]);
+    g2.push_back(groups_[i]);
+  }
+  EXPECT_NEAR(Auc(labels_, scores_), Auc(l2, s2), 1e-12);
+  EXPECT_NEAR(GroupAuc(labels_, scores_, groups_), GroupAuc(l2, s2, g2),
+              1e-12);
+  EXPECT_NEAR(NdcgAtK(labels_, scores_, groups_, 10),
+              NdcgAtK(l2, s2, g2, 10), 1e-12);
+}
+
+TEST_P(MetricPropertyTest, GroupRelabelingInvariance) {
+  // GAUC/NDCG depend on the grouping structure, not on group id values.
+  std::vector<uint32_t> relabeled;
+  for (uint32_t g : groups_) relabeled.push_back(g * 1000 + 17);
+  EXPECT_NEAR(GroupAuc(labels_, scores_, groups_),
+              GroupAuc(labels_, scores_, relabeled), 1e-12);
+  EXPECT_NEAR(NdcgAtK(labels_, scores_, groups_, 10),
+              NdcgAtK(labels_, scores_, relabeled, 10), 1e-12);
+}
+
+TEST_P(MetricPropertyTest, NdcgStaysBoundedAcrossK) {
+  // Note NDCG@K is intentionally NOT monotone in K (the ideal list is also
+  // truncated at K), so only the [0, 1] bound is a true invariant.
+  for (size_t k : {1u, 2u, 5u, 10u, 50u}) {
+    const double v = NdcgAtK(labels_, scores_, groups_, k);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MetricPropertyTest,
+    ::testing::Values(EvalCase{10, 0.5, 1}, EvalCase{100, 0.2, 2},
+                      EvalCase{1000, 0.05, 3}, EvalCase{500, 0.8, 4},
+                      EvalCase{64, 0.5, 5}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace garcia::eval

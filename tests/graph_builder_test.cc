@@ -1,0 +1,104 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace garcia::graph {
+namespace {
+
+TEST(CorrelationKeysTest, SharedWith) {
+  CorrelationKeys a{1, 2, 3};
+  CorrelationKeys b{1, -1, 3};
+  EXPECT_EQ(a.SharedWith(b), kCorrCity | kCorrCategory);
+  CorrelationKeys c{-1, -1, -1};
+  EXPECT_EQ(a.SharedWith(c), 0);
+  // -1 on both sides must not count as shared.
+  EXPECT_EQ(c.SharedWith(c), 0);
+}
+
+TEST(GraphBuilderTest, InteractionConditionRequiresClicks) {
+  GraphBuilder b(2, 2, 1);
+  b.AddInteraction(0, 0, 100, 5);   // clicked -> edge
+  b.AddInteraction(1, 1, 100, 0);   // impressions only -> no edge
+  SearchGraph g = b.Build({});
+  EXPECT_EQ(g.num_edges(), 2u);  // one link, two directions
+  EXPECT_EQ(g.Degree(g.QueryNode(0)), 1u);
+  EXPECT_EQ(g.Degree(g.QueryNode(1)), 0u);
+}
+
+TEST(GraphBuilderTest, CtrIsClicksOverImpressions) {
+  GraphBuilder b(1, 1, 1);
+  b.AddInteraction(0, 0, 50, 10);
+  b.AddInteraction(0, 0, 50, 10);  // accumulates: 100 impressions, 20 clicks
+  SearchGraph g = b.Build({});
+  auto [lo, hi] = g.IncomingRange(g.ServiceNode(0));
+  ASSERT_EQ(hi - lo, 1u);
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 0), 0.2f);
+}
+
+TEST(GraphBuilderTest, MinClicksThreshold) {
+  GraphBuilder b(1, 1, 1);
+  b.AddInteraction(0, 0, 100, 2);
+  GraphBuildConfig cfg;
+  cfg.min_clicks = 3;
+  EXPECT_EQ(b.Build(cfg).num_edges(), 0u);
+  cfg.min_clicks = 2;
+  EXPECT_EQ(b.Build(cfg).num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, CorrelationConditionLinksSharedKeys) {
+  GraphBuilder b(2, 3, 1);
+  b.SetQueryCorrelations({{/*city=*/1, /*brand=*/7, /*cat=*/-1},
+                          {/*city=*/-1, /*brand=*/-1, /*cat=*/-1}});
+  b.SetServiceCorrelations({{1, -1, -1},    // shares city with q0
+                            {-1, 7, -1},    // shares brand with q0
+                            {2, 9, 4}});    // shares nothing
+  SearchGraph g = b.Build({});
+  EXPECT_EQ(g.Degree(g.QueryNode(0)), 2u);
+  EXPECT_EQ(g.Degree(g.QueryNode(1)), 0u);
+  EXPECT_EQ(g.Degree(g.ServiceNode(2)), 0u);
+}
+
+TEST(GraphBuilderTest, CorrelationDegreeCap) {
+  const size_t services = 30;
+  GraphBuilder b(1, services, 1);
+  b.SetQueryCorrelations({{/*city=*/5, -1, -1}});
+  std::vector<CorrelationKeys> sk(services, CorrelationKeys{5, -1, -1});
+  b.SetServiceCorrelations(sk);
+  GraphBuildConfig cfg;
+  cfg.max_correlation_degree = 4;
+  SearchGraph g = b.Build(cfg);
+  EXPECT_EQ(g.Degree(g.QueryNode(0)), 4u);
+}
+
+TEST(GraphBuilderTest, InteractionEdgeAlsoCarriesSharedCorrelations) {
+  GraphBuilder b(1, 1, 1);
+  b.SetQueryCorrelations({{1, 2, 3}});
+  b.SetServiceCorrelations({{1, 2, -1}});
+  b.AddInteraction(0, 0, 10, 5);
+  SearchGraph g = b.Build({});
+  EXPECT_EQ(g.num_edges(), 2u);  // no duplicate correlation link
+  auto [lo, hi] = g.IncomingRange(g.ServiceNode(0));
+  ASSERT_EQ(hi - lo, 1u);
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 1), 1.0f);  // interaction
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 2), 1.0f);  // city shared
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 3), 1.0f);  // brand shared
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 4), 0.0f);  // category not
+}
+
+TEST(GraphBuilderTest, DeterministicAcrossBuilds) {
+  GraphBuilder b(5, 5, 1);
+  for (uint32_t q = 0; q < 5; ++q) {
+    for (uint32_t s = 0; s < 5; ++s) {
+      if ((q + s) % 2 == 0) b.AddInteraction(q, s, 10, 1 + q);
+    }
+  }
+  SearchGraph g1 = b.Build({});
+  SearchGraph g2 = b.Build({});
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.edge_src(), g2.edge_src());
+  EXPECT_EQ(g1.edge_dst(), g2.edge_dst());
+  EXPECT_TRUE(g1.edge_features().AllClose(g2.edge_features()));
+}
+
+}  // namespace
+}  // namespace garcia::graph

@@ -1,0 +1,155 @@
+#include "graph/frequency_groups.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.h"
+
+namespace garcia::graph {
+namespace {
+
+std::vector<uint64_t> ZipfExposure(size_t n, uint64_t seed = 3) {
+  core::Rng rng(seed);
+  core::ZipfSampler z(n, 1.7);
+  std::vector<uint64_t> exposure(n, 0);
+  for (int i = 0; i < 100000; ++i) exposure[z.Sample(&rng)]++;
+  return exposure;
+}
+
+void ExpectPartition(const FrequencyGroups& g, size_t n) {
+  std::set<uint32_t> seen;
+  for (const auto& group : g.groups) {
+    for (uint32_t q : group) {
+      EXPECT_TRUE(seen.insert(q).second) << "query in two groups";
+      EXPECT_EQ(g.group_of[q], &group - g.groups.data());
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(FrequencyGroupsTest, EqualMassIsAPartition) {
+  auto exposure = ZipfExposure(500);
+  for (size_t k : {1u, 2u, 3u, 5u}) {
+    FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, k);
+    EXPECT_EQ(g.num_groups(), k);
+    ExpectPartition(g, exposure.size());
+  }
+}
+
+TEST(FrequencyGroupsTest, EqualCountIsAPartition) {
+  auto exposure = ZipfExposure(500);
+  for (size_t k : {1u, 2u, 4u}) {
+    FrequencyGroups g = FrequencyGroups::ByEqualCount(exposure, k);
+    EXPECT_EQ(g.num_groups(), k);
+    ExpectPartition(g, exposure.size());
+    for (const auto& group : g.groups) {
+      EXPECT_NEAR(static_cast<double>(group.size()),
+                  static_cast<double>(exposure.size()) / k, 1.0);
+    }
+  }
+}
+
+TEST(FrequencyGroupsTest, GroupsOrderedByFrequency) {
+  auto exposure = ZipfExposure(300);
+  FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, 3);
+  // Min exposure of group g >= max exposure of group g+1.
+  for (size_t gi = 0; gi + 1 < g.num_groups(); ++gi) {
+    uint64_t min_cur = UINT64_MAX, max_next = 0;
+    for (uint32_t q : g.groups[gi]) min_cur = std::min(min_cur, exposure[q]);
+    for (uint32_t q : g.groups[gi + 1]) {
+      max_next = std::max(max_next, exposure[q]);
+    }
+    EXPECT_GE(min_cur, max_next);
+  }
+}
+
+TEST(FrequencyGroupsTest, EqualMassBalancesMass) {
+  auto exposure = ZipfExposure(1000);
+  FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, 4);
+  auto shares = g.MassShares(exposure);
+  double total = 0.0;
+  for (double s : shares) {
+    total += s;
+    // Zipf granularity (one query can hold ~20% of mass) limits balance;
+    // each group must still hold a nontrivial share.
+    EXPECT_GT(s, 0.02);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The top group is far smaller in count than the bottom (the long tail).
+  EXPECT_LT(g.groups.front().size(), g.groups.back().size());
+}
+
+TEST(FrequencyGroupsTest, ZipfTopGroupTiny) {
+  auto exposure = ZipfExposure(1000);
+  FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, 3);
+  // ~1/3 of the mass sits in a handful of head queries.
+  EXPECT_LT(g.groups.front().size(), 20u);
+}
+
+TEST(FrequencyGroupsTest, MoreGroupsThanQueriesClamped) {
+  std::vector<uint64_t> exposure = {5, 3, 1};
+  FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, 10);
+  EXPECT_EQ(g.num_groups(), 3u);
+  ExpectPartition(g, 3);
+}
+
+TEST(FrequencyGroupsTest, SingleGroupHoldsEverything) {
+  auto exposure = ZipfExposure(50);
+  FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, 1);
+  EXPECT_EQ(g.groups[0].size(), 50u);
+  EXPECT_DOUBLE_EQ(g.MassShares(exposure)[0], 1.0);
+}
+
+TEST(FrequencyGroupsTest, TwoGroupEqualMassMatchesHeadTailSpirit) {
+  // The 2-group equal-mass split puts ~half the traffic into a tiny head
+  // group, consistent with the paper's head/tail intuition.
+  auto exposure = ZipfExposure(800);
+  FrequencyGroups g = FrequencyGroups::ByEqualMass(exposure, 2);
+  EXPECT_LT(g.groups[0].size(), exposure.size() / 10);
+  auto shares = g.MassShares(exposure);
+  EXPECT_GT(shares[0], 0.4);
+}
+
+TEST(FrequencyGroupsTest, DeterministicWithTies) {
+  std::vector<uint64_t> exposure(20, 7);  // all tied
+  FrequencyGroups a = FrequencyGroups::ByEqualCount(exposure, 4);
+  FrequencyGroups b = FrequencyGroups::ByEqualCount(exposure, 4);
+  for (size_t g = 0; g < 4; ++g) EXPECT_EQ(a.groups[g], b.groups[g]);
+}
+
+TEST(FrequencyGroupsTest, GeometricCountSizesGrowByRatio) {
+  auto exposure = ZipfExposure(1110);
+  FrequencyGroups g = FrequencyGroups::ByGeometricCount(exposure, 3, 10.0);
+  ExpectPartition(g, exposure.size());
+  // Sizes approximately 1% / 9% / 90%.
+  EXPECT_NEAR(static_cast<double>(g.groups[0].size()), 10.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(g.groups[1].size()), 100.0, 15.0);
+  EXPECT_GT(g.groups[2].size(), 900u);
+}
+
+TEST(FrequencyGroupsTest, GeometricCountOrderedByFrequency) {
+  auto exposure = ZipfExposure(400);
+  FrequencyGroups g = FrequencyGroups::ByGeometricCount(exposure, 4, 5.0);
+  for (size_t gi = 0; gi + 1 < g.num_groups(); ++gi) {
+    uint64_t min_cur = UINT64_MAX, max_next = 0;
+    for (uint32_t q : g.groups[gi]) min_cur = std::min(min_cur, exposure[q]);
+    for (uint32_t q : g.groups[gi + 1]) {
+      max_next = std::max(max_next, exposure[q]);
+    }
+    EXPECT_GE(min_cur, max_next);
+  }
+}
+
+TEST(FrequencyGroupsTest, GeometricCountTwoGroupsMatchesPaperHeadScale) {
+  // K=2, ratio ~90 reproduces the paper's ~1% head share.
+  auto exposure = ZipfExposure(2000);
+  FrequencyGroups g = FrequencyGroups::ByGeometricCount(exposure, 2, 90.0);
+  const double head_frac =
+      static_cast<double>(g.groups[0].size()) / exposure.size();
+  EXPECT_GT(head_frac, 0.005);
+  EXPECT_LT(head_frac, 0.02);
+}
+
+}  // namespace
+}  // namespace garcia::graph

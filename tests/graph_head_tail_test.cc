@@ -1,0 +1,123 @@
+#include "graph/head_tail.h"
+
+#include <gtest/gtest.h>
+
+namespace garcia::graph {
+namespace {
+
+TEST(HeadTailSplitTest, TopKByExposure) {
+  std::vector<uint64_t> exposure = {5, 100, 1, 50, 7};
+  auto split = HeadTailSplit::ByExposureTopK(exposure, 2);
+  EXPECT_EQ(split.head_queries, (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(split.tail_queries, (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_TRUE(split.is_head[1]);
+  EXPECT_FALSE(split.is_head[0]);
+}
+
+TEST(HeadTailSplitTest, TiesBrokenByIdStably) {
+  std::vector<uint64_t> exposure = {10, 10, 10};
+  auto split = HeadTailSplit::ByExposureTopK(exposure, 1);
+  EXPECT_EQ(split.head_queries, (std::vector<uint32_t>{0}));
+}
+
+TEST(HeadTailSplitTest, HeadCountClamped) {
+  std::vector<uint64_t> exposure = {1, 2};
+  auto split = HeadTailSplit::ByExposureTopK(exposure, 10);
+  EXPECT_EQ(split.head_queries.size(), 2u);
+  EXPECT_TRUE(split.tail_queries.empty());
+}
+
+TEST(HeadTailSplitTest, FractionMatchesPaperStyleSplit) {
+  // 200 queries, top 1% -> 2 head queries.
+  std::vector<uint64_t> exposure(200);
+  for (size_t i = 0; i < 200; ++i) exposure[i] = 1000 - i;
+  auto split = HeadTailSplit::ByExposureFraction(exposure, 0.01);
+  EXPECT_EQ(split.head_queries.size(), 2u);
+  EXPECT_EQ(split.head_queries[0], 0u);
+  EXPECT_EQ(split.head_queries[1], 1u);
+}
+
+TEST(HeadTailSplitTest, FractionAtLeastOneHead) {
+  std::vector<uint64_t> exposure = {3, 1};
+  auto split = HeadTailSplit::ByExposureFraction(exposure, 0.001);
+  EXPECT_EQ(split.head_queries.size(), 1u);
+}
+
+SearchGraph MakeGraph() {
+  // 4 queries, 3 services; edges: q0-s0, q0-s1, q1-s1, q2-s2, q3-s0.
+  SearchGraph g(4, 3, 2);
+  for (uint32_t n = 0; n < g.num_nodes(); ++n) {
+    g.attributes().at(n, 0) = static_cast<float>(n);
+    g.attributes().at(n, 1) = 10.0f + n;
+  }
+  g.AddLink(0, 0, EdgeKind::kInteraction, 0.1f, 0);
+  g.AddLink(0, 1, EdgeKind::kInteraction, 0.2f, 0);
+  g.AddLink(1, 1, EdgeKind::kInteraction, 0.3f, 0);
+  g.AddLink(2, 2, EdgeKind::kCorrelation, 0.0f, kCorrBrand);
+  g.AddLink(3, 0, EdgeKind::kInteraction, 0.4f, 0);
+  g.Finalize();
+  return g;
+}
+
+TEST(SubgraphTest, KeepsAllServicesAndSubsetQueries) {
+  SearchGraph full = MakeGraph();
+  Subgraph sub = ExtractQuerySubgraph(full, {1, 2});
+  EXPECT_EQ(sub.graph.num_queries(), 2u);
+  EXPECT_EQ(sub.graph.num_services(), 3u);
+  EXPECT_TRUE(sub.ContainsQuery(1));
+  EXPECT_TRUE(sub.ContainsQuery(2));
+  EXPECT_FALSE(sub.ContainsQuery(0));
+  EXPECT_EQ(sub.global_query_ids[0], 1u);
+  EXPECT_EQ(sub.local_query_of[2], 1);
+}
+
+TEST(SubgraphTest, KeepsOnlyEdgesOfRetainedQueries) {
+  SearchGraph full = MakeGraph();
+  Subgraph sub = ExtractQuerySubgraph(full, {1, 2});
+  // q1-s1 and q2-s2 survive: 2 links -> 4 directed edges.
+  EXPECT_EQ(sub.graph.num_edges(), 4u);
+  EXPECT_EQ(sub.graph.Degree(sub.graph.ServiceNode(0)), 0u);
+  EXPECT_EQ(sub.graph.Degree(sub.graph.ServiceNode(1)), 1u);
+  EXPECT_EQ(sub.graph.Degree(sub.graph.ServiceNode(2)), 1u);
+}
+
+TEST(SubgraphTest, EdgeFeaturesSurvive) {
+  SearchGraph full = MakeGraph();
+  Subgraph sub = ExtractQuerySubgraph(full, {2});
+  auto [lo, hi] = sub.graph.IncomingRange(sub.graph.ServiceNode(2));
+  ASSERT_EQ(hi - lo, 1u);
+  EXPECT_FLOAT_EQ(sub.graph.edge_features().at(lo, 3), 1.0f);  // brand bit
+}
+
+TEST(SubgraphTest, AttributesRemapped) {
+  SearchGraph full = MakeGraph();
+  Subgraph sub = ExtractQuerySubgraph(full, {3, 1});
+  // Local query 0 is global query 3.
+  EXPECT_FLOAT_EQ(sub.graph.attributes().at(0, 0), 3.0f);
+  // Local query 1 is global query 1.
+  EXPECT_FLOAT_EQ(sub.graph.attributes().at(1, 0), 1.0f);
+  // Services keep identity order: local service node 2+s.
+  EXPECT_FLOAT_EQ(sub.graph.attributes().at(sub.graph.ServiceNode(0), 0),
+                  4.0f);  // global node id of service 0 is 4
+}
+
+TEST(SubgraphTest, EmptyQuerySet) {
+  SearchGraph full = MakeGraph();
+  Subgraph sub = ExtractQuerySubgraph(full, {});
+  EXPECT_EQ(sub.graph.num_queries(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+  EXPECT_EQ(sub.graph.num_services(), 3u);
+}
+
+TEST(SubgraphTest, HeadTailPartitionCoversAllLinksOnce) {
+  SearchGraph full = MakeGraph();
+  std::vector<uint64_t> exposure = {100, 50, 2, 1};
+  auto split = HeadTailSplit::ByExposureTopK(exposure, 2);
+  Subgraph head = ExtractQuerySubgraph(full, split.head_queries);
+  Subgraph tail = ExtractQuerySubgraph(full, split.tail_queries);
+  EXPECT_EQ(head.graph.num_edges() + tail.graph.num_edges(),
+            full.num_edges());
+}
+
+}  // namespace
+}  // namespace garcia::graph

@@ -1,0 +1,136 @@
+// Parameterized property tests over randomized service-search graphs:
+// CSR consistency, subgraph-extraction invariants, and builder determinism
+// at multiple sizes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/rng.h"
+#include "graph/graph_builder.h"
+#include "graph/head_tail.h"
+
+namespace garcia::graph {
+namespace {
+
+struct GraphSize {
+  size_t queries, services, interactions;
+  uint64_t seed;
+};
+
+class GraphPropertyTest : public ::testing::TestWithParam<GraphSize> {
+ protected:
+  SearchGraph MakeRandom() const {
+    const GraphSize p = GetParam();
+    core::Rng rng(p.seed);
+    GraphBuilder b(p.queries, p.services, 3);
+    std::vector<CorrelationKeys> qk(p.queries), sk(p.services);
+    for (auto& k : qk) {
+      k.city = static_cast<int32_t>(rng.UniformInt(uint64_t{5}));
+      k.brand = rng.Bernoulli(0.5)
+                    ? static_cast<int32_t>(rng.UniformInt(uint64_t{10}))
+                    : -1;
+    }
+    for (auto& k : sk) {
+      k.city = static_cast<int32_t>(rng.UniformInt(uint64_t{5}));
+      k.brand = rng.Bernoulli(0.5)
+                    ? static_cast<int32_t>(rng.UniformInt(uint64_t{10}))
+                    : -1;
+    }
+    b.SetQueryCorrelations(qk);
+    b.SetServiceCorrelations(sk);
+    for (size_t i = 0; i < p.interactions; ++i) {
+      b.AddInteraction(
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{p.queries})),
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{p.services})),
+          10, static_cast<uint32_t>(rng.UniformInt(uint64_t{4})));
+    }
+    return b.Build({});
+  }
+};
+
+TEST_P(GraphPropertyTest, CsrCoversEveryEdgeExactlyOnce) {
+  SearchGraph g = MakeRandom();
+  size_t covered = 0;
+  for (uint32_t n = 0; n < g.num_nodes(); ++n) {
+    auto [lo, hi] = g.IncomingRange(n);
+    for (size_t e = lo; e < hi; ++e) {
+      ASSERT_EQ(g.edge_dst()[e], n);
+      ASSERT_LT(g.edge_src()[e], g.num_nodes());
+    }
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, g.num_edges());
+}
+
+TEST_P(GraphPropertyTest, BipartiteInvariant) {
+  SearchGraph g = MakeRandom();
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    // Every edge connects a query node with a service node.
+    EXPECT_NE(g.IsQueryNode(g.edge_src()[e]),
+              g.IsQueryNode(g.edge_dst()[e]));
+  }
+}
+
+TEST_P(GraphPropertyTest, DirectedEdgesComeInSymmetricPairs) {
+  SearchGraph g = MakeRandom();
+  std::map<std::pair<uint32_t, uint32_t>, int> count;
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    count[{g.edge_src()[e], g.edge_dst()[e]}]++;
+  }
+  for (const auto& [key, c] : count) {
+    auto rev = count.find({key.second, key.first});
+    ASSERT_NE(rev, count.end());
+    EXPECT_EQ(c, rev->second);
+  }
+}
+
+TEST_P(GraphPropertyTest, SubgraphPartitionConservesEdges) {
+  SearchGraph g = MakeRandom();
+  // Random bisection of queries.
+  core::Rng rng(GetParam().seed + 1);
+  std::vector<uint32_t> part_a, part_b;
+  for (uint32_t q = 0; q < g.num_queries(); ++q) {
+    (rng.Bernoulli(0.5) ? part_a : part_b).push_back(q);
+  }
+  Subgraph a = ExtractQuerySubgraph(g, part_a);
+  Subgraph b = ExtractQuerySubgraph(g, part_b);
+  EXPECT_EQ(a.graph.num_edges() + b.graph.num_edges(), g.num_edges());
+  // Degrees of retained queries are preserved.
+  for (size_t i = 0; i < part_a.size(); ++i) {
+    EXPECT_EQ(a.graph.Degree(a.graph.QueryNode(static_cast<uint32_t>(i))),
+              g.Degree(g.QueryNode(part_a[i])));
+  }
+}
+
+TEST_P(GraphPropertyTest, SubgraphServiceDegreesSumToFull) {
+  SearchGraph g = MakeRandom();
+  std::vector<uint32_t> part_a, part_b;
+  for (uint32_t q = 0; q < g.num_queries(); ++q) {
+    (q % 3 == 0 ? part_a : part_b).push_back(q);
+  }
+  Subgraph a = ExtractQuerySubgraph(g, part_a);
+  Subgraph b = ExtractQuerySubgraph(g, part_b);
+  for (uint32_t s = 0; s < g.num_services(); ++s) {
+    EXPECT_EQ(a.graph.Degree(a.graph.ServiceNode(s)) +
+                  b.graph.Degree(b.graph.ServiceNode(s)),
+              g.Degree(g.ServiceNode(s)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GraphPropertyTest,
+    ::testing::Values(GraphSize{5, 3, 10, 1}, GraphSize{50, 20, 300, 2},
+                      GraphSize{200, 80, 2000, 3},
+                      GraphSize{17, 1, 40, 4},  // single service hub
+                      GraphSize{1, 30, 60, 5}),  // single query hub
+    [](const auto& info) {
+      const GraphSize& s = info.param;
+      return "q" + std::to_string(s.queries) + "s" +
+             std::to_string(s.services) + "i" +
+             std::to_string(s.interactions);
+    });
+
+}  // namespace
+}  // namespace garcia::graph

@@ -1,0 +1,112 @@
+#include "graph/search_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace garcia::graph {
+namespace {
+
+SearchGraph MakeTinyGraph() {
+  // 3 queries, 2 services.
+  SearchGraph g(3, 2, 4);
+  g.AddLink(0, 0, EdgeKind::kInteraction, 0.5f, kCorrBrand);
+  g.AddLink(0, 1, EdgeKind::kInteraction, 0.2f, 0);
+  g.AddLink(1, 0, EdgeKind::kCorrelation, 0.0f, kCorrCity | kCorrCategory);
+  g.Finalize();
+  return g;
+}
+
+TEST(SearchGraphTest, NodeIdLayout) {
+  SearchGraph g(3, 2, 1);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.QueryNode(2), 2u);
+  EXPECT_EQ(g.ServiceNode(0), 3u);
+  EXPECT_EQ(g.ServiceNode(1), 4u);
+  EXPECT_TRUE(g.IsQueryNode(2));
+  EXPECT_FALSE(g.IsQueryNode(3));
+  EXPECT_EQ(g.ServiceIdOf(4), 1u);
+}
+
+TEST(SearchGraphTest, LinksAreBidirectional) {
+  SearchGraph g = MakeTinyGraph();
+  EXPECT_EQ(g.num_edges(), 6u);  // 3 links x 2 directions
+}
+
+TEST(SearchGraphTest, DegreesAfterFinalize) {
+  SearchGraph g = MakeTinyGraph();
+  EXPECT_EQ(g.Degree(g.QueryNode(0)), 2u);
+  EXPECT_EQ(g.Degree(g.QueryNode(1)), 1u);
+  EXPECT_EQ(g.Degree(g.QueryNode(2)), 0u);
+  EXPECT_EQ(g.Degree(g.ServiceNode(0)), 2u);
+  EXPECT_EQ(g.Degree(g.ServiceNode(1)), 1u);
+}
+
+TEST(SearchGraphTest, CsrRangesConsistentWithEdgeArrays) {
+  SearchGraph g = MakeTinyGraph();
+  size_t total = 0;
+  for (uint32_t n = 0; n < g.num_nodes(); ++n) {
+    auto [lo, hi] = g.IncomingRange(n);
+    EXPECT_EQ(hi - lo, g.Degree(n));
+    for (size_t e = lo; e < hi; ++e) {
+      EXPECT_EQ(g.edge_dst()[e], n);
+    }
+    total += hi - lo;
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(SearchGraphTest, EdgeFeatureLayout) {
+  SearchGraph g = MakeTinyGraph();
+  ASSERT_EQ(g.edge_features().cols(), kEdgeFeatureDim);
+  // Find the interaction edge service0 <- query0 (dst = service node 3).
+  auto [lo, hi] = g.IncomingRange(g.ServiceNode(0));
+  bool found = false;
+  for (size_t e = lo; e < hi; ++e) {
+    if (g.edge_src()[e] == g.QueryNode(0)) {
+      found = true;
+      EXPECT_FLOAT_EQ(g.edge_features().at(e, 0), 0.5f);  // ctr
+      EXPECT_FLOAT_EQ(g.edge_features().at(e, 1), 1.0f);  // interaction
+      EXPECT_FLOAT_EQ(g.edge_features().at(e, 2), 0.0f);  // city
+      EXPECT_FLOAT_EQ(g.edge_features().at(e, 3), 1.0f);  // brand
+      EXPECT_FLOAT_EQ(g.edge_features().at(e, 4), 0.0f);  // category
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SearchGraphTest, CorrelationEdgeFeatures) {
+  SearchGraph g = MakeTinyGraph();
+  auto [lo, hi] = g.IncomingRange(g.QueryNode(1));
+  ASSERT_EQ(hi - lo, 1u);
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 1), 0.0f);  // not interaction
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 2), 1.0f);  // city
+  EXPECT_FLOAT_EQ(g.edge_features().at(lo, 4), 1.0f);  // category
+}
+
+TEST(SearchGraphTest, AttributesShape) {
+  SearchGraph g = MakeTinyGraph();
+  EXPECT_EQ(g.attributes().rows(), 5u);
+  EXPECT_EQ(g.attributes().cols(), 4u);
+}
+
+TEST(SearchGraphTest, EmptyGraphFinalizes) {
+  SearchGraph g(2, 2, 1);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Degree(0), 0u);
+}
+
+TEST(EdgeTest, WriteFeaturesAllBits) {
+  Edge e;
+  e.kind = EdgeKind::kCorrelation;
+  e.corr_mask = kCorrCity | kCorrBrand | kCorrCategory;
+  e.ctr = 0.0f;
+  float f[kEdgeFeatureDim];
+  e.WriteFeatures(f);
+  EXPECT_FLOAT_EQ(f[1], 0.0f);
+  EXPECT_FLOAT_EQ(f[2], 1.0f);
+  EXPECT_FLOAT_EQ(f[3], 1.0f);
+  EXPECT_FLOAT_EQ(f[4], 1.0f);
+}
+
+}  // namespace
+}  // namespace garcia::graph

@@ -1,0 +1,191 @@
+// Integration tests: the full offline -> serving pipeline across module
+// boundaries, plus failure injection on the persistence layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/presets.h"
+#include "models/garcia_model.h"
+#include "models/registry.h"
+#include "serving/ab_test.h"
+#include "serving/case_study.h"
+#include "serving/ranking_service.h"
+
+namespace garcia {
+namespace {
+
+data::ScenarioConfig PipelineDataConfig() {
+  data::ScenarioConfig cfg;
+  cfg.name = "integration";
+  cfg.num_queries = 250;
+  cfg.num_services = 90;
+  cfg.num_intentions = 40;
+  cfg.num_trees = 4;
+  cfg.num_impressions = 10000;
+  cfg.head_fraction = 0.04;
+  return cfg;
+}
+
+const data::Scenario& Scn() {
+  static const data::Scenario* s =
+      new data::Scenario(data::GenerateScenario(PipelineDataConfig()));
+  return *s;
+}
+
+models::TrainConfig PipelineTrainConfig() {
+  models::TrainConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.pretrain_epochs = 2;
+  cfg.finetune_epochs = 4;
+  cfg.max_batches_per_epoch = 8;
+  cfg.inner_product_head = true;
+  return cfg;
+}
+
+TEST(IntegrationTest, TrainExportSaveLoadRankRoundTrip) {
+  models::GarciaModel model(PipelineTrainConfig());
+  model.Fit(Scn());
+
+  serving::EmbeddingStore queries(model.ExportQueryEmbeddings(Scn()));
+  serving::EmbeddingStore services(model.ExportServiceEmbeddings(Scn()));
+
+  const std::string qp = "/tmp/garcia_it_q.emb";
+  const std::string sp = "/tmp/garcia_it_s.emb";
+  ASSERT_TRUE(queries.Save(qp).ok());
+  ASSERT_TRUE(services.Save(sp).ok());
+
+  auto ql = serving::EmbeddingStore::Load(qp);
+  auto sl = serving::EmbeddingStore::Load(sp);
+  ASSERT_TRUE(ql.ok());
+  ASSERT_TRUE(sl.ok());
+
+  serving::EmbeddingRanker direct(queries, services);
+  serving::EmbeddingRanker loaded(std::move(ql).value(),
+                                  std::move(sl).value());
+  // Round trip must not change a single ranking.
+  for (uint32_t q = 0; q < 20; ++q) {
+    auto a = direct.Rank(q, 10);
+    auto b = loaded.Rank(q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].first, b[i].first);
+      EXPECT_FLOAT_EQ(a[i].second, b[i].second);
+    }
+  }
+  std::remove(qp.c_str());
+  std::remove(sp.c_str());
+}
+
+TEST(IntegrationTest, TruncatedStoreFailsToLoad) {
+  models::GarciaModel model(PipelineTrainConfig());
+  model.Fit(Scn());
+  serving::EmbeddingStore store(model.ExportQueryEmbeddings(Scn()));
+  const std::string path = "/tmp/garcia_it_trunc.emb";
+  ASSERT_TRUE(store.Save(path).ok());
+  // Truncate to half: header parses but the payload is short.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  auto r = serving::EmbeddingStore::Load(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), core::StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, RankedServicesScoreConsistentWithPredict) {
+  // The inner-product ranker must order services exactly as the model's
+  // Predict on the corresponding examples.
+  models::GarciaModel model(PipelineTrainConfig());
+  model.Fit(Scn());
+  serving::EmbeddingRanker ranker(
+      serving::EmbeddingStore(model.ExportQueryEmbeddings(Scn())),
+      serving::EmbeddingStore(model.ExportServiceEmbeddings(Scn())));
+  const uint32_t query = Scn().split.tail_queries.front();
+  auto top = ranker.Rank(query, 5);
+  std::vector<data::Example> probes;
+  for (const auto& [svc, score] : top) {
+    probes.push_back({query, svc, 0.0f, 1});
+  }
+  auto scores = model.Predict(Scn(), probes);
+  for (size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i - 1], scores[i] - 1e-5f)
+        << "ranker order disagrees with model scores at " << i;
+  }
+}
+
+TEST(IntegrationTest, AbTestBetweenTrainedModels) {
+  // Full A/B path with two real trained arms; just verify it produces
+  // bounded metrics and is reproducible.
+  auto cfg = PipelineTrainConfig();
+  auto garcia_model = models::CreateModel("GARCIA", cfg);
+  garcia_model->Fit(Scn());
+  auto lightgcn = models::CreateModel("LightGCN", cfg);
+  lightgcn->Fit(Scn());
+
+  serving::EmbeddingRanker treatment(
+      serving::EmbeddingStore(garcia_model->ExportQueryEmbeddings(Scn())),
+      serving::EmbeddingStore(garcia_model->ExportServiceEmbeddings(Scn())));
+  serving::EmbeddingRanker baseline(
+      serving::EmbeddingStore(lightgcn->ExportQueryEmbeddings(Scn())),
+      serving::EmbeddingStore(lightgcn->ExportServiceEmbeddings(Scn())));
+
+  serving::AbTestConfig ab;
+  ab.num_days = 2;
+  ab.requests_per_day = 500;
+  auto r1 = serving::RunAbTest(Scn(), baseline, treatment, ab);
+  auto r2 = serving::RunAbTest(Scn(), baseline, treatment, ab);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_GE(r1.treatment[d].ctr, 0.0);
+    EXPECT_LE(r1.treatment[d].ctr, 1.0);
+    EXPECT_DOUBLE_EQ(r1.treatment[d].ctr, r2.treatment[d].ctr);
+    EXPECT_DOUBLE_EQ(r1.baseline[d].valid_ctr, r2.baseline[d].valid_ctr);
+  }
+}
+
+TEST(IntegrationTest, CaseStudyFromTrainedModels) {
+  auto cfg = PipelineTrainConfig();
+  models::GarciaModel model(cfg);
+  model.Fit(Scn());
+  serving::EmbeddingRanker ranker(
+      serving::EmbeddingStore(model.ExportQueryEmbeddings(Scn())),
+      serving::EmbeddingStore(model.ExportServiceEmbeddings(Scn())));
+  auto queries = serving::PickTailCaseQueries(Scn(), 2);
+  for (uint32_t q : queries) {
+    auto cs = serving::BuildCaseStudy(Scn(), ranker, ranker, q, 5);
+    EXPECT_EQ(cs.baseline.size(), cs.treatment.size());
+    for (size_t i = 0; i < cs.baseline.size(); ++i) {
+      EXPECT_EQ(cs.baseline[i].service, cs.treatment[i].service);
+    }
+  }
+}
+
+TEST(IntegrationTest, MetricsAgreeAcrossEvaluationPaths) {
+  // EvaluateModel must equal manually assembled ComputeSlicedMetrics.
+  auto cfg = PipelineTrainConfig();
+  cfg.inner_product_head = false;
+  models::GarciaModel model(cfg);
+  model.Fit(Scn());
+  auto via_helper = models::EvaluateModel(&model, Scn(), Scn().test);
+  auto scores = model.Predict(Scn(), Scn().test);
+  std::vector<float> labels;
+  std::vector<uint32_t> qids;
+  for (const auto& e : Scn().test) {
+    labels.push_back(e.label);
+    qids.push_back(e.query);
+  }
+  auto manual =
+      eval::ComputeSlicedMetrics(labels, scores, qids, Scn().split.is_head);
+  EXPECT_DOUBLE_EQ(via_helper.overall.auc, manual.overall.auc);
+  EXPECT_DOUBLE_EQ(via_helper.tail.gauc, manual.tail.gauc);
+  EXPECT_DOUBLE_EQ(via_helper.head.ndcg_at_10, manual.head.ndcg_at_10);
+}
+
+}  // namespace
+}  // namespace garcia

@@ -1,0 +1,138 @@
+#include "intent/intention_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace garcia::intent {
+namespace {
+
+// Builds the forest used across tests:
+// tree A: a0 -> {a1, a2}, a1 -> {a3, a4}
+// tree B: b0 -> {b1}, b1 -> {b2}
+struct Fixture {
+  IntentionForest f;
+  uint32_t a0, a1, a2, a3, a4, b0, b1, b2;
+  Fixture() {
+    a0 = f.AddRoot("cellphone");
+    a1 = f.AddChild(a0, "rental");
+    a2 = f.AddChild(a0, "repair");
+    a3 = f.AddChild(a1, "iphone rental");
+    a4 = f.AddChild(a1, "android rental");
+    b0 = f.AddRoot("recharge");
+    b1 = f.AddChild(b0, "mobile recharge");
+    b2 = f.AddChild(b1, "discount recharge");
+    f.Finalize();
+  }
+};
+
+TEST(IntentionForestTest, StructureAccessors) {
+  Fixture fx;
+  EXPECT_EQ(fx.f.size(), 8u);
+  EXPECT_EQ(fx.f.num_trees(), 2u);
+  EXPECT_EQ(fx.f.parent(fx.a3), static_cast<int32_t>(fx.a1));
+  EXPECT_EQ(fx.f.parent(fx.a0), kNoParent);
+  EXPECT_EQ(fx.f.children(fx.a1).size(), 2u);
+  EXPECT_TRUE(fx.f.IsLeaf(fx.a3));
+  EXPECT_FALSE(fx.f.IsLeaf(fx.a1));
+  EXPECT_EQ(fx.f.name(fx.a0), "cellphone");
+}
+
+TEST(IntentionForestTest, DepthAndTree) {
+  Fixture fx;
+  EXPECT_EQ(fx.f.depth(fx.a0), 0u);
+  EXPECT_EQ(fx.f.depth(fx.a1), 1u);
+  EXPECT_EQ(fx.f.depth(fx.a3), 2u);
+  EXPECT_EQ(fx.f.tree_of(fx.a3), fx.a0);
+  EXPECT_EQ(fx.f.tree_of(fx.b2), fx.b0);
+  EXPECT_EQ(fx.f.num_levels(), 3u);
+}
+
+TEST(IntentionForestTest, LevelsPartitionAllNodes) {
+  Fixture fx;
+  size_t total = 0;
+  for (size_t d = 0; d < fx.f.num_levels(); ++d) {
+    for (uint32_t id : fx.f.levels()[d]) {
+      EXPECT_EQ(fx.f.depth(id), d);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, fx.f.size());
+}
+
+TEST(IntentionForestTest, AncestorChainIsPathToRoot) {
+  Fixture fx;
+  auto chain = fx.f.AncestorChain(fx.a3);
+  EXPECT_EQ(chain, (std::vector<uint32_t>{fx.a3, fx.a1, fx.a0}));
+  EXPECT_EQ(fx.f.AncestorChain(fx.b0), (std::vector<uint32_t>{fx.b0}));
+}
+
+TEST(IntentionForestTest, HardNegativesSameTreeSameLevel) {
+  Fixture fx;
+  auto hard = fx.f.HardNegatives(fx.a3);
+  EXPECT_EQ(hard, (std::vector<uint32_t>{fx.a4}));
+  // a1's hard negatives: a2 (same tree depth 1); b1 is another tree.
+  EXPECT_EQ(fx.f.HardNegatives(fx.a1), (std::vector<uint32_t>{fx.a2}));
+}
+
+TEST(IntentionForestTest, EasyNegativesOtherTreeSameLevel) {
+  Fixture fx;
+  auto easy = fx.f.EasyNegatives(fx.a3);
+  EXPECT_EQ(easy, (std::vector<uint32_t>{fx.b2}));
+  EXPECT_EQ(fx.f.EasyNegatives(fx.b1), (std::vector<uint32_t>{fx.a1, fx.a2}));
+}
+
+TEST(IntentionForestTest, SampleNegativesRespectsBudgets) {
+  Fixture fx;
+  core::Rng rng(3);
+  auto negs = fx.f.SampleNegatives(fx.a1, 1, 1, &rng);
+  EXPECT_EQ(negs.size(), 2u);
+  std::set<uint32_t> s(negs.begin(), negs.end());
+  EXPECT_TRUE(s.count(fx.a2));  // the only hard negative
+  EXPECT_TRUE(s.count(fx.b1));  // the only easy negative
+}
+
+TEST(IntentionForestTest, SampleNegativesNeverContainsSelfOrAncestors) {
+  Fixture fx;
+  core::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto negs = fx.f.SampleNegatives(fx.a3, 3, 3, &rng);
+    for (uint32_t n : negs) {
+      EXPECT_NE(n, fx.a3);
+      EXPECT_NE(n, fx.a1);
+      EXPECT_NE(n, fx.a0);
+    }
+  }
+}
+
+TEST(IntentionForestTest, BottomUpScheduleDeepestFirst) {
+  Fixture fx;
+  auto sched = fx.f.BottomUpSchedule();
+  ASSERT_EQ(sched.size(), 3u);
+  // First step: depth-2 nodes; last: roots.
+  for (uint32_t id : sched[0]) EXPECT_EQ(fx.f.depth(id), 2u);
+  for (uint32_t id : sched[2]) EXPECT_EQ(fx.f.depth(id), 0u);
+}
+
+TEST(IntentionForestTest, SingleNodeForest) {
+  IntentionForest f;
+  uint32_t r = f.AddRoot("only");
+  f.Finalize();
+  EXPECT_EQ(f.num_levels(), 1u);
+  EXPECT_TRUE(f.HardNegatives(r).empty());
+  EXPECT_TRUE(f.EasyNegatives(r).empty());
+  EXPECT_EQ(f.AncestorChain(r).size(), 1u);
+}
+
+TEST(IntentionForestTest, FiveLevelChainMatchesPaperMaxDepth) {
+  IntentionForest f;
+  uint32_t cur = f.AddRoot();
+  for (int i = 0; i < 4; ++i) cur = f.AddChild(cur);
+  f.Finalize();
+  EXPECT_EQ(f.num_levels(), 5u);  // paper: at most 5-level intentions
+  EXPECT_EQ(f.AncestorChain(cur).size(), 5u);
+}
+
+}  // namespace
+}  // namespace garcia::intent

@@ -1,0 +1,217 @@
+#include "models/contrastive.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/string_util.h"
+
+#include "data/scenario.h"
+
+namespace garcia::models {
+namespace {
+
+data::ScenarioConfig SmallConfig() {
+  data::ScenarioConfig cfg;
+  cfg.num_queries = 300;
+  cfg.num_services = 100;
+  cfg.num_intentions = 50;
+  cfg.num_trees = 5;
+  cfg.num_impressions = 12000;
+  cfg.head_fraction = 0.05;
+  return cfg;
+}
+
+const data::Scenario& Scenario() {
+  static const data::Scenario* s =
+      new data::Scenario(data::GenerateScenario(SmallConfig()));
+  return *s;
+}
+
+TEST(MineKtclAnchorsTest, PairsOnlyTailToHead) {
+  const auto& s = Scenario();
+  KtclAnchors anchors = MineKtclAnchors(s);
+  ASSERT_GT(anchors.size(), 0u) << "mining found no pairs";
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    EXPECT_FALSE(s.split.is_head[anchors.tail_query[i]]);
+    EXPECT_TRUE(s.split.is_head[anchors.head_query[i]]);
+  }
+}
+
+TEST(MineKtclAnchorsTest, PairsShareCorrelationAndTokens) {
+  const auto& s = Scenario();
+  KtclAnchors anchors = MineKtclAnchors(s);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    const uint32_t t = anchors.tail_query[i];
+    const uint32_t h = anchors.head_query[i];
+    EXPECT_NE(s.query_keys[t].SharedWith(s.query_keys[h]), 0);
+    EXPECT_GT(core::TokenJaccard(s.query_text[t], s.query_text[h]), 0.0);
+  }
+}
+
+TEST(MineKtclAnchorsTest, PicksMostRelevantHead) {
+  // Verify optimality directly against the mining criteria.
+  const auto& s = Scenario();
+  KtclAnchors anchors = MineKtclAnchors(s);
+  const size_t check = std::min<size_t>(anchors.size(), 20);
+  for (size_t i = 0; i < check; ++i) {
+    const uint32_t t = anchors.tail_query[i];
+    const uint32_t chosen = anchors.head_query[i];
+    const double chosen_j =
+        core::TokenJaccard(s.query_text[t], s.query_text[chosen]);
+    for (uint32_t h : s.split.head_queries) {
+      if (s.query_keys[t].SharedWith(s.query_keys[h]) == 0) continue;
+      const double j = core::TokenJaccard(s.query_text[t], s.query_text[h]);
+      EXPECT_LE(j, chosen_j + 1e-12);
+      if (j == chosen_j) {
+        EXPECT_LE(s.query_exposure[h], s.query_exposure[chosen]);
+      }
+    }
+  }
+}
+
+TEST(MineKtclAnchorsTest, DeterministicMining) {
+  const auto& s = Scenario();
+  KtclAnchors a = MineKtclAnchors(s);
+  KtclAnchors b = MineKtclAnchors(s);
+  EXPECT_EQ(a.tail_query, b.tail_query);
+  EXPECT_EQ(a.head_query, b.head_query);
+}
+
+class IgclBatchTest : public ::testing::Test {
+ protected:
+  IgclBatchTest() : rng_(5), encoder_(Scenario().forest, 8, 5, &rng_) {}
+  core::Rng rng_;
+  IntentionEncoder encoder_;
+};
+
+TEST_F(IgclBatchTest, CandidatesCoverLevelBudget) {
+  const auto& s = Scenario();
+  std::vector<uint32_t> intents = {s.query_intent[0], s.query_intent[1]};
+  IgclBatch batch = BuildIgclBatch(encoder_, intents);
+  // Every candidate is within the level budget.
+  for (uint32_t id : batch.candidate_ids) {
+    EXPECT_LT(s.forest.depth(id), encoder_.levels());
+  }
+}
+
+TEST_F(IgclBatchTest, OnePairPerAncestor) {
+  const auto& s = Scenario();
+  std::vector<uint32_t> intents = {s.query_intent[3]};
+  IgclBatch batch = BuildIgclBatch(encoder_, intents);
+  EXPECT_EQ(batch.num_pairs(),
+            encoder_.PositiveChain(s.query_intent[3]).size());
+  for (uint32_t row : batch.anchor_rows) EXPECT_EQ(row, 0u);
+}
+
+TEST_F(IgclBatchTest, TargetsPointAtPositives) {
+  const auto& s = Scenario();
+  std::vector<uint32_t> intents = {s.query_intent[7], s.service_intent[2]};
+  IgclBatch batch = BuildIgclBatch(encoder_, intents);
+  size_t pair = 0;
+  for (size_t e = 0; e < intents.size(); ++e) {
+    for (uint32_t j : encoder_.PositiveChain(intents[e])) {
+      ASSERT_LT(pair, batch.num_pairs());
+      EXPECT_EQ(batch.candidate_ids[batch.targets[pair]], j);
+      EXPECT_EQ(batch.anchor_rows[pair], e);
+      ++pair;
+    }
+  }
+  EXPECT_EQ(pair, batch.num_pairs());
+}
+
+TEST_F(IgclBatchTest, MaskAdmitsPositiveAndSameLevelNegatives) {
+  const auto& s = Scenario();
+  std::vector<uint32_t> intents = {s.query_intent[11]};
+  IgclBatch batch = BuildIgclBatch(encoder_, intents);
+  const uint32_t attached = encoder_.Attach(intents[0]);
+  const uint32_t anchor_level = s.forest.depth(attached);
+  for (size_t p = 0; p < batch.num_pairs(); ++p) {
+    // Positive admitted.
+    EXPECT_GT(batch.mask.at(p, batch.targets[p]), 0.0f);
+    for (size_t c = 0; c < batch.candidate_ids.size(); ++c) {
+      const uint32_t cid = batch.candidate_ids[c];
+      const bool is_positive = (c == batch.targets[p]);
+      const bool same_level = s.forest.depth(cid) == anchor_level;
+      const bool admitted = batch.mask.at(p, c) > 0.0f;
+      EXPECT_EQ(admitted, is_positive || same_level)
+          << "pair " << p << " candidate " << cid;
+    }
+  }
+}
+
+TEST_F(IgclBatchTest, HardAndEasyNegativesBothPresent) {
+  // With several trees in the forest, the admitted same-level set must span
+  // the anchor's own tree (hard) and other trees (easy).
+  const auto& s = Scenario();
+  std::vector<uint32_t> intents = {s.query_intent[11]};
+  IgclBatch batch = BuildIgclBatch(encoder_, intents);
+  const uint32_t attached = encoder_.Attach(intents[0]);
+  bool hard = false, easy = false;
+  for (size_t c = 0; c < batch.candidate_ids.size(); ++c) {
+    if (batch.mask.at(0, c) == 0.0f) continue;
+    if (c == batch.targets[0]) continue;
+    if (s.forest.tree_of(batch.candidate_ids[c]) == s.forest.tree_of(attached)) {
+      hard = true;
+    } else {
+      easy = true;
+    }
+  }
+  EXPECT_TRUE(easy);
+  // Hard negatives exist whenever the anchor's level has same-tree peers;
+  // with the generated forest this is overwhelmingly the case.
+  EXPECT_TRUE(hard || s.forest.HardNegatives(attached).empty());
+}
+
+TEST_F(IgclBatchTest, LevelBudgetOneUsesRootsOnly) {
+  core::Rng rng(6);
+  IntentionEncoder shallow(Scenario().forest, 8, 1, &rng);
+  std::vector<uint32_t> intents = {Scenario().query_intent[0]};
+  IgclBatch batch = BuildIgclBatch(shallow, intents);
+  EXPECT_EQ(batch.candidate_ids.size(), Scenario().forest.num_trees());
+  EXPECT_EQ(batch.num_pairs(), 1u);  // chain is just the root
+}
+
+TEST(MineKtclAnchorsTest, NgramMiningFindsAtLeastAsManyPairs) {
+  // Character n-grams subsume token overlap: any positive-Jaccard pair has
+  // positive n-gram cosine, so the pair count can only grow.
+  const auto& s = Scenario();
+  KtclAnchors jac = MineKtclAnchors(s, KtclRelevance::kTokenJaccard);
+  KtclAnchors ngram = MineKtclAnchors(s, KtclRelevance::kNgramCosine);
+  EXPECT_GE(ngram.size(), jac.size());
+  for (size_t i = 0; i < ngram.size(); ++i) {
+    EXPECT_FALSE(s.split.is_head[ngram.tail_query[i]]);
+    EXPECT_TRUE(s.split.is_head[ngram.head_query[i]]);
+  }
+}
+
+TEST(MineCrossGroupAnchorsTest, HeadTailSpecialCaseMatches) {
+  const auto& s = Scenario();
+  KtclAnchors direct = MineKtclAnchors(s);
+  KtclAnchors general = MineCrossGroupAnchors(s, s.split.tail_queries,
+                                              s.split.head_queries);
+  EXPECT_EQ(direct.tail_query, general.tail_query);
+  EXPECT_EQ(direct.head_query, general.head_query);
+}
+
+TEST(MineCrossGroupAnchorsTest, SourcesOnlyFromSourceGroup) {
+  const auto& s = Scenario();
+  // Transfer between two arbitrary disjoint groups.
+  std::vector<uint32_t> source, target;
+  for (uint32_t q = 0; q < s.num_queries(); ++q) {
+    (q % 2 == 0 ? source : target).push_back(q);
+  }
+  KtclAnchors anchors = MineCrossGroupAnchors(s, source, target);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    EXPECT_EQ(anchors.tail_query[i] % 2, 0u);
+    EXPECT_EQ(anchors.head_query[i] % 2, 1u);
+  }
+}
+
+TEST(MineCrossGroupAnchorsTest, EmptyTargetYieldsNoPairs) {
+  const auto& s = Scenario();
+  EXPECT_EQ(MineCrossGroupAnchors(s, s.split.tail_queries, {}).size(), 0u);
+}
+
+}  // namespace
+}  // namespace garcia::models

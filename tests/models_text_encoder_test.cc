@@ -1,0 +1,74 @@
+#include "models/text_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace garcia::models {
+namespace {
+
+TEST(NgramTextEncoderTest, IdenticalTextsSimilarityOne) {
+  NgramTextEncoder enc;
+  EXPECT_NEAR(enc.Similarity("phone rental", "phone rental"), 1.0, 1e-6);
+}
+
+TEST(NgramTextEncoderTest, CaseInsensitive) {
+  NgramTextEncoder enc;
+  EXPECT_NEAR(enc.Similarity("Phone Rental", "phone rental"), 1.0, 1e-6);
+}
+
+TEST(NgramTextEncoderTest, EmptyTextZero) {
+  NgramTextEncoder enc;
+  EXPECT_DOUBLE_EQ(enc.Similarity("", "phone"), 0.0);
+  EXPECT_DOUBLE_EQ(enc.Similarity("", ""), 0.0);
+}
+
+TEST(NgramTextEncoderTest, SubTokenOverlapDetected) {
+  // The motivating case: "iphone rental" vs "phone rental" share no full
+  // token per strict Jaccard-on-words intuition beyond "rental", but the
+  // character n-grams of "phone" overlap heavily.
+  NgramTextEncoder enc;
+  const double sim = enc.Similarity("iphone rental", "phone rental");
+  EXPECT_GT(sim, 0.6);
+  const double unrelated = enc.Similarity("iphone rental", "tax refund");
+  EXPECT_LT(unrelated, sim * 0.5);
+}
+
+TEST(NgramTextEncoderTest, SimilarityBounded) {
+  NgramTextEncoder enc;
+  for (auto [a, b] : std::vector<std::pair<const char*, const char*>>{
+           {"abc", "abd"}, {"cat0 w1", "cat0 w2"}, {"x", "y"}}) {
+    const double s = enc.Similarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST(NgramTextEncoderTest, EncodingIsUnitNorm) {
+  NgramTextEncoder enc;
+  SparseVector v = enc.Encode("mobile phone recharge");
+  double norm = 0.0;
+  for (const auto& [b, w] : v) norm += static_cast<double>(w) * w;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(NgramTextEncoderTest, ShortTextStillEncodes) {
+  NgramTextEncoder enc(3);
+  // "a" padded to "^a$" -> exactly one trigram.
+  SparseVector v = enc.Encode("a");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(NgramTextEncoderTest, SymmetricSimilarity) {
+  NgramTextEncoder enc;
+  EXPECT_DOUBLE_EQ(enc.Similarity("alpha beta", "beta gamma"),
+                   enc.Similarity("beta gamma", "alpha beta"));
+}
+
+TEST(NgramTextEncoderTest, MoreOverlapHigherSimilarity) {
+  NgramTextEncoder enc;
+  const double close = enc.Similarity("phone rental shop", "phone rental");
+  const double far = enc.Similarity("phone rental shop", "phone");
+  EXPECT_GT(close, far);
+}
+
+}  // namespace
+}  // namespace garcia::models

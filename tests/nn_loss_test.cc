@@ -1,0 +1,202 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/ops.h"
+
+namespace garcia::nn {
+namespace {
+
+using core::Matrix;
+using core::Rng;
+
+TEST(CrossEntropyTest, UniformLogits) {
+  // Uniform logits over M classes -> loss = log(M).
+  Tensor logits = Tensor::Leaf(Matrix(4, 8), true);
+  Tensor loss = CrossEntropyWithLogits(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(loss.scalar(), std::log(8.0), 1e-5);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectIsNearZero) {
+  Matrix m(1, 3);
+  m.at(0, 1) = 50.0f;
+  Tensor logits = Tensor::Leaf(std::move(m), true);
+  EXPECT_NEAR(CrossEntropyWithLogits(logits, {1}).scalar(), 0.0, 1e-5);
+}
+
+TEST(CrossEntropyTest, StableAtHugeLogits) {
+  Matrix m(1, 2);
+  m.at(0, 0) = 10000.0f;
+  m.at(0, 1) = -10000.0f;
+  Tensor logits = Tensor::Leaf(std::move(m), true);
+  const float loss = CrossEntropyWithLogits(logits, {0}).scalar();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-5);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifference) {
+  Rng rng(21);
+  Tensor logits = Tensor::Leaf(Matrix::Randn(5, 7, &rng), true);
+  std::vector<uint32_t> targets = {3, 0, 6, 2, 2};
+  auto res = CheckGradients(
+      [&] { return CrossEntropyWithLogits(logits, targets); }, {logits},
+      1e-2f);
+  EXPECT_LT(res.max_rel_error, 2e-2);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOnehot) {
+  Tensor logits = Tensor::Leaf(Matrix(1, 2), true);  // uniform
+  Tensor loss = CrossEntropyWithLogits(logits, {0});
+  loss.Backward();
+  EXPECT_NEAR(logits.grad().at(0, 0), 0.5 - 1.0, 1e-6);
+  EXPECT_NEAR(logits.grad().at(0, 1), 0.5, 1e-6);
+}
+
+TEST(InfoNceTest, PerfectAlignmentLowLoss) {
+  // Anchors identical to their positives and orthogonal to negatives.
+  Matrix anchors({{1, 0}, {0, 1}});
+  Matrix cands({{1, 0}, {0, 1}});
+  Tensor a = Tensor::Leaf(std::move(anchors), true);
+  Tensor c = Tensor::Leaf(std::move(cands), true);
+  const float loss_aligned = InfoNce(a, c, {0, 1}, 0.1f).scalar();
+  const float loss_swapped = InfoNce(a, c, {1, 0}, 0.1f).scalar();
+  EXPECT_LT(loss_aligned, 1e-4);
+  EXPECT_GT(loss_swapped, 5.0);
+}
+
+TEST(InfoNceTest, TemperatureSharpens) {
+  Rng rng(31);
+  Tensor a = Tensor::Leaf(Matrix::Randn(6, 8, &rng), false);
+  Tensor c = Tensor::Leaf(Matrix::Randn(6, 8, &rng), false);
+  std::vector<uint32_t> t = {0, 1, 2, 3, 4, 5};
+  // With random vectors, cosine sims are near 0 so both temperatures give
+  // roughly log(N); the loss must remain finite and positive for all tau.
+  for (float tau : {0.05f, 0.1f, 0.5f, 1.0f}) {
+    const float l = InfoNce(a, c, t, tau).scalar();
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(l, 0.0f);
+  }
+}
+
+TEST(InfoNceTest, TrainingPullsPositivesTogether) {
+  // A few gradient steps on InfoNCE must raise the positive cosine
+  // similarity relative to negatives.
+  Rng rng(41);
+  Tensor a = Tensor::Leaf(Matrix::Randn(4, 8, &rng), true);
+  Tensor c = Tensor::Leaf(Matrix::Randn(4, 8, &rng), true);
+  std::vector<uint32_t> targets = {0, 1, 2, 3};
+  auto pos_sim = [&] {
+    Tensor s = MatMulNT(L2NormalizeRows(a), L2NormalizeRows(c));
+    double m = 0.0;
+    for (size_t i = 0; i < 4; ++i) m += s.value().at(i, i);
+    return m / 4.0;
+  };
+  const double before = pos_sim();
+  for (int step = 0; step < 50; ++step) {
+    a.ZeroGrad();
+    c.ZeroGrad();
+    Tensor loss = InfoNce(a, c, targets, 0.2f);
+    loss.Backward();
+    for (Tensor* p : {&a, &c}) {
+      core::Matrix& w = p->mutable_value();
+      const core::Matrix& g = p->grad();
+      for (size_t k = 0; k < w.size(); ++k) w.data()[k] -= 0.5f * g.data()[k];
+    }
+  }
+  EXPECT_GT(pos_sim(), before + 0.1);
+}
+
+TEST(InfoNceTest, GradientMatchesFiniteDifference) {
+  Rng rng(51);
+  Tensor a = Tensor::Leaf(Matrix::Randn(3, 5, &rng), true);
+  Tensor c = Tensor::Leaf(Matrix::Randn(4, 5, &rng), true);
+  std::vector<uint32_t> t = {2, 0, 3};
+  auto res = CheckGradients([&] { return InfoNce(a, c, t, 0.3f); }, {a, c},
+                            1e-2f);
+  EXPECT_LT(res.max_rel_error, 2e-2);
+}
+
+TEST(MaskedInfoNceTest, MaskExcludesCandidates) {
+  // Anchor equals candidate 1 exactly; candidate 0 is an identical decoy.
+  // Unmasked, the decoy halves the probability; masked out, loss ~ 0.
+  Matrix av({{1.0, 0.0}});
+  Matrix cv({{1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}});
+  Tensor a = Tensor::Leaf(std::move(av), true);
+  Tensor c = Tensor::Leaf(std::move(cv), true);
+  Matrix mask_all(1, 3, 1.0f);
+  Matrix mask_no_decoy(1, 3, 1.0f);
+  mask_no_decoy.at(0, 0) = 0.0f;
+  const float loss_all = MaskedInfoNce(a, c, {1}, mask_all, 0.1f).scalar();
+  const float loss_masked =
+      MaskedInfoNce(a, c, {1}, mask_no_decoy, 0.1f).scalar();
+  EXPECT_GT(loss_all, std::log(2.0) - 1e-3);
+  EXPECT_LT(loss_masked, 1e-3);
+}
+
+TEST(MaskedInfoNceTest, GradientMatchesFiniteDifference) {
+  Rng rng(61);
+  Tensor a = Tensor::Leaf(Matrix::Randn(3, 4, &rng), true);
+  Tensor c = Tensor::Leaf(Matrix::Randn(5, 4, &rng), true);
+  std::vector<uint32_t> t = {1, 4, 0};
+  Matrix mask(3, 5, 1.0f);
+  mask.at(0, 2) = 0.0f;
+  mask.at(2, 3) = 0.0f;
+  auto res = CheckGradients(
+      [&] { return MaskedInfoNce(a, c, t, mask, 0.25f); }, {a, c}, 1e-2f);
+  EXPECT_LT(res.max_rel_error, 2e-2);
+}
+
+TEST(BceTest, KnownValues) {
+  // z=0 -> p=0.5 -> loss = ln 2 regardless of label.
+  Tensor z = Tensor::Leaf(Matrix(2, 1), true);
+  Matrix y(2, 1);
+  y.at(0, 0) = 1.0f;
+  EXPECT_NEAR(BceWithLogits(z, y).scalar(), std::log(2.0), 1e-6);
+}
+
+TEST(BceTest, ConfidentCorrectLowLoss) {
+  Matrix zv(2, 1);
+  zv.at(0, 0) = 20.0f;
+  zv.at(1, 0) = -20.0f;
+  Matrix y(2, 1);
+  y.at(0, 0) = 1.0f;
+  Tensor z = Tensor::Leaf(std::move(zv), true);
+  EXPECT_LT(BceWithLogits(z, y).scalar(), 1e-6);
+}
+
+TEST(BceTest, StableAtExtremeLogits) {
+  Matrix zv(1, 1);
+  zv.at(0, 0) = -500.0f;
+  Matrix y(1, 1);
+  y.at(0, 0) = 0.0f;
+  Tensor z = Tensor::Leaf(std::move(zv), true);
+  const float l = BceWithLogits(z, y).scalar();
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_NEAR(l, 0.0, 1e-6);
+}
+
+TEST(BceTest, GradientMatchesFiniteDifference) {
+  Rng rng(71);
+  Tensor z = Tensor::Leaf(Matrix::Randn(6, 1, &rng), true);
+  Matrix y(6, 1);
+  for (size_t i = 0; i < 6; ++i) y.at(i, 0) = (i % 2 == 0) ? 1.0f : 0.0f;
+  auto res =
+      CheckGradients([&] { return BceWithLogits(z, y); }, {z}, 1e-2f);
+  EXPECT_LT(res.max_rel_error, 2e-2);
+}
+
+TEST(BceTest, GradIsSigmoidMinusTarget) {
+  Tensor z = Tensor::Leaf(Matrix(1, 1), true);  // z=0, sigmoid=0.5
+  Matrix y(1, 1);
+  y.at(0, 0) = 1.0f;
+  Tensor loss = BceWithLogits(z, y);
+  loss.Backward();
+  EXPECT_NEAR(z.grad().at(0, 0), -0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace garcia::nn

@@ -1,0 +1,132 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+
+namespace garcia::nn {
+namespace {
+
+using core::Matrix;
+using core::Rng;
+
+TEST(LinearTest, ShapesAndParams) {
+  Rng rng(1);
+  Linear lin(8, 4, &rng);
+  EXPECT_EQ(lin.Parameters().size(), 2u);  // W, b
+  EXPECT_EQ(lin.NumParameters(), 8u * 4u + 4u);
+  Tensor x = Tensor::Constant(Matrix::Randn(5, 8, &rng));
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(LinearTest, NoBias) {
+  Rng rng(2);
+  Linear lin(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Tensor zero = Tensor::Constant(Matrix(1, 3));
+  EXPECT_TRUE(lin.Forward(zero).value().AllClose(Matrix(1, 2)));
+}
+
+TEST(LinearTest, GradientsFlowToParams) {
+  Rng rng(3);
+  Linear lin(4, 3, &rng);
+  Tensor x = Tensor::Constant(Matrix::Randn(2, 4, &rng));
+  auto res = CheckGradients(
+      [&] { return SumAll(Tanh(lin.Forward(x))); }, lin.Parameters(), 1e-2f);
+  EXPECT_LT(res.max_rel_error, 2e-2);
+}
+
+TEST(EmbeddingTest, LookupReturnsRows) {
+  Rng rng(4);
+  Embedding emb(10, 6, &rng);
+  Tensor out = emb.Forward({3, 7, 3});
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 6u);
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_FLOAT_EQ(out.value().at(0, j), emb.Table().value().at(3, j));
+    EXPECT_FLOAT_EQ(out.value().at(2, j), emb.Table().value().at(3, j));
+  }
+}
+
+TEST(EmbeddingTest, OnlyTouchedRowsGetGradient) {
+  Rng rng(5);
+  Embedding emb(10, 4, &rng);
+  Tensor loss = SumAll(emb.Forward({2, 5}));
+  loss.Backward();
+  const Matrix& g = emb.Table().grad();
+  for (size_t i = 0; i < 10; ++i) {
+    const bool touched = (i == 2 || i == 5);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(g.at(i, j), touched ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MlpTest, TwoLayerShapes) {
+  Rng rng(6);
+  Mlp mlp({16, 8, 1}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 2u);
+  Tensor x = Tensor::Constant(Matrix::Randn(7, 16, &rng));
+  Tensor y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 1u);
+}
+
+TEST(MlpTest, GradCheck) {
+  Rng rng(7);
+  Mlp mlp({5, 4, 2}, &rng);
+  Tensor x = Tensor::Constant(Matrix::Randn(3, 5, &rng));
+  auto res = CheckGradients(
+      [&] { return MeanAll(Tanh(mlp.Forward(x))); }, mlp.Parameters(), 1e-2f);
+  EXPECT_LT(res.max_rel_error, 3e-2);
+}
+
+TEST(MlpTest, DeepStack) {
+  Rng rng(8);
+  Mlp mlp({4, 4, 4, 4, 2}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 4u);
+  EXPECT_EQ(mlp.Parameters().size(), 8u);
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng1(9), rng2(10);
+  Mlp a({6, 4, 2}, &rng1);
+  Mlp b({6, 4, 2}, &rng2);
+  Tensor x = Tensor::Constant(Matrix::Randn(2, 6, &rng1));
+  EXPECT_FALSE(
+      a.Forward(x).value().AllClose(b.Forward(x).value(), 1e-6f));
+  b.CopyParametersFrom(a);
+  EXPECT_TRUE(a.Forward(x).value().AllClose(b.Forward(x).value(), 1e-6f));
+}
+
+TEST(ModuleTest, MlpLearnsXor) {
+  // End-to-end sanity: a small MLP fits XOR with plain gradient descent.
+  Rng rng(11);
+  Mlp mlp({2, 8, 1}, &rng);
+  Matrix inputs({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  Matrix labels({{0.0}, {1.0}, {1.0}, {0.0}});
+  Tensor x = Tensor::Constant(inputs);
+  auto params = mlp.Parameters();
+  float final_loss = 1e9f;
+  for (int step = 0; step < 2000; ++step) {
+    for (Tensor& p : params) p.ZeroGrad();
+    Tensor loss = BceWithLogits(mlp.Forward(x), labels);
+    loss.Backward();
+    final_loss = loss.scalar();
+    for (Tensor& p : params) {
+      core::Matrix& w = p.mutable_value();
+      for (size_t k = 0; k < w.size(); ++k) {
+        w.data()[k] -= 0.5f * p.grad().data()[k];
+      }
+    }
+  }
+  EXPECT_LT(final_loss, 0.05f);
+}
+
+}  // namespace
+}  // namespace garcia::nn

@@ -1,0 +1,150 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace garcia::nn {
+namespace {
+
+using core::Matrix;
+using core::Rng;
+
+// loss(w) = sum((w - target)^2); unique minimum at w == target.
+Tensor QuadraticLoss(const Tensor& w, const Matrix& target) {
+  Tensor diff = Sub(w, Tensor::Constant(target));
+  return SumAll(Mul(diff, diff));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Tensor w = Tensor::Leaf(Matrix::Randn(3, 3, &rng), true);
+  Matrix target = Matrix::Randn(3, 3, &rng);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    QuadraticLoss(w, target).Backward();
+    opt.Step();
+  }
+  Matrix diff = w.value();
+  diff.Sub(target);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesOnIllConditioned) {
+  // f(w) = 100 w0^2 + w1^2: plain SGD with a safe lr crawls along w1.
+  auto run = [](float momentum) {
+    Tensor w = Tensor::Leaf(Matrix({{1.0, 1.0}}), true);
+    Tensor scale = Tensor::Constant(Matrix({{100.0, 1.0}}));
+    Sgd opt({w}, 0.004f, momentum);
+    for (int i = 0; i < 100; ++i) {
+      opt.ZeroGrad();
+      SumAll(Mul(Mul(w, w), scale)).Backward();
+      opt.Step();
+    }
+    return std::fabs(w.value().at(0, 1));
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(2);
+  Tensor w = Tensor::Leaf(Matrix::Randn(4, 2, &rng), true);
+  Matrix target = Matrix::Randn(4, 2, &rng);
+  Adam opt({w}, 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    QuadraticLoss(w, target).Backward();
+    opt.Step();
+  }
+  Matrix diff = w.value();
+  diff.Sub(target);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-2);
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParams) {
+  // A parameter receiving (zero-accumulated) gradients decays toward 0 when
+  // weight_decay > 0.
+  Tensor w = Tensor::Leaf(Matrix(2, 2, 1.0f), true);
+  Adam opt({w}, 0.05f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    // Touch the grad so Step() applies (gradient contribution is zero).
+    Scale(SumAll(w), 0.0f).Backward();
+    opt.Step();
+  }
+  EXPECT_LT(w.value().AbsMax(), 0.2f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Tensor used = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor unused = Tensor::Leaf(Matrix({{7.0}}), true);
+  Adam opt({used, unused}, 0.1f);
+  opt.ZeroGrad();
+  SumAll(Mul(used, used)).Backward();
+  opt.Step();
+  EXPECT_FLOAT_EQ(unused.value().at(0, 0), 7.0f);
+  EXPECT_NE(used.value().at(0, 0), 1.0f);
+}
+
+TEST(AdamTest, ZeroGradClearsAccumulation) {
+  Tensor w = Tensor::Leaf(Matrix({{1.0}}), true);
+  Adam opt({w}, 0.1f);
+  SumAll(w).Backward();
+  EXPECT_FLOAT_EQ(w.grad().at(0, 0), 1.0f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(w.grad().at(0, 0), 0.0f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Tensor w = Tensor::Leaf(Matrix({{3.0, 4.0}}), true);
+  SumAll(Mul(w, Tensor::Constant(Matrix({{3.0, 4.0}})))).Backward();
+  // grad = (3, 4), norm 5.
+  const double norm = ClipGradNorm({w}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-5);
+  EXPECT_NEAR(w.grad().at(0, 0), 0.6, 1e-5);
+  EXPECT_NEAR(w.grad().at(0, 1), 0.8, 1e-5);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::Leaf(Matrix({{1.0}}), true);
+  SumAll(Scale(w, 0.1f)).Backward();
+  ClipGradNorm({w}, 10.0);
+  EXPECT_NEAR(w.grad().at(0, 0), 0.1, 1e-6);
+}
+
+TEST(OptimizerIntegrationTest, LogisticRegressionLearns) {
+  // Linearly separable data; Adam + BCE drives the training loss near 0.
+  Rng rng(3);
+  const size_t n = 200, d = 5;
+  Matrix x = Matrix::Randn(n, d, &rng);
+  Matrix true_w = Matrix::Randn(d, 1, &rng);
+  Matrix y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) s += x.at(i, j) * true_w.at(j, 0);
+    y.at(i, 0) = s > 0 ? 1.0f : 0.0f;
+  }
+  Linear model(d, 1, &rng);
+  Adam opt(model.Parameters(), 0.05f);
+  Tensor xt = Tensor::Constant(x);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    Tensor loss = BceWithLogits(model.Forward(xt), y);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.2f);
+  EXPECT_LT(last, 0.2f);
+}
+
+}  // namespace
+}  // namespace garcia::nn

@@ -1,0 +1,237 @@
+// Parameterized property tests for the autograd engine: invariants that
+// must hold across randomized shapes and seeds, checked against naive
+// reference computations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace garcia::nn {
+namespace {
+
+using core::Matrix;
+using core::Rng;
+
+// ---------- GEMM vs naive across shapes ----------
+
+struct GemmShape {
+  size_t m, k, n;
+  bool ta, tb;
+};
+
+class GemmPropertyTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmPropertyTest, MatchesNaive) {
+  const GemmShape p = GetParam();
+  Rng rng(p.m * 31 + p.k * 7 + p.n);
+  Matrix a = p.ta ? Matrix::Randn(p.k, p.m, &rng) : Matrix::Randn(p.m, p.k, &rng);
+  Matrix b = p.tb ? Matrix::Randn(p.n, p.k, &rng) : Matrix::Randn(p.k, p.n, &rng);
+  Matrix c(p.m, p.n);
+  Matrix::Gemm(p.ta, p.tb, 1.0f, a, b, 0.0f, &c);
+  auto at = [&](size_t i, size_t l) { return p.ta ? a.at(l, i) : a.at(i, l); };
+  auto bt = [&](size_t l, size_t j) { return p.tb ? b.at(j, l) : b.at(l, j); };
+  for (size_t i = 0; i < p.m; ++i) {
+    for (size_t j = 0; j < p.n; ++j) {
+      double acc = 0.0;
+      for (size_t l = 0; l < p.k; ++l) acc += at(i, l) * bt(l, j);
+      ASSERT_NEAR(c.at(i, j), acc, 1e-3) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmPropertyTest,
+    ::testing::Values(GemmShape{1, 1, 1, false, false},
+                      GemmShape{7, 13, 5, false, false},
+                      GemmShape{16, 16, 16, false, false},
+                      GemmShape{3, 8, 9, true, false},
+                      GemmShape{9, 5, 3, false, true},
+                      GemmShape{6, 6, 6, true, true},
+                      GemmShape{33, 65, 17, false, false},
+                      GemmShape{1, 64, 1, false, true}),
+    [](const auto& info) {
+      const GemmShape& s = info.param;
+      return "m" + std::to_string(s.m) + "k" + std::to_string(s.k) + "n" +
+             std::to_string(s.n) + (s.ta ? "tA" : "") + (s.tb ? "tB" : "");
+    });
+
+// ---------- Segment ops vs naive across sizes ----------
+
+struct SegConfig {
+  size_t edges, segments, dim;
+  uint64_t seed;
+};
+
+class SegmentPropertyTest : public ::testing::TestWithParam<SegConfig> {};
+
+TEST_P(SegmentPropertyTest, SumMatchesNaive) {
+  const SegConfig c = GetParam();
+  Rng rng(c.seed);
+  std::vector<uint32_t> seg(c.edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(c.segments)));
+  }
+  Matrix x = Matrix::Randn(c.edges, c.dim, &rng);
+  Tensor out = SegmentSum(Tensor::Constant(x), seg, c.segments);
+  Matrix naive(c.segments, c.dim);
+  for (size_t e = 0; e < c.edges; ++e) {
+    for (size_t j = 0; j < c.dim; ++j) naive.at(seg[e], j) += x.at(e, j);
+  }
+  EXPECT_TRUE(out.value().AllClose(naive, 1e-4f));
+}
+
+TEST_P(SegmentPropertyTest, SoftmaxPartitionsUnity) {
+  const SegConfig c = GetParam();
+  Rng rng(c.seed + 1);
+  std::vector<uint32_t> seg(c.edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(c.segments)));
+  }
+  Tensor scores = Tensor::Constant(Matrix::Randn(c.edges, 1, &rng, 0.0f, 5.0f));
+  Tensor alpha = SegmentSoftmax(scores, seg, c.segments);
+  std::vector<double> sums(c.segments, 0.0);
+  std::vector<size_t> counts(c.segments, 0);
+  for (size_t e = 0; e < c.edges; ++e) {
+    ASSERT_GT(alpha.value().at(e, 0), 0.0f);
+    sums[seg[e]] += alpha.value().at(e, 0);
+    counts[seg[e]]++;
+  }
+  for (size_t s = 0; s < c.segments; ++s) {
+    if (counts[s] > 0) {
+      ASSERT_NEAR(sums[s], 1.0, 1e-5);
+    }
+  }
+}
+
+TEST_P(SegmentPropertyTest, SoftmaxGradCheck) {
+  const SegConfig c = GetParam();
+  if (c.edges > 64) GTEST_SKIP() << "finite differences too slow";
+  Rng rng(c.seed + 2);
+  std::vector<uint32_t> seg(c.edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(c.segments)));
+  }
+  Tensor scores = Tensor::Leaf(Matrix::Randn(c.edges, 1, &rng), true);
+  Tensor w = Tensor::Constant(Matrix::Randn(c.edges, 1, &rng));
+  auto res = CheckGradients(
+      [&] { return SumAll(Mul(SegmentSoftmax(scores, seg, c.segments), w)); },
+      {scores}, 1e-2f);
+  EXPECT_LT(res.max_rel_error, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SegmentPropertyTest,
+    ::testing::Values(SegConfig{1, 1, 1, 10}, SegConfig{10, 3, 4, 11},
+                      SegConfig{50, 50, 2, 12}, SegConfig{64, 5, 8, 13},
+                      SegConfig{1000, 40, 16, 14},
+                      SegConfig{500, 1, 3, 15}),
+    [](const auto& info) {
+      const SegConfig& c = info.param;
+      return "e" + std::to_string(c.edges) + "s" + std::to_string(c.segments) +
+             "d" + std::to_string(c.dim);
+    });
+
+// ---------- Loss invariants across batch sizes ----------
+
+class InfoNcePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(InfoNcePropertyTest, BoundedByLogN) {
+  // With unit-norm rows, logits are in [-1/tau, 1/tau]; the loss is within
+  // [0, log N + 2/tau]. With random (near-orthogonal) vectors it stays near
+  // log N.
+  const size_t n = GetParam();
+  Rng rng(n);
+  Tensor a = Tensor::Leaf(Matrix::Randn(n, 24, &rng), true);
+  Tensor c = Tensor::Leaf(Matrix::Randn(n, 24, &rng), true);
+  std::vector<uint32_t> t(n);
+  for (size_t i = 0; i < n; ++i) t[i] = static_cast<uint32_t>(i);
+  const float tau = 0.2f;
+  const double loss = InfoNce(a, c, t, tau).scalar();
+  EXPECT_GE(loss, 0.0);
+  EXPECT_LE(loss, std::log(static_cast<double>(n)) + 2.0 / tau);
+}
+
+TEST_P(InfoNcePropertyTest, PerfectPositivesBeatRandom) {
+  const size_t n = GetParam();
+  Rng rng(n + 100);
+  Matrix base = Matrix::Randn(n, 24, &rng);
+  Tensor a = Tensor::Leaf(base, true);
+  Tensor c_same = Tensor::Leaf(base, true);  // positives identical
+  Tensor c_rand = Tensor::Leaf(Matrix::Randn(n, 24, &rng), true);
+  std::vector<uint32_t> t(n);
+  for (size_t i = 0; i < n; ++i) t[i] = static_cast<uint32_t>(i);
+  EXPECT_LT(InfoNce(a, c_same, t, 0.1f).scalar(),
+            InfoNce(a, c_rand, t, 0.1f).scalar());
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, InfoNcePropertyTest,
+                         ::testing::Values(2, 4, 16, 64, 256));
+
+// ---------- Misc op invariants ----------
+
+class NormalizePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NormalizePropertyTest, IdempotentAndUnitNorm) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::Constant(
+      Matrix::Randn(GetParam(), 8, &rng, 0.0f, 3.0f));
+  Tensor y = L2NormalizeRows(x);
+  Tensor yy = L2NormalizeRows(y);
+  EXPECT_TRUE(y.value().AllClose(yy.value(), 1e-5f));
+  for (size_t i = 0; i < y.rows(); ++i) {
+    double norm = 0.0;
+    for (size_t j = 0; j < y.cols(); ++j) {
+      norm += static_cast<double>(y.value().at(i, j)) * y.value().at(i, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, NormalizePropertyTest,
+                         ::testing::Values(1, 5, 33, 128));
+
+TEST(OptimizerPropertyTest, AdamInvariantToGradientScaleDirectionally) {
+  // Adam normalizes by the second moment: scaling the loss by a constant
+  // must leave the first update direction (sign pattern) unchanged.
+  Rng rng(77);
+  Matrix init = Matrix::Randn(4, 4, &rng);
+  auto run = [&](float scale) {
+    Tensor w = Tensor::Leaf(init, true);
+    Adam opt({w}, 0.01f);
+    Tensor loss = Scale(SumAll(Mul(w, w)), scale);
+    loss.Backward();
+    opt.Step();
+    Matrix delta = w.value();
+    delta.Sub(init);
+    return delta;
+  };
+  Matrix d1 = run(1.0f);
+  Matrix d2 = run(100.0f);
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (std::fabs(init.data()[i]) < 1e-3) continue;  // near-zero gradient
+    EXPECT_GT(d1.data()[i] * d2.data()[i], 0.0f) << "direction flipped";
+  }
+}
+
+TEST(MlpPropertyTest, ParameterCountFormula) {
+  Rng rng(88);
+  for (auto dims : std::vector<std::vector<size_t>>{
+           {4, 8, 1}, {16, 32, 8, 2}, {11, 3, 3, 3, 1}}) {
+    Mlp mlp(dims, &rng);
+    size_t expected = 0;
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+      expected += dims[i] * dims[i + 1] + dims[i + 1];
+    }
+    EXPECT_EQ(mlp.NumParameters(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace garcia::nn

@@ -1,0 +1,124 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace garcia::nn {
+namespace {
+
+using core::Matrix;
+
+TEST(TensorTest, UndefinedByDefault) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, LeafHoldsValue) {
+  Tensor t = Tensor::Leaf(Matrix({{1, 2}, {3, 4}}), true);
+  EXPECT_TRUE(t.defined());
+  EXPECT_TRUE(t.requires_grad());
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t.value().at(1, 0), 3.0f);
+  EXPECT_FALSE(t.has_grad());
+}
+
+TEST(TensorTest, ConstantNeverRequiresGrad) {
+  Tensor c = Tensor::Constant(Matrix(2, 2, 1.0f));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(TensorTest, ScalarAccessor) {
+  Tensor t = Tensor::Leaf(Matrix({{2.5}}), false);
+  EXPECT_FLOAT_EQ(t.scalar(), 2.5f);
+}
+
+TEST(TensorTest, SimpleBackward) {
+  // loss = sum(2 * x), dloss/dx = 2.
+  Tensor x = Tensor::Leaf(Matrix({{1, 2}, {3, 4}}), true);
+  Tensor loss = SumAll(Scale(x, 2.0f));
+  loss.Backward();
+  ASSERT_TRUE(x.has_grad());
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 2, 2.0f)));
+}
+
+TEST(TensorTest, DiamondGraphAccumulates) {
+  // y = x + x: dy/dx = 2 through two paths.
+  Tensor x = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor loss = SumAll(Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 2.0f);
+}
+
+TEST(TensorTest, DeepDiamond) {
+  // z = (x+x) + (x+x): dz/dx = 4.
+  Tensor x = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor a = Add(x, x);
+  Tensor b = Add(x, x);
+  Tensor loss = SumAll(Add(a, b));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 4.0f);
+}
+
+TEST(TensorTest, SharedSubexpressionVisitedOnce) {
+  // u = 3x; loss = sum(u + u). If u's backward ran twice the grad would be
+  // wrong; correct is 6.
+  Tensor x = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor u = Scale(x, 3.0f);
+  Tensor loss = SumAll(Add(u, u));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 6.0f);
+}
+
+TEST(TensorTest, NoGradThroughConstants) {
+  Tensor x = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor c = Tensor::Constant(Matrix({{5.0}}));
+  Tensor loss = SumAll(Mul(x, c));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 5.0f);
+  EXPECT_FALSE(c.has_grad());
+}
+
+TEST(TensorTest, BackwardTwiceAccumulates) {
+  Tensor x = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor loss = SumAll(Scale(x, 2.0f));
+  loss.Backward();
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 4.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.0f);
+}
+
+TEST(TensorTest, FreshTapePerStep) {
+  Tensor w = Tensor::Leaf(Matrix({{1.0}}), true);
+  for (int step = 0; step < 3; ++step) {
+    w.ZeroGrad();
+    Tensor loss = SumAll(Mul(w, w));  // d/dw w^2 = 2w
+    loss.Backward();
+    const float expected = 2.0f * w.value().at(0, 0);
+    EXPECT_FLOAT_EQ(w.grad().at(0, 0), expected);
+    w.mutable_value().at(0, 0) -= 0.1f * w.grad().at(0, 0);
+  }
+  EXPECT_LT(w.value().at(0, 0), 1.0f);  // descending toward 0
+}
+
+TEST(TensorTest, LongChainBackward) {
+  // Deep chain exercises the iterative (non-recursive) topo sort.
+  Tensor x = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor h = x;
+  const int depth = 2000;
+  for (int i = 0; i < depth; ++i) h = Scale(h, 1.0f);
+  Tensor loss = SumAll(h);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 1.0f);
+}
+
+TEST(TensorTest, IdStableAcrossCopies) {
+  Tensor a = Tensor::Leaf(Matrix({{1.0}}), true);
+  Tensor b = a;
+  EXPECT_EQ(a.id(), b.id());
+}
+
+}  // namespace
+}  // namespace garcia::nn

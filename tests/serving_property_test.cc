@@ -1,0 +1,110 @@
+// Parameterized property tests for the retrieval path: exact top-K must
+// agree with a brute-force reference for arbitrary sizes, K values and
+// score distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "serving/ranking_service.h"
+
+namespace garcia::serving {
+namespace {
+
+struct RetrievalCase {
+  size_t services, dim, k;
+  uint64_t seed;
+};
+
+class RetrievalPropertyTest : public ::testing::TestWithParam<RetrievalCase> {
+};
+
+TEST_P(RetrievalPropertyTest, MatchesBruteForce) {
+  const RetrievalCase c = GetParam();
+  core::Rng rng(c.seed);
+  core::Matrix cands = core::Matrix::Randn(c.services, c.dim, &rng);
+  core::Matrix q = core::Matrix::Randn(1, c.dim, &rng);
+  RankedList top = TopKInnerProduct(q.row(0), c.dim, cands, c.k);
+
+  // Brute force with identical tie-breaking.
+  RankedList all(c.services);
+  for (size_t i = 0; i < c.services; ++i) {
+    double dot = 0.0;
+    for (size_t j = 0; j < c.dim; ++j) {
+      dot += static_cast<double>(q.at(0, j)) * cands.at(i, j);
+    }
+    all[i] = {static_cast<uint32_t>(i), static_cast<float>(dot)};
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const size_t expect_k = std::min(c.k, c.services);
+  ASSERT_EQ(top.size(), expect_k);
+  for (size_t i = 0; i < expect_k; ++i) {
+    EXPECT_EQ(top[i].first, all[i].first) << "rank " << i;
+    EXPECT_FLOAT_EQ(top[i].second, all[i].second);
+  }
+}
+
+TEST_P(RetrievalPropertyTest, ScoresNonIncreasing) {
+  const RetrievalCase c = GetParam();
+  core::Rng rng(c.seed + 1);
+  core::Matrix cands = core::Matrix::Randn(c.services, c.dim, &rng);
+  core::Matrix q = core::Matrix::Randn(1, c.dim, &rng);
+  RankedList top = TopKInnerProduct(q.row(0), c.dim, cands, c.k);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST_P(RetrievalPropertyTest, ResultsAreDistinctServices) {
+  const RetrievalCase c = GetParam();
+  core::Rng rng(c.seed + 2);
+  core::Matrix cands = core::Matrix::Randn(c.services, c.dim, &rng);
+  core::Matrix q = core::Matrix::Randn(1, c.dim, &rng);
+  RankedList top = TopKInnerProduct(q.row(0), c.dim, cands, c.k);
+  std::set<uint32_t> seen;
+  for (const auto& [svc, score] : top) {
+    EXPECT_TRUE(seen.insert(svc).second);
+    EXPECT_LT(svc, c.services);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RetrievalPropertyTest,
+    ::testing::Values(RetrievalCase{1, 4, 1, 1}, RetrievalCase{10, 8, 3, 2},
+                      RetrievalCase{100, 16, 10, 3},
+                      RetrievalCase{100, 16, 100, 4},
+                      RetrievalCase{57, 3, 200, 5},  // k > n
+                      RetrievalCase{1000, 32, 5, 6}),
+    [](const auto& info) {
+      const RetrievalCase& c = info.param;
+      return "s" + std::to_string(c.services) + "d" + std::to_string(c.dim) +
+             "k" + std::to_string(c.k);
+    });
+
+TEST(EmbeddingRankerPropertyTest, TopOneIsArgmax) {
+  core::Rng rng(9);
+  EmbeddingStore queries(core::Matrix::Randn(20, 8, &rng));
+  EmbeddingStore services(core::Matrix::Randn(50, 8, &rng));
+  EmbeddingRanker ranker(queries, services);
+  for (uint32_t q = 0; q < 20; ++q) {
+    auto top = ranker.Rank(q, 1);
+    ASSERT_EQ(top.size(), 1u);
+    // No service may score strictly higher than the reported best.
+    for (uint32_t s = 0; s < 50; ++s) {
+      double dot = 0.0;
+      for (size_t j = 0; j < 8; ++j) {
+        dot += static_cast<double>(queries.vector(q)[j]) *
+               services.vector(s)[j];
+      }
+      EXPECT_LE(dot, top[0].second + 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace garcia::serving
