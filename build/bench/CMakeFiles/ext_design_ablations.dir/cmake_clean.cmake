@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_design_ablations.dir/ext_design_ablations.cc.o"
+  "CMakeFiles/ext_design_ablations.dir/ext_design_ablations.cc.o.d"
+  "ext_design_ablations"
+  "ext_design_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_design_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

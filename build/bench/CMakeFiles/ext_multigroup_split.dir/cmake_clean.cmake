@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multigroup_split.dir/ext_multigroup_split.cc.o"
+  "CMakeFiles/ext_multigroup_split.dir/ext_multigroup_split.cc.o.d"
+  "ext_multigroup_split"
+  "ext_multigroup_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multigroup_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

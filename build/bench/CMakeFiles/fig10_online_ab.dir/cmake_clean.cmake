@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_online_ab.dir/fig10_online_ab.cc.o"
+  "CMakeFiles/fig10_online_ab.dir/fig10_online_ab.cc.o.d"
+  "fig10_online_ab"
+  "fig10_online_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_online_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

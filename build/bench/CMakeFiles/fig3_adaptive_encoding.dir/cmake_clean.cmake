@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_adaptive_encoding.dir/fig3_adaptive_encoding.cc.o"
+  "CMakeFiles/fig3_adaptive_encoding.dir/fig3_adaptive_encoding.cc.o.d"
+  "fig3_adaptive_encoding"
+  "fig3_adaptive_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adaptive_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cl_ablation.dir/fig4_cl_ablation.cc.o"
+  "CMakeFiles/fig4_cl_ablation.dir/fig4_cl_ablation.cc.o.d"
+  "fig4_cl_ablation"
+  "fig4_cl_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tree_levels.dir/fig7_tree_levels.cc.o"
+  "CMakeFiles/fig7_tree_levels.dir/fig7_tree_levels.cc.o.d"
+  "fig7_tree_levels"
+  "fig7_tree_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tree_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

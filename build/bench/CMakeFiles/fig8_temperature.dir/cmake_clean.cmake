@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_temperature.dir/fig8_temperature.cc.o"
+  "CMakeFiles/fig8_temperature.dir/fig8_temperature.cc.o.d"
+  "fig8_temperature"
+  "fig8_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/garcia_bench_common.dir/bench_common.cc.o.d"
+  "libgarcia_bench_common.a"
+  "libgarcia_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgarcia_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_graph_stats.dir/table2_graph_stats.cc.o"
+  "CMakeFiles/table2_graph_stats.dir/table2_graph_stats.cc.o.d"
+  "table2_graph_stats"
+  "table2_graph_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_graph_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

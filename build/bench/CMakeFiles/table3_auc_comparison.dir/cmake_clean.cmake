@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_auc_comparison.dir/table3_auc_comparison.cc.o"
+  "CMakeFiles/table3_auc_comparison.dir/table3_auc_comparison.cc.o.d"
+  "table3_auc_comparison"
+  "table3_auc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_auc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

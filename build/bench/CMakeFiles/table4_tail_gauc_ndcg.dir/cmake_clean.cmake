@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_tail_gauc_ndcg.dir/table4_tail_gauc_ndcg.cc.o"
+  "CMakeFiles/table4_tail_gauc_ndcg.dir/table4_tail_gauc_ndcg.cc.o.d"
+  "table4_tail_gauc_ndcg"
+  "table4_tail_gauc_ndcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tail_gauc_ndcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/intention_tree_explorer.cpp" "examples/CMakeFiles/intention_tree_explorer.dir/intention_tree_explorer.cpp.o" "gcc" "examples/CMakeFiles/intention_tree_explorer.dir/intention_tree_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/garcia_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/garcia_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/garcia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garcia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garcia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/garcia_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garcia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/garcia_intent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intention_tree_explorer.dir/intention_tree_explorer.cpp.o"
+  "CMakeFiles/intention_tree_explorer.dir/intention_tree_explorer.cpp.o.d"
+  "intention_tree_explorer"
+  "intention_tree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intention_tree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longtail_knowledge_transfer.dir/longtail_knowledge_transfer.cpp.o"
+  "CMakeFiles/longtail_knowledge_transfer.dir/longtail_knowledge_transfer.cpp.o.d"
+  "longtail_knowledge_transfer"
+  "longtail_knowledge_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longtail_knowledge_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

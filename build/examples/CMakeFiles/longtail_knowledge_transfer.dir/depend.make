@@ -1,0 +1,2 @@
+# Empty dependencies file for longtail_knowledge_transfer.
+# This may be replaced when dependencies are built.

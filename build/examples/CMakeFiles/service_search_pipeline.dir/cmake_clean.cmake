@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_search_pipeline.dir/service_search_pipeline.cpp.o"
+  "CMakeFiles/service_search_pipeline.dir/service_search_pipeline.cpp.o.d"
+  "service_search_pipeline"
+  "service_search_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_search_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/logging.cc" "src/core/CMakeFiles/garcia_core.dir/logging.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/logging.cc.o.d"
+  "/root/repo/src/core/macros.cc" "src/core/CMakeFiles/garcia_core.dir/macros.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/macros.cc.o.d"
+  "/root/repo/src/core/matrix.cc" "src/core/CMakeFiles/garcia_core.dir/matrix.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/matrix.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/garcia_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/garcia_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/status.cc.o.d"
+  "/root/repo/src/core/string_util.cc" "src/core/CMakeFiles/garcia_core.dir/string_util.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/string_util.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/garcia_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/table.cc.o.d"
+  "/root/repo/src/core/threadpool.cc" "src/core/CMakeFiles/garcia_core.dir/threadpool.cc.o" "gcc" "src/core/CMakeFiles/garcia_core.dir/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_core.dir/logging.cc.o"
+  "CMakeFiles/garcia_core.dir/logging.cc.o.d"
+  "CMakeFiles/garcia_core.dir/macros.cc.o"
+  "CMakeFiles/garcia_core.dir/macros.cc.o.d"
+  "CMakeFiles/garcia_core.dir/matrix.cc.o"
+  "CMakeFiles/garcia_core.dir/matrix.cc.o.d"
+  "CMakeFiles/garcia_core.dir/rng.cc.o"
+  "CMakeFiles/garcia_core.dir/rng.cc.o.d"
+  "CMakeFiles/garcia_core.dir/status.cc.o"
+  "CMakeFiles/garcia_core.dir/status.cc.o.d"
+  "CMakeFiles/garcia_core.dir/string_util.cc.o"
+  "CMakeFiles/garcia_core.dir/string_util.cc.o.d"
+  "CMakeFiles/garcia_core.dir/table.cc.o"
+  "CMakeFiles/garcia_core.dir/table.cc.o.d"
+  "CMakeFiles/garcia_core.dir/threadpool.cc.o"
+  "CMakeFiles/garcia_core.dir/threadpool.cc.o.d"
+  "libgarcia_core.a"
+  "libgarcia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

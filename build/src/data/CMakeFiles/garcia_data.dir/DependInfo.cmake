@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/presets.cc" "src/data/CMakeFiles/garcia_data.dir/presets.cc.o" "gcc" "src/data/CMakeFiles/garcia_data.dir/presets.cc.o.d"
+  "/root/repo/src/data/scenario_generator.cc" "src/data/CMakeFiles/garcia_data.dir/scenario_generator.cc.o" "gcc" "src/data/CMakeFiles/garcia_data.dir/scenario_generator.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/garcia_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/garcia_data.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/garcia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garcia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/garcia_intent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_data.dir/presets.cc.o"
+  "CMakeFiles/garcia_data.dir/presets.cc.o.d"
+  "CMakeFiles/garcia_data.dir/scenario_generator.cc.o"
+  "CMakeFiles/garcia_data.dir/scenario_generator.cc.o.d"
+  "CMakeFiles/garcia_data.dir/stats.cc.o"
+  "CMakeFiles/garcia_data.dir/stats.cc.o.d"
+  "libgarcia_data.a"
+  "libgarcia_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_eval.dir/metrics.cc.o"
+  "CMakeFiles/garcia_eval.dir/metrics.cc.o.d"
+  "libgarcia_eval.a"
+  "libgarcia_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

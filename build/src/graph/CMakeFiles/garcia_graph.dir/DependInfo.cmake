@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/frequency_groups.cc" "src/graph/CMakeFiles/garcia_graph.dir/frequency_groups.cc.o" "gcc" "src/graph/CMakeFiles/garcia_graph.dir/frequency_groups.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/garcia_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/garcia_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/head_tail.cc" "src/graph/CMakeFiles/garcia_graph.dir/head_tail.cc.o" "gcc" "src/graph/CMakeFiles/garcia_graph.dir/head_tail.cc.o.d"
+  "/root/repo/src/graph/search_graph.cc" "src/graph/CMakeFiles/garcia_graph.dir/search_graph.cc.o" "gcc" "src/graph/CMakeFiles/garcia_graph.dir/search_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/garcia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_graph.dir/frequency_groups.cc.o"
+  "CMakeFiles/garcia_graph.dir/frequency_groups.cc.o.d"
+  "CMakeFiles/garcia_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/garcia_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/garcia_graph.dir/head_tail.cc.o"
+  "CMakeFiles/garcia_graph.dir/head_tail.cc.o.d"
+  "CMakeFiles/garcia_graph.dir/search_graph.cc.o"
+  "CMakeFiles/garcia_graph.dir/search_graph.cc.o.d"
+  "libgarcia_graph.a"
+  "libgarcia_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

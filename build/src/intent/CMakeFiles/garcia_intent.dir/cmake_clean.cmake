@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_intent.dir/intention_forest.cc.o"
+  "CMakeFiles/garcia_intent.dir/intention_forest.cc.o.d"
+  "libgarcia_intent.a"
+  "libgarcia_intent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_intent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/baseline_gnn.cc" "src/models/CMakeFiles/garcia_models.dir/baseline_gnn.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/baseline_gnn.cc.o.d"
+  "/root/repo/src/models/common.cc" "src/models/CMakeFiles/garcia_models.dir/common.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/common.cc.o.d"
+  "/root/repo/src/models/contrastive.cc" "src/models/CMakeFiles/garcia_models.dir/contrastive.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/contrastive.cc.o.d"
+  "/root/repo/src/models/garcia_model.cc" "src/models/CMakeFiles/garcia_models.dir/garcia_model.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/garcia_model.cc.o.d"
+  "/root/repo/src/models/gnn_encoder.cc" "src/models/CMakeFiles/garcia_models.dir/gnn_encoder.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/gnn_encoder.cc.o.d"
+  "/root/repo/src/models/intention_encoder.cc" "src/models/CMakeFiles/garcia_models.dir/intention_encoder.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/intention_encoder.cc.o.d"
+  "/root/repo/src/models/kgat.cc" "src/models/CMakeFiles/garcia_models.dir/kgat.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/kgat.cc.o.d"
+  "/root/repo/src/models/lightgcn.cc" "src/models/CMakeFiles/garcia_models.dir/lightgcn.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/lightgcn.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/models/CMakeFiles/garcia_models.dir/registry.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/registry.cc.o.d"
+  "/root/repo/src/models/sgl.cc" "src/models/CMakeFiles/garcia_models.dir/sgl.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/sgl.cc.o.d"
+  "/root/repo/src/models/simgcl.cc" "src/models/CMakeFiles/garcia_models.dir/simgcl.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/simgcl.cc.o.d"
+  "/root/repo/src/models/text_encoder.cc" "src/models/CMakeFiles/garcia_models.dir/text_encoder.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/text_encoder.cc.o.d"
+  "/root/repo/src/models/wide_deep.cc" "src/models/CMakeFiles/garcia_models.dir/wide_deep.cc.o" "gcc" "src/models/CMakeFiles/garcia_models.dir/wide_deep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/garcia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/garcia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garcia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/garcia_intent.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/garcia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/garcia_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_models.dir/baseline_gnn.cc.o"
+  "CMakeFiles/garcia_models.dir/baseline_gnn.cc.o.d"
+  "CMakeFiles/garcia_models.dir/common.cc.o"
+  "CMakeFiles/garcia_models.dir/common.cc.o.d"
+  "CMakeFiles/garcia_models.dir/contrastive.cc.o"
+  "CMakeFiles/garcia_models.dir/contrastive.cc.o.d"
+  "CMakeFiles/garcia_models.dir/garcia_model.cc.o"
+  "CMakeFiles/garcia_models.dir/garcia_model.cc.o.d"
+  "CMakeFiles/garcia_models.dir/gnn_encoder.cc.o"
+  "CMakeFiles/garcia_models.dir/gnn_encoder.cc.o.d"
+  "CMakeFiles/garcia_models.dir/intention_encoder.cc.o"
+  "CMakeFiles/garcia_models.dir/intention_encoder.cc.o.d"
+  "CMakeFiles/garcia_models.dir/kgat.cc.o"
+  "CMakeFiles/garcia_models.dir/kgat.cc.o.d"
+  "CMakeFiles/garcia_models.dir/lightgcn.cc.o"
+  "CMakeFiles/garcia_models.dir/lightgcn.cc.o.d"
+  "CMakeFiles/garcia_models.dir/registry.cc.o"
+  "CMakeFiles/garcia_models.dir/registry.cc.o.d"
+  "CMakeFiles/garcia_models.dir/sgl.cc.o"
+  "CMakeFiles/garcia_models.dir/sgl.cc.o.d"
+  "CMakeFiles/garcia_models.dir/simgcl.cc.o"
+  "CMakeFiles/garcia_models.dir/simgcl.cc.o.d"
+  "CMakeFiles/garcia_models.dir/text_encoder.cc.o"
+  "CMakeFiles/garcia_models.dir/text_encoder.cc.o.d"
+  "CMakeFiles/garcia_models.dir/wide_deep.cc.o"
+  "CMakeFiles/garcia_models.dir/wide_deep.cc.o.d"
+  "libgarcia_models.a"
+  "libgarcia_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

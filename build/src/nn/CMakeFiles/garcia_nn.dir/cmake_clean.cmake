@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_nn.dir/gradcheck.cc.o"
+  "CMakeFiles/garcia_nn.dir/gradcheck.cc.o.d"
+  "CMakeFiles/garcia_nn.dir/loss.cc.o"
+  "CMakeFiles/garcia_nn.dir/loss.cc.o.d"
+  "CMakeFiles/garcia_nn.dir/module.cc.o"
+  "CMakeFiles/garcia_nn.dir/module.cc.o.d"
+  "CMakeFiles/garcia_nn.dir/ops.cc.o"
+  "CMakeFiles/garcia_nn.dir/ops.cc.o.d"
+  "CMakeFiles/garcia_nn.dir/optimizer.cc.o"
+  "CMakeFiles/garcia_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/garcia_nn.dir/tensor.cc.o"
+  "CMakeFiles/garcia_nn.dir/tensor.cc.o.d"
+  "libgarcia_nn.a"
+  "libgarcia_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

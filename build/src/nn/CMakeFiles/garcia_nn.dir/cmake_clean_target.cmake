@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgarcia_nn.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/ab_test.cc" "src/serving/CMakeFiles/garcia_serving.dir/ab_test.cc.o" "gcc" "src/serving/CMakeFiles/garcia_serving.dir/ab_test.cc.o.d"
+  "/root/repo/src/serving/case_study.cc" "src/serving/CMakeFiles/garcia_serving.dir/case_study.cc.o" "gcc" "src/serving/CMakeFiles/garcia_serving.dir/case_study.cc.o.d"
+  "/root/repo/src/serving/embedding_store.cc" "src/serving/CMakeFiles/garcia_serving.dir/embedding_store.cc.o" "gcc" "src/serving/CMakeFiles/garcia_serving.dir/embedding_store.cc.o.d"
+  "/root/repo/src/serving/ranking_service.cc" "src/serving/CMakeFiles/garcia_serving.dir/ranking_service.cc.o" "gcc" "src/serving/CMakeFiles/garcia_serving.dir/ranking_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/garcia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/garcia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garcia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/garcia_intent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

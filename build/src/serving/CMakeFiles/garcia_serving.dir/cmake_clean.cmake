@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garcia_serving.dir/ab_test.cc.o"
+  "CMakeFiles/garcia_serving.dir/ab_test.cc.o.d"
+  "CMakeFiles/garcia_serving.dir/case_study.cc.o"
+  "CMakeFiles/garcia_serving.dir/case_study.cc.o.d"
+  "CMakeFiles/garcia_serving.dir/embedding_store.cc.o"
+  "CMakeFiles/garcia_serving.dir/embedding_store.cc.o.d"
+  "CMakeFiles/garcia_serving.dir/ranking_service.cc.o"
+  "CMakeFiles/garcia_serving.dir/ranking_service.cc.o.d"
+  "libgarcia_serving.a"
+  "libgarcia_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garcia_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

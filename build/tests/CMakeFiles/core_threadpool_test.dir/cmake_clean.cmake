@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_threadpool_test.dir/core_threadpool_test.cc.o"
+  "CMakeFiles/core_threadpool_test.dir/core_threadpool_test.cc.o.d"
+  "core_threadpool_test"
+  "core_threadpool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_threadpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

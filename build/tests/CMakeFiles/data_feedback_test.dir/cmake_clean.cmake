@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_feedback_test.dir/data_feedback_test.cc.o"
+  "CMakeFiles/data_feedback_test.dir/data_feedback_test.cc.o.d"
+  "data_feedback_test"
+  "data_feedback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

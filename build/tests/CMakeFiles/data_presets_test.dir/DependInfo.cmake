@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data_presets_test.cc" "tests/CMakeFiles/data_presets_test.dir/data_presets_test.cc.o" "gcc" "tests/CMakeFiles/data_presets_test.dir/data_presets_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/garcia_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/garcia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/garcia_intent.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/garcia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_scenario_test.dir/data_scenario_test.cc.o"
+  "CMakeFiles/data_scenario_test.dir/data_scenario_test.cc.o.d"
+  "data_scenario_test"
+  "data_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_frequency_groups_test.dir/graph_frequency_groups_test.cc.o"
+  "CMakeFiles/graph_frequency_groups_test.dir/graph_frequency_groups_test.cc.o.d"
+  "graph_frequency_groups_test"
+  "graph_frequency_groups_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_frequency_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_head_tail_test.dir/graph_head_tail_test.cc.o"
+  "CMakeFiles/graph_head_tail_test.dir/graph_head_tail_test.cc.o.d"
+  "graph_head_tail_test"
+  "graph_head_tail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_head_tail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

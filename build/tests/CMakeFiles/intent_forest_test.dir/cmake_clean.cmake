@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intent_forest_test.dir/intent_forest_test.cc.o"
+  "CMakeFiles/intent_forest_test.dir/intent_forest_test.cc.o.d"
+  "intent_forest_test"
+  "intent_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intent_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

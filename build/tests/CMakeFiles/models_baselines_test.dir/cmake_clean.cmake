@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_baselines_test.dir/models_baselines_test.cc.o"
+  "CMakeFiles/models_baselines_test.dir/models_baselines_test.cc.o.d"
+  "models_baselines_test"
+  "models_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_contrastive_test.dir/models_contrastive_test.cc.o"
+  "CMakeFiles/models_contrastive_test.dir/models_contrastive_test.cc.o.d"
+  "models_contrastive_test"
+  "models_contrastive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_contrastive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

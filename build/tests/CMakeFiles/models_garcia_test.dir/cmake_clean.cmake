@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_garcia_test.dir/models_garcia_test.cc.o"
+  "CMakeFiles/models_garcia_test.dir/models_garcia_test.cc.o.d"
+  "models_garcia_test"
+  "models_garcia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_garcia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

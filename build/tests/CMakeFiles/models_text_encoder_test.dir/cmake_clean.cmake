@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_text_encoder_test.dir/models_text_encoder_test.cc.o"
+  "CMakeFiles/models_text_encoder_test.dir/models_text_encoder_test.cc.o.d"
+  "models_text_encoder_test"
+  "models_text_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_text_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
