@@ -1,0 +1,102 @@
+// Fault-tolerant online serving demo (ISSUE 1).
+//
+// Builds a small scenario, wraps an embedding ranker in the full GARCIA
+// degradation chain (fresh dump -> stale snapshot -> mined head anchor ->
+// text encoder -> popularity prior), injects an aggressive fault mix, and
+// shows that (a) every request is answered, (b) the health counters expose
+// what the chain absorbed, and (c) a fixed seed replays bit-identically.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "models/contrastive.h"
+#include "serving/resilient_ranker.h"
+
+using namespace garcia;
+
+namespace {
+
+serving::RankedList ServeTraffic(const serving::ResilientRanker& ranker,
+                                 size_t num_requests, size_t num_queries) {
+  // Concatenated top-3 lists of a deterministic query sweep; the return
+  // value doubles as a replay fingerprint.
+  serving::RankedList fingerprint;
+  core::Rng traffic(123);
+  for (size_t r = 0; r < num_requests; ++r) {
+    const uint32_t q = static_cast<uint32_t>(traffic.UniformInt(
+        static_cast<uint64_t>(num_queries + 20)));  // some ids are unknown
+    serving::RankedList top = ranker.Rank(q, 3);
+    fingerprint.insert(fingerprint.end(), top.begin(), top.end());
+  }
+  return fingerprint;
+}
+
+}  // namespace
+
+int main() {
+  data::ScenarioConfig cfg;
+  cfg.num_queries = 300;
+  cfg.num_services = 100;
+  cfg.num_intentions = 50;
+  cfg.num_trees = 5;
+  cfg.num_impressions = 12000;
+  cfg.head_fraction = 0.05;
+  data::Scenario s = data::GenerateScenario(cfg);
+
+  // Stand-in embeddings (a real deployment loads the daily dump).
+  core::Rng rng(7);
+  core::Matrix query_emb = core::Matrix::Randn(s.num_queries(), 16, &rng);
+  core::Matrix service_emb = core::Matrix::Randn(s.num_services(), 16, &rng);
+
+  // Yesterday's snapshot misses the newest 20% of query ids.
+  const size_t stale_rows = s.num_queries() * 8 / 10;
+  core::Matrix stale(stale_rows, 16);
+  for (size_t i = 0; i < stale_rows; ++i) stale.CopyRowFrom(query_emb, i, i);
+
+  serving::ResilientRanker ranker{serving::EmbeddingStore(query_emb),
+                                  serving::EmbeddingStore(service_emb)};
+  ranker.SetStaleSnapshot(serving::EmbeddingStore(std::move(stale)));
+  ranker.SetHeadAnchors(
+      models::AnchorHeadOf(models::MineKtclAnchors(s), s.num_queries()));
+  std::vector<std::string> service_names;
+  std::vector<double> popularity;
+  for (const auto& meta : s.services) {
+    service_names.push_back(meta.name);
+    popularity.push_back(static_cast<double>(meta.mau));
+  }
+  ranker.SetTextFallback(
+      std::make_shared<serving::TextRanker>(s.query_text, service_names));
+  ranker.SetPopularityFallback(
+      std::make_shared<serving::PopularityRanker>(popularity));
+
+  serving::FaultProfile profile;
+  profile.seed = 2024;
+  profile.lookup_failure_rate = 0.20;
+  profile.missing_id_rate = 0.10;
+  profile.bit_flip_rate = 0.05;
+  profile.latency_spike_rate = 0.05;
+
+  const size_t kRequests = 2000;
+  ranker.PrepareForRun(&profile, 1);
+  serving::RankedList run1 = ServeTraffic(ranker, kRequests, s.num_queries());
+  const serving::ServingHealth health = ranker.health();
+
+  std::printf("Served %llu/%zu requests under a 20%% failure / 10%% miss / "
+              "5%% bit-flip / 5%% spike fault mix.\n\n",
+              static_cast<unsigned long long>(health.requests), kRequests);
+  std::printf("Health: %s\n", health.ToString().c_str());
+  std::printf("Breaker state after run: %s\n",
+              serving::BreakerStateName(ranker.breaker_state()));
+  std::printf("Simulated serving time: %.1f ms\n\n",
+              static_cast<double>(ranker.clock_micros()) / 1000.0);
+  health.Log();
+
+  // Deterministic replay: same profile + seed => bit-identical results.
+  ranker.PrepareForRun(&profile, 1);
+  serving::RankedList run2 = ServeTraffic(ranker, kRequests, s.num_queries());
+  std::printf("Replay with the same seed is bit-identical: %s\n",
+              run1 == run2 ? "yes" : "NO (bug!)");
+  return run1 == run2 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full check: plain Release build + ctest, then an address+undefined
+# sanitizer build + ctest. Usage: scripts/check.sh [extra ctest args].
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$ROOT" "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" "${EXTRA_CTEST_ARGS[@]}"
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+echo "==> Plain build"
+run_suite "$ROOT/build"
+
+echo "==> Sanitizer build (address;undefined)"
+run_suite "$ROOT/build-asan" -DGARCIA_SANITIZE="address;undefined"
+
+echo "==> All checks passed"

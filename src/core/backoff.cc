@@ -1,0 +1,22 @@
+#include "core/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace garcia::core {
+
+uint64_t BackoffDelayMicros(const BackoffConfig& config, size_t retry,
+                            Rng* rng) {
+  double delay = static_cast<double>(config.initial_micros) *
+                 std::pow(config.multiplier, static_cast<double>(retry));
+  delay = std::min(delay, static_cast<double>(config.max_micros));
+  if (config.jitter > 0.0 && rng != nullptr) {
+    const double j = std::clamp(config.jitter, 0.0, 1.0);
+    delay *= 1.0 - j * rng->Uniform();
+  }
+  return static_cast<uint64_t>(delay);
+}
+
+}  // namespace garcia::core

@@ -1,0 +1,29 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Exponential backoff with decorrelating jitter for retry loops.
+
+#ifndef GARCIA_CORE_BACKOFF_H_
+#define GARCIA_CORE_BACKOFF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace garcia::core {
+
+class Rng;
+
+struct BackoffConfig {
+  uint64_t initial_micros = 1000;  // delay before the first retry
+  double multiplier = 2.0;         // growth per subsequent retry
+  uint64_t max_micros = 64000;     // cap on any single delay
+  double jitter = 0.5;             // delay drawn from [d*(1-j), d] uniformly
+};
+
+/// Delay before retry number `retry` (0-based: the delay after the first
+/// failed attempt is retry 0). Jitter draws from the rng, so passing the
+/// same seeded Rng reproduces the exact delay sequence.
+uint64_t BackoffDelayMicros(const BackoffConfig& config, size_t retry,
+                            Rng* rng);
+
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_BACKOFF_H_

@@ -1,0 +1,19 @@
+#include "core/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace garcia::core {
+
+uint64_t SystemClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SystemClock::SleepMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace garcia::core

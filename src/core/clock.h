@@ -1,0 +1,52 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Virtualized time for the serving resilience layer.
+//
+// Deadline budgets, retry backoff and circuit-breaker cooldowns all need a
+// notion of "now" and of "sleeping". Wiring them to a Clock interface keeps
+// the fault-tolerance logic deterministic: simulations and tests use a
+// ManualClock whose Sleep() merely advances simulated time, while a real
+// deployment swaps in SystemClock without touching the callers.
+
+#ifndef GARCIA_CORE_CLOCK_H_
+#define GARCIA_CORE_CLOCK_H_
+
+#include <cstdint>
+
+namespace garcia::core {
+
+/// Monotonic microsecond clock with a cooperative sleep.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds. Only differences are meaningful.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Blocks (or pretends to) for the given duration.
+  virtual void SleepMicros(uint64_t micros) = 0;
+};
+
+/// Deterministic clock: time moves only when explicitly advanced or slept.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override { return now_; }
+  void SleepMicros(uint64_t micros) override { now_ += micros; }
+  void AdvanceMicros(uint64_t micros) { now_ += micros; }
+  void Reset(uint64_t start_micros = 0) { now_ = start_micros; }
+
+ private:
+  uint64_t now_;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() const override;
+  void SleepMicros(uint64_t micros) override;
+};
+
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_CLOCK_H_

@@ -1,0 +1,21 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) for integrity
+// checking of serialized artifacts such as embedding dumps.
+
+#ifndef GARCIA_CORE_CRC32_H_
+#define GARCIA_CORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace garcia::core {
+
+/// One-shot CRC-32 of a buffer.
+uint32_t Crc32(const void* data, size_t num_bytes);
+
+/// Streaming form: feed `crc` from the previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t num_bytes);
+
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_CRC32_H_

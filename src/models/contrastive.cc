@@ -63,6 +63,18 @@ KtclAnchors MineKtclAnchors(const data::Scenario& s,
                                s.split.head_queries, relevance);
 }
 
+std::vector<int32_t> AnchorHeadOf(const KtclAnchors& anchors,
+                                  size_t num_queries) {
+  std::vector<int32_t> head_of(num_queries, -1);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    if (anchors.tail_query[i] < num_queries) {
+      head_of[anchors.tail_query[i]] =
+          static_cast<int32_t>(anchors.head_query[i]);
+    }
+  }
+  return head_of;
+}
+
 IgclBatch BuildIgclBatch(const IntentionEncoder& encoder,
                          const std::vector<uint32_t>& entity_intentions) {
   const auto& forest = encoder.forest();

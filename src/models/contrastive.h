@@ -40,6 +40,14 @@ KtclAnchors MineKtclAnchors(const data::Scenario& scenario,
                             KtclRelevance relevance =
                                 KtclRelevance::kTokenJaccard);
 
+/// Densifies mined anchor pairs into a per-query lookup for the serving
+/// fallback chain: entry q holds the head anchor of query q, or -1 when no
+/// anchor was mined. The same pairs that transfer knowledge to tail
+/// queries at training time (Eq. 5) stand in for a missing tail embedding
+/// at serving time.
+std::vector<int32_t> AnchorHeadOf(const KtclAnchors& anchors,
+                                  size_t num_queries);
+
 /// Generalized anchor mining between an arbitrary (lower-frequency)
 /// source group and a (higher-frequency) target group of queries — the
 /// paper's future-work direction of "splitting queries into multiple

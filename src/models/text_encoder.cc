@@ -47,6 +47,14 @@ SparseVector NgramTextEncoder::Encode(const std::string& text) const {
   return v;
 }
 
+std::vector<SparseVector> NgramTextEncoder::EncodeBatch(
+    const std::vector<std::string>& texts) const {
+  std::vector<SparseVector> out;
+  out.reserve(texts.size());
+  for (const std::string& t : texts) out.push_back(Encode(t));
+  return out;
+}
+
 double NgramTextEncoder::Cosine(const SparseVector& a, const SparseVector& b) {
   if (a.empty() || b.empty()) return 0.0;
   const SparseVector& small = a.size() <= b.size() ? a : b;

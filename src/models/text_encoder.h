@@ -30,6 +30,11 @@ class NgramTextEncoder {
   /// tokens still produce n-grams).
   SparseVector Encode(const std::string& text) const;
 
+  /// Embeds a batch (e.g. the full service catalog, precomputed once by
+  /// the serving-side text fallback).
+  std::vector<SparseVector> EncodeBatch(
+      const std::vector<std::string>& texts) const;
+
   /// Cosine similarity of two texts (0 when either is empty).
   double Similarity(const std::string& a, const std::string& b) const;
 

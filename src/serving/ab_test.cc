@@ -48,6 +48,8 @@ std::pair<bool, bool> SimulateRequest(const data::Scenario& s,
 
 AbTestResult RunAbTest(const data::Scenario& scenario, const Ranker& baseline,
                        const Ranker& treatment, const AbTestConfig& config) {
+  baseline.PrepareForRun(config.fault_profile, config.seed);
+  treatment.PrepareForRun(config.fault_profile, config.seed);
   core::Rng traffic_rng(config.seed);
   core::ZipfSampler traffic(scenario.num_queries(),
                             scenario.config.zipf_exponent);

@@ -26,6 +26,11 @@ struct AbTestConfig {
   size_t top_k = 10;                // list length shown to the user
   double position_decay = 0.85;     // examination prob multiplier per rank
   uint64_t seed = 1001;
+
+  /// Optional fault profile (serving/fault_injector.h). When set, RunAbTest
+  /// hands it to both arms via Ranker::PrepareForRun before the first
+  /// request; fault-aware arms install it, plain arms ignore it. Not owned.
+  const FaultProfile* fault_profile = nullptr;
 };
 
 /// One arm's daily outcome.

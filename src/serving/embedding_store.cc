@@ -3,27 +3,51 @@
 #include <cstring>
 #include <fstream>
 
+#include "core/crc32.h"
+#include "core/logging.h"
+
 namespace garcia::serving {
 
 namespace {
-constexpr char kMagic[4] = {'G', 'E', 'M', 'B'};
+
+constexpr char kMagicV1[4] = {'G', 'E', 'M', 'B'};
+constexpr char kMagicV2[4] = {'G', 'E', 'M', '2'};
+constexpr uint32_t kVersion = 2;
+constexpr uint64_t kMaxRows = 1ull << 32;
+constexpr uint64_t kMaxCols = 1ull << 16;
+
+template <typename T>
+bool ReadPod(std::ifstream& f, T* out) {
+  f.read(reinterpret_cast<char*>(out), sizeof(T));
+  return static_cast<bool>(f);
 }
+
+}  // namespace
 
 const float* EmbeddingStore::vector(uint32_t id) const {
   GARCIA_CHECK_LT(id, embeddings_.rows());
   return embeddings_.row(id);
 }
 
+const float* EmbeddingStore::Find(uint32_t id) const {
+  if (id >= embeddings_.rows()) return nullptr;
+  return embeddings_.row(id);
+}
+
 core::Status EmbeddingStore::Save(const std::string& path) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) return core::Status::IoError("cannot open " + path);
-  f.write(kMagic, 4);
   const uint64_t rows = embeddings_.rows();
   const uint64_t cols = embeddings_.cols();
+  const uint64_t payload_bytes = rows * cols * sizeof(float);
+  const uint32_t crc = core::Crc32(embeddings_.data(), payload_bytes);
+  f.write(kMagicV2, 4);
+  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
   f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
   f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   f.write(reinterpret_cast<const char*>(embeddings_.data()),
-          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+          static_cast<std::streamsize>(payload_bytes));
   if (!f) return core::Status::IoError("write failed for " + path);
   return core::Status::Ok();
 }
@@ -31,21 +55,76 @@ core::Status EmbeddingStore::Save(const std::string& path) const {
 core::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return core::Status::IoError("cannot open " + path);
+  f.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(f.tellg());
+  f.seekg(0, std::ios::beg);
+
   char magic[4];
   f.read(magic, 4);
-  if (!f || std::memcmp(magic, kMagic, 4) != 0) {
+  if (!f) return core::Status::InvalidArgument(path + " is too short");
+
+  uint32_t expected_crc = 0;
+  bool has_crc = false;
+  if (std::memcmp(magic, kMagicV2, 4) == 0) {
+    uint32_t version = 0;
+    if (!ReadPod(f, &version)) {
+      return core::Status::InvalidArgument("truncated header in " + path);
+    }
+    if (version != kVersion) {
+      return core::Status::InvalidArgument(
+          "unsupported embedding store version " + std::to_string(version));
+    }
+    has_crc = true;
+  } else if (std::memcmp(magic, kMagicV1, 4) == 0) {
+    GARCIA_LOG(Warning) << path
+                        << " is a legacy v1 embedding store (no checksum); "
+                           "re-save to upgrade";
+  } else {
     return core::Status::InvalidArgument(path + " is not an embedding store");
   }
+
   uint64_t rows = 0, cols = 0;
-  f.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  f.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  if (!f || rows * cols == 0 || rows > (1ull << 32) || cols > (1ull << 16)) {
+  if (!ReadPod(f, &rows) || !ReadPod(f, &cols)) {
+    return core::Status::InvalidArgument("truncated header in " + path);
+  }
+  if (rows == 0 || cols == 0 || rows > kMaxRows || cols > kMaxCols) {
     return core::Status::InvalidArgument("corrupt embedding store header");
   }
+  // rows*cols*4 cannot overflow: bounded by 2^32 * 2^16 * 4 = 2^50.
+  const uint64_t payload_bytes = rows * cols * sizeof(float);
+  if (payload_bytes > kMaxPayloadBytes) {
+    return core::Status::InvalidArgument(
+        "embedding store header claims " + std::to_string(payload_bytes) +
+        " payload bytes, over the " + std::to_string(kMaxPayloadBytes) +
+        " cap");
+  }
+  if (has_crc && !ReadPod(f, &expected_crc)) {
+    return core::Status::InvalidArgument("truncated header in " + path);
+  }
+  // Validate the claimed payload against the actual file size BEFORE
+  // allocating: a crafted 20-byte header must not drive a huge allocation,
+  // and trailing garbage means the file is not what the header says.
+  const uint64_t header_bytes = static_cast<uint64_t>(f.tellg());
+  if (file_size < header_bytes + payload_bytes) {
+    return core::Status::IoError("truncated embedding store " + path);
+  }
+  if (file_size > header_bytes + payload_bytes) {
+    return core::Status::InvalidArgument(
+        "trailing garbage after embedding payload in " + path);
+  }
+
   core::Matrix m(rows, cols);
   f.read(reinterpret_cast<char*>(m.data()),
-         static_cast<std::streamsize>(rows * cols * sizeof(float)));
+         static_cast<std::streamsize>(payload_bytes));
   if (!f) return core::Status::IoError("truncated embedding store " + path);
+  if (has_crc) {
+    const uint32_t actual_crc = core::Crc32(m.data(), payload_bytes);
+    if (actual_crc != expected_crc) {
+      return core::Status::InvalidArgument(
+          "embedding store checksum mismatch in " + path +
+          " (stored dump is corrupt)");
+    }
+  }
   return EmbeddingStore(std::move(m));
 }
 

@@ -1,0 +1,98 @@
+#include "serving/fault_injector.h"
+
+#include <cstring>
+
+namespace garcia::serving {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kUnavailable:
+      return "unavailable";
+    case FaultKind::kMissingId:
+      return "missing-id";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const EmbeddingStore* store,
+                             const FaultProfile& profile)
+    : store_(store), profile_(profile), rng_(profile.seed) {
+  GARCIA_CHECK(store_ != nullptr);
+}
+
+void FaultInjector::Reset() { Reset(profile_.seed); }
+
+void FaultInjector::Reset(uint64_t seed) {
+  profile_.seed = seed;
+  rng_ = core::Rng(seed);
+  num_lookups_ = 0;
+  fault_counts_.fill(0);
+  scratch_.clear();
+}
+
+LookupOutcome FaultInjector::Lookup(uint32_t id) {
+  ++num_lookups_;
+  LookupOutcome out;
+  out.latency_micros = profile_.base_latency_micros;
+  // The fault draws happen unconditionally and in a fixed order so the rng
+  // stream — and therefore the whole run — depends only on the seed and the
+  // lookup sequence, never on which branch was taken.
+  const bool unavailable = rng_.Bernoulli(profile_.lookup_failure_rate);
+  const bool missing = rng_.Bernoulli(profile_.missing_id_rate);
+  const bool flip = rng_.Bernoulli(profile_.bit_flip_rate);
+  const bool spike = rng_.Bernoulli(profile_.latency_spike_rate);
+
+  if (spike) {
+    out.latency_spike = true;
+    out.latency_micros += profile_.spike_latency_micros;
+    ++fault_counts_[static_cast<size_t>(FaultKind::kLatencySpike)];
+  }
+  if (unavailable) {
+    out.fault = FaultKind::kUnavailable;
+    ++fault_counts_[static_cast<size_t>(FaultKind::kUnavailable)];
+    out.status = core::Status::Unavailable("injected transient failure");
+    return out;
+  }
+  if (missing) {
+    out.fault = FaultKind::kMissingId;
+    ++fault_counts_[static_cast<size_t>(FaultKind::kMissingId)];
+    out.status = core::Status::NotFound("injected cold-start miss for id " +
+                                        std::to_string(id));
+    return out;
+  }
+  const float* row = store_->Find(id);
+  if (row == nullptr) {
+    out.status = core::Status::NotFound("id " + std::to_string(id) +
+                                        " not in store");
+    return out;
+  }
+  if (flip) {
+    out.fault = FaultKind::kBitFlip;
+    ++fault_counts_[static_cast<size_t>(FaultKind::kBitFlip)];
+    const size_t dim = store_->dim();
+    scratch_.assign(row, row + dim);
+    const size_t elem = static_cast<size_t>(rng_.UniformInt(
+        static_cast<uint64_t>(dim)));
+    uint32_t bits;
+    std::memcpy(&bits, &scratch_[elem], sizeof(bits));
+    // Force the exponent bits high: the element decodes to +/-inf or NaN,
+    // so the corruption is reliably detectable by a cheap row validator.
+    // (An arbitrary single-bit flip can produce a plausible value; catching
+    // those is the load-time CRC's job, not the per-lookup check's.)
+    bits |= 0x7f800000u;
+    std::memcpy(&scratch_[elem], &bits, sizeof(bits));
+    out.row = scratch_.data();
+  } else {
+    out.row = row;
+  }
+  out.status = core::Status::Ok();
+  return out;
+}
+
+}  // namespace garcia::serving

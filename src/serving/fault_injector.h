@@ -1,0 +1,90 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Deterministic fault injection for embedding lookups.
+//
+// The offline-to-online hand-off of Fig. 9 (daily embedding dumps consumed
+// by a latency-critical ranker) fails in practice in four characteristic
+// ways, each modeled here: transient lookup unavailability, latency spikes,
+// ids missing from yesterday's dump (cold-start tail queries), and silent
+// row corruption (bit flips). The injector draws every fault from one
+// seeded Rng, so a run is bit-identical for a fixed seed and lookup
+// sequence — failures can be replayed exactly.
+
+#ifndef GARCIA_SERVING_FAULT_INJECTOR_H_
+#define GARCIA_SERVING_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "serving/embedding_store.h"
+
+namespace garcia::serving {
+
+/// Knobs of one fault scenario. Rates are independent per-lookup
+/// probabilities, checked in the order unavailable > missing id > bit flip
+/// (at most one fault per lookup; latency spikes stack on any outcome).
+struct FaultProfile {
+  uint64_t seed = 42;
+  double lookup_failure_rate = 0.0;  // transient kUnavailable
+  double missing_id_rate = 0.0;      // id "absent from the dump" (cold start)
+  double bit_flip_rate = 0.0;        // one bit of the returned row flipped
+  double latency_spike_rate = 0.0;   // lookup takes spike_latency_micros
+  uint64_t base_latency_micros = 50;
+  uint64_t spike_latency_micros = 20000;
+};
+
+enum class FaultKind : int {
+  kNone = 0,
+  kUnavailable = 1,
+  kMissingId = 2,
+  kBitFlip = 3,
+  kLatencySpike = 4,
+};
+constexpr size_t kNumFaultKinds = 5;
+
+const char* FaultKindName(FaultKind kind);
+
+/// Result of one (possibly perturbed) lookup.
+struct LookupOutcome {
+  core::Status status;           // Ok, NotFound (missing id) or Unavailable
+  const float* row = nullptr;    // valid until the next Lookup() call
+  uint64_t latency_micros = 0;   // simulated service time of this lookup
+  FaultKind fault = FaultKind::kNone;       // primary fault
+  bool latency_spike = false;               // orthogonal to `fault`
+};
+
+/// Wraps an EmbeddingStore lookup with seeded fault injection. Not
+/// thread-safe; callers serialize access (ResilientRanker holds a lock).
+class FaultInjector {
+ public:
+  FaultInjector(const EmbeddingStore* store, const FaultProfile& profile);
+
+  /// Looks up `id`, possibly perturbed. A bit-flipped row points into an
+  /// internal scratch buffer, so it is invalidated by the next Lookup().
+  LookupOutcome Lookup(uint32_t id);
+
+  /// Restores the injector to its initial state (profile seed, counters).
+  void Reset();
+  /// Same, but overrides the seed (for paired A/B runs).
+  void Reset(uint64_t seed);
+
+  const FaultProfile& profile() const { return profile_; }
+  uint64_t num_lookups() const { return num_lookups_; }
+  uint64_t num_faults(FaultKind kind) const {
+    return fault_counts_[static_cast<size_t>(kind)];
+  }
+
+ private:
+  const EmbeddingStore* store_;  // not owned
+  FaultProfile profile_;
+  core::Rng rng_;
+  std::vector<float> scratch_;   // holds a corrupted row copy
+  uint64_t num_lookups_ = 0;
+  std::array<uint64_t, kNumFaultKinds> fault_counts_{};
+};
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_FAULT_INJECTOR_H_

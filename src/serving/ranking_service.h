@@ -15,6 +15,8 @@
 
 namespace garcia::serving {
 
+struct FaultProfile;  // serving/fault_injector.h
+
 /// (service id, score), sorted by descending score.
 using RankedList = std::vector<std::pair<uint32_t, float>>;
 
@@ -27,6 +29,13 @@ class Ranker {
  public:
   virtual ~Ranker() = default;
   virtual RankedList Rank(uint32_t query, size_t k) const = 0;
+
+  /// Called by RunAbTest before the first request of a run. Fault-aware
+  /// rankers (ResilientRanker) override this to install `profile` (may be
+  /// null) and reset their injector / breaker / health state so that runs
+  /// are bit-identical for a fixed profile and seed. Default: no-op.
+  virtual void PrepareForRun(const FaultProfile* /*profile*/,
+                             uint64_t /*seed*/) const {}
 };
 
 /// Embedding-retrieval ranker: score(q, s) = <z_q, z_s> (the paper's online

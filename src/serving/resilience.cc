@@ -1,0 +1,73 @@
+#include "serving/resilience.h"
+
+namespace garcia::serving {
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (clock_->NowMicros() - opened_at_micros_ >=
+          config_.open_cooldown_micros) {
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        ++to_half_open_;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      state_ = State::kClosed;
+      ++to_closed_;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately.
+    state_ = State::kOpen;
+    opened_at_micros_ = clock_->NowMicros();
+    consecutive_failures_ = 0;
+    ++to_open_;
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_micros_ = clock_->NowMicros();
+    consecutive_failures_ = 0;
+    ++to_open_;
+  }
+}
+
+void CircuitBreaker::Reset() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  opened_at_micros_ = 0;
+  to_open_ = 0;
+  to_half_open_ = 0;
+  to_closed_ = 0;
+}
+
+}  // namespace garcia::serving

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Resilience primitives for the online ranker: per-request deadline
+// budgets and a per-store circuit breaker.
+//
+// Both are driven by a core::Clock, so the same logic runs deterministically
+// under a ManualClock in tests/simulation and against wall time in a real
+// deployment.
+
+#ifndef GARCIA_SERVING_RESILIENCE_H_
+#define GARCIA_SERVING_RESILIENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/clock.h"
+
+namespace garcia::serving {
+
+/// Tracks how much of a request's latency budget remains.
+class DeadlineBudget {
+ public:
+  DeadlineBudget(const core::Clock* clock, uint64_t budget_micros)
+      : clock_(clock), start_(clock->NowMicros()), budget_(budget_micros) {}
+
+  uint64_t elapsed_micros() const { return clock_->NowMicros() - start_; }
+  uint64_t remaining_micros() const {
+    const uint64_t e = elapsed_micros();
+    return e >= budget_ ? 0 : budget_ - e;
+  }
+  bool expired() const { return remaining_micros() == 0; }
+
+ private:
+  const core::Clock* clock_;  // not owned
+  uint64_t start_;
+  uint64_t budget_;
+};
+
+struct BreakerConfig {
+  size_t failure_threshold = 5;          // consecutive failures to open
+  uint64_t open_cooldown_micros = 250000;  // open -> half-open delay
+  size_t half_open_successes = 2;        // probe successes to close
+};
+
+/// Classic closed / open / half-open circuit breaker.
+///
+/// Closed: requests flow; `failure_threshold` consecutive failures open it.
+/// Open: requests are short-circuited until the cooldown elapses, then the
+/// breaker becomes half-open. Half-open: probe requests flow; one failure
+/// re-opens, `half_open_successes` consecutive successes close it.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(const BreakerConfig& config, const core::Clock* clock)
+      : config_(config), clock_(clock) {}
+
+  /// True when a request may proceed. Performs the open -> half-open
+  /// transition when the cooldown has elapsed.
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+  void Reset();
+
+  // Cumulative transition counters (for ServingHealth).
+  uint64_t transitions_to_open() const { return to_open_; }
+  uint64_t transitions_to_half_open() const { return to_half_open_; }
+  uint64_t transitions_to_closed() const { return to_closed_; }
+
+ private:
+  BreakerConfig config_;
+  const core::Clock* clock_;  // not owned
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  size_t half_open_successes_ = 0;
+  uint64_t opened_at_micros_ = 0;
+  uint64_t to_open_ = 0;
+  uint64_t to_half_open_ = 0;
+  uint64_t to_closed_ = 0;
+};
+
+const char* BreakerStateName(CircuitBreaker::State state);
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_RESILIENCE_H_

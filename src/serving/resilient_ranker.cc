@@ -1,0 +1,280 @@
+#include "serving/resilient_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace garcia::serving {
+
+bool RowLooksValid(const float* row, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) {
+    if (!std::isfinite(row[i]) || std::fabs(row[i]) > 1e30f) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- TextRanker
+
+TextRanker::TextRanker(std::vector<std::string> query_texts,
+                       const std::vector<std::string>& service_texts)
+    : query_texts_(std::move(query_texts)),
+      service_embeddings_(encoder_.EncodeBatch(service_texts)) {}
+
+RankedList TextRanker::Rank(uint32_t query, size_t k) const {
+  RankedList scored;
+  scored.reserve(service_embeddings_.size());
+  const models::SparseVector q_emb =
+      query < query_texts_.size() ? encoder_.Encode(query_texts_[query])
+                                  : models::SparseVector{};
+  for (size_t s = 0; s < service_embeddings_.size(); ++s) {
+    const double sim =
+        models::NgramTextEncoder::Cosine(q_emb, service_embeddings_[s]);
+    scored.push_back({static_cast<uint32_t>(s), static_cast<float>(sim)});
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(k);
+  return scored;
+}
+
+// ---------------------------------------------------------- PopularityRanker
+
+PopularityRanker::PopularityRanker(const std::vector<double>& popularity) {
+  ranked_.reserve(popularity.size());
+  for (size_t s = 0; s < popularity.size(); ++s) {
+    ranked_.push_back(
+        {static_cast<uint32_t>(s), static_cast<float>(popularity[s])});
+  }
+  std::stable_sort(ranked_.begin(), ranked_.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+}
+
+RankedList PopularityRanker::Rank(uint32_t /*query*/, size_t k) const {
+  RankedList out = ranked_;
+  out.resize(std::min(k, out.size()));
+  return out;
+}
+
+// ----------------------------------------------------------- ResilientRanker
+
+ResilientRanker::ResilientRanker(EmbeddingStore fresh_queries,
+                                 EmbeddingStore services,
+                                 ResilienceConfig config)
+    : fresh_(std::move(fresh_queries)),
+      services_(std::move(services)),
+      config_(config),
+      backoff_rng_(config.seed),
+      breaker_(config.breaker, &clock_) {
+  GARCIA_CHECK(!services_.empty());
+  GARCIA_CHECK(fresh_.empty() || fresh_.dim() == services_.dim());
+  // Default terminal tier: uniform popularity = deterministic id order.
+  popularity_ = std::make_shared<PopularityRanker>(
+      std::vector<double>(services_.size(), 1.0));
+}
+
+void ResilientRanker::SetFaultProfile(const FaultProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_.emplace(&fresh_, profile);
+}
+
+void ResilientRanker::SetStaleSnapshot(EmbeddingStore stale_queries) {
+  GARCIA_CHECK(stale_queries.empty() ||
+               stale_queries.dim() == services_.dim());
+  stale_ = std::move(stale_queries);
+}
+
+void ResilientRanker::SetHeadAnchors(std::vector<int32_t> head_anchor_of) {
+  head_anchor_of_ = std::move(head_anchor_of);
+}
+
+void ResilientRanker::SetTextFallback(
+    std::shared_ptr<const Ranker> text_ranker) {
+  text_ = std::move(text_ranker);
+}
+
+void ResilientRanker::SetPopularityFallback(
+    std::shared_ptr<const Ranker> popularity_ranker) {
+  GARCIA_CHECK(popularity_ranker != nullptr);
+  popularity_ = std::move(popularity_ranker);
+}
+
+LookupOutcome ResilientRanker::RawLookup(uint32_t id) const {
+  if (injector_.has_value()) return injector_->Lookup(id);
+  LookupOutcome out;
+  out.row = fresh_.Find(id);
+  out.status = out.row != nullptr
+                   ? core::Status::Ok()
+                   : core::Status::NotFound("id not in store");
+  return out;
+}
+
+const float* ResilientRanker::FreshLookup(uint32_t query,
+                                          DeadlineBudget* budget) const {
+  for (size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (budget->expired()) {
+      ++health_.deadline_exceeded;
+      return nullptr;
+    }
+    if (!breaker_.AllowRequest()) {
+      ++health_.breaker_short_circuits;
+      return nullptr;
+    }
+    ++health_.attempts;
+    LookupOutcome outcome = RawLookup(query);
+    clock_.SleepMicros(outcome.latency_micros);
+    if (budget->expired()) {
+      // The lookup answered too late (e.g. a latency spike ate the whole
+      // budget); the caller cannot use it and the store gets the blame.
+      breaker_.RecordFailure();
+      ++health_.deadline_exceeded;
+      return nullptr;
+    }
+    if (outcome.status.ok()) {
+      if (RowLooksValid(outcome.row, services_.dim())) {
+        breaker_.RecordSuccess();
+        return outcome.row;
+      }
+      // Corrupt row: the store responded, but with garbage. Retryable when
+      // the corruption is transient (our bit-flip model).
+      ++health_.corrupt_rows;
+      breaker_.RecordFailure();
+    } else if (outcome.status.code() == core::StatusCode::kNotFound) {
+      // A miss is an authoritative answer, not a store failure: the id is
+      // simply not in the dump (cold-start tail query). Not retryable.
+      ++health_.missing_ids;
+      breaker_.RecordSuccess();
+      return nullptr;
+    } else {
+      ++health_.transient_failures;
+      breaker_.RecordFailure();
+    }
+    if (attempt + 1 < config_.max_attempts) {
+      const uint64_t delay =
+          core::BackoffDelayMicros(config_.backoff, attempt, &backoff_rng_);
+      if (delay >= budget->remaining_micros()) {
+        ++health_.deadline_exceeded;
+        return nullptr;
+      }
+      clock_.SleepMicros(delay);
+      ++health_.retries;
+    }
+  }
+  return nullptr;
+}
+
+RankedList ResilientRanker::Rank(uint32_t query, size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_.AdvanceMicros(config_.inter_request_micros);
+  ++health_.requests;
+  DeadlineBudget budget(&clock_, config_.deadline_micros);
+
+  // Tier 0: fresh store, with retries / breaker / deadline.
+  ServingTier tier = ServingTier::kFresh;
+  const float* vec = FreshLookup(query, &budget);
+
+  // Tier 1: stale snapshot. Plain local read: yesterday's dump is already
+  // resident, so none of the remote-store failure modes apply.
+  if (vec == nullptr && stale_.has_value()) {
+    const float* stale_row = stale_->Find(query);
+    if (stale_row != nullptr && RowLooksValid(stale_row, services_.dim())) {
+      vec = stale_row;
+      tier = ServingTier::kStale;
+    }
+  }
+
+  // Tier 2: mined head-anchor embedding. Head queries are ~always present
+  // in every dump; one non-retried lookup (fresh path first, then stale).
+  if (vec == nullptr && query < head_anchor_of_.size() &&
+      head_anchor_of_[query] >= 0) {
+    const uint32_t head = static_cast<uint32_t>(head_anchor_of_[query]);
+    const float* head_row = nullptr;
+    if (!budget.expired() && breaker_.AllowRequest()) {
+      ++health_.attempts;
+      LookupOutcome outcome = RawLookup(head);
+      clock_.SleepMicros(outcome.latency_micros);
+      if (outcome.status.ok() &&
+          RowLooksValid(outcome.row, services_.dim())) {
+        breaker_.RecordSuccess();
+        head_row = outcome.row;
+      } else if (!outcome.status.ok() &&
+                 outcome.status.code() != core::StatusCode::kNotFound) {
+        breaker_.RecordFailure();
+      }
+    }
+    if (head_row == nullptr && stale_.has_value()) {
+      head_row = stale_->Find(head);
+      if (head_row != nullptr && !RowLooksValid(head_row, services_.dim())) {
+        head_row = nullptr;
+      }
+    }
+    if (head_row != nullptr) {
+      vec = head_row;
+      tier = ServingTier::kHeadAnchor;
+    }
+  }
+
+  RankedList result;
+  if (vec != nullptr) {
+    result = TopKInnerProduct(vec, services_.dim(), services_.matrix(), k);
+  } else if (text_ != nullptr) {
+    tier = ServingTier::kText;
+    result = text_->Rank(query, k);
+  } else {
+    tier = ServingTier::kPopularity;
+    result = popularity_->Rank(query, k);
+  }
+  // An embedding-free tier that still produced nothing (e.g. empty query
+  // text) falls through to the popularity prior.
+  if (result.empty() && tier != ServingTier::kPopularity) {
+    tier = ServingTier::kPopularity;
+    result = popularity_->Rank(query, k);
+  }
+  ++health_.served_at_tier[static_cast<size_t>(tier)];
+  return result;
+}
+
+void ResilientRanker::PrepareForRun(const FaultProfile* profile,
+                                    uint64_t seed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (profile != nullptr) {
+    injector_.emplace(&fresh_, *profile);
+  } else if (injector_.has_value()) {
+    injector_->Reset();
+  }
+  clock_.Reset();
+  breaker_.Reset();
+  health_.Reset();
+  backoff_rng_ = core::Rng(config_.seed ^ seed);
+}
+
+ServingHealth ResilientRanker::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServingHealth snapshot = health_;
+  snapshot.breaker_to_open = breaker_.transitions_to_open();
+  snapshot.breaker_to_half_open = breaker_.transitions_to_half_open();
+  snapshot.breaker_to_closed = breaker_.transitions_to_closed();
+  return snapshot;
+}
+
+CircuitBreaker::State ResilientRanker::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.state();
+}
+
+uint64_t ResilientRanker::clock_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_.NowMicros();
+}
+
+void ResilientRanker::AdvanceClockMicros(uint64_t micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_.AdvanceMicros(micros);
+}
+
+}  // namespace garcia::serving

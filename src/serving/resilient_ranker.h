@@ -1,0 +1,155 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Fault-tolerant online ranker: retries, circuit breaking, and a GARCIA-
+// specific graceful degradation chain.
+//
+// The chain mirrors how a production deployment of Fig. 9 keeps answering
+// when the embedding path fails, in decreasing fidelity:
+//   0. fresh   — today's embedding dump (through the fault injector, with a
+//                per-request deadline budget, bounded retry with exponential
+//                backoff + jitter, and a circuit breaker over the store);
+//   1. stale   — yesterday's snapshot (cold-start ids may be absent);
+//   2. anchor  — the mined head-anchor query's embedding: the same KTCL
+//                anchor pairs that transfer knowledge to tail queries at
+//                training time (models/contrastive) stand in at serving
+//                time, since the head anchor is ~always in every dump;
+//   3. text    — character-n-gram text similarity (models/text_encoder),
+//                the encoder-side stand-in for the paper's BERT module;
+//   4. popularity — a static popularity prior; always answers.
+// Every request is served by some tier: Rank() never aborts.
+
+#ifndef GARCIA_SERVING_RESILIENT_RANKER_H_
+#define GARCIA_SERVING_RESILIENT_RANKER_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/backoff.h"
+#include "core/clock.h"
+#include "core/rng.h"
+#include "models/text_encoder.h"
+#include "serving/fault_injector.h"
+#include "serving/ranking_service.h"
+#include "serving/resilience.h"
+#include "serving/serving_health.h"
+
+namespace garcia::serving {
+
+/// Tier-3 fallback: ranks services by character-n-gram cosine between the
+/// query text and service names. No embeddings involved.
+class TextRanker : public Ranker {
+ public:
+  TextRanker(std::vector<std::string> query_texts,
+             const std::vector<std::string>& service_texts);
+
+  RankedList Rank(uint32_t query, size_t k) const override;
+
+ private:
+  models::NgramTextEncoder encoder_;
+  std::vector<std::string> query_texts_;
+  std::vector<models::SparseVector> service_embeddings_;
+};
+
+/// Tier-4 fallback: a fixed query-independent ordering by popularity
+/// weight (e.g. MAU, exposure, or global CTR). Always answers.
+class PopularityRanker : public Ranker {
+ public:
+  explicit PopularityRanker(const std::vector<double>& popularity);
+
+  RankedList Rank(uint32_t query, size_t k) const override;
+
+ private:
+  RankedList ranked_;  // full precomputed ordering
+};
+
+struct ResilienceConfig {
+  size_t max_attempts = 3;          // primary lookups per request
+  uint64_t deadline_micros = 50000; // per-request budget
+  core::BackoffConfig backoff;
+  BreakerConfig breaker;
+  uint64_t seed = 7;                // backoff-jitter stream
+  /// Simulated time between request arrivals (advanced at the top of each
+  /// Rank call). Gives the breaker cooldown a chance to elapse even while
+  /// lookups are being short-circuited: 100us ~= a 10k-QPS replica.
+  uint64_t inter_request_micros = 100;
+};
+
+/// Wraps the EmbeddingRanker scoring path (inner-product top-K over the
+/// service matrix) with the fault-tolerance machinery above. Thread-safe;
+/// all mutable resilience state sits behind one mutex.
+class ResilientRanker : public Ranker {
+ public:
+  ResilientRanker(EmbeddingStore fresh_queries, EmbeddingStore services,
+                  ResilienceConfig config = {});
+
+  // --- optional tiers & fault wiring (call before serving traffic) ---
+
+  /// Routes fresh-store lookups through a seeded FaultInjector.
+  void SetFaultProfile(const FaultProfile& profile);
+  /// Tier 1: yesterday's query-embedding snapshot.
+  void SetStaleSnapshot(EmbeddingStore stale_queries);
+  /// Tier 2: head_anchor_of[q] is the mined head-anchor query id of q, or
+  /// -1 when no anchor was mined (see models::AnchorHeadOf).
+  void SetHeadAnchors(std::vector<int32_t> head_anchor_of);
+  /// Tier 3: text-similarity fallback ranker.
+  void SetTextFallback(std::shared_ptr<const Ranker> text_ranker);
+  /// Tier 4: popularity prior. A uniform prior is installed by default so
+  /// the chain always terminates; this replaces it with a real one.
+  void SetPopularityFallback(std::shared_ptr<const Ranker> popularity_ranker);
+
+  // --- serving ---
+
+  /// Never aborts: every request is answered by some tier (possibly the
+  /// popularity prior). Unknown / cold-start ids degrade instead of
+  /// crashing.
+  RankedList Rank(uint32_t query, size_t k) const override;
+
+  /// RunAbTest hook: resets breaker/health/injector/clock so runs with the
+  /// same profile and seed are bit-identical; installs `profile` when set.
+  void PrepareForRun(const FaultProfile* profile,
+                     uint64_t seed) const override;
+
+  /// Snapshot of the health counters (breaker transitions included).
+  ServingHealth health() const;
+  CircuitBreaker::State breaker_state() const;
+  /// Simulated time consumed so far (manual clock only).
+  uint64_t clock_micros() const;
+  /// Test/simulation helper: lets simulated idle time pass (e.g. so an
+  /// open breaker's cooldown can elapse without traffic).
+  void AdvanceClockMicros(uint64_t micros) const;
+
+  const ResilienceConfig& config() const { return config_; }
+
+ private:
+  /// One pass over tier 0 (retry loop). Returns the embedding or nullptr.
+  const float* FreshLookup(uint32_t query, DeadlineBudget* budget) const;
+  /// Raw lookup through the injector when set, else the plain store.
+  LookupOutcome RawLookup(uint32_t id) const;
+
+  EmbeddingStore fresh_;
+  EmbeddingStore services_;
+  ResilienceConfig config_;
+
+  std::optional<EmbeddingStore> stale_;
+  std::vector<int32_t> head_anchor_of_;
+  std::shared_ptr<const Ranker> text_;
+  std::shared_ptr<const Ranker> popularity_;
+
+  mutable std::mutex mu_;
+  mutable core::ManualClock clock_;
+  mutable core::Rng backoff_rng_;
+  mutable std::optional<FaultInjector> injector_;
+  mutable CircuitBreaker breaker_;
+  mutable ServingHealth health_;
+};
+
+/// True when every entry of the row is finite and sane (|x| < 1e30).
+/// Catches the bit-flip corruption mode before a poisoned embedding is
+/// scored against the whole service catalog.
+bool RowLooksValid(const float* row, size_t dim);
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_RESILIENT_RANKER_H_

@@ -26,11 +26,24 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, RetryLayerCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("budget spent").ToString(),
+            "DeadlineExceeded: budget spent");
+  EXPECT_EQ(Status::Unavailable("store down").ToString(),
+            "Unavailable: store down");
 }
 
 Status FailsWhenNegative(int x) {
