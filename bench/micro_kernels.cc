@@ -1,9 +1,25 @@
 // Kernel microbenchmarks (google-benchmark): the hot paths of training and
 // serving — GEMM, segment ops, the GARCIA encoder layer, InfoNCE
-// forward+backward, and top-K embedding retrieval.
+// forward+backward, and top-K embedding retrieval — plus a thread sweep of
+// the execution-layer kernels.
+//
+// `micro_kernels --speedup_json` skips google-benchmark and instead times
+// GEMM / segment kernels at 1, 2, 4 and hardware_concurrency threads,
+// emitting a JSON speedup table (serial wall-clock / threaded wall-clock)
+// to stdout. Speedups are hardware-dependent: on a multi-core box GEMM at
+// 512^3 should clear 2x at 4 threads; a single-core container reports ~1x.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/kernels.h"
 #include "core/matrix.h"
 #include "core/rng.h"
 #include "models/gnn_encoder.h"
@@ -13,6 +29,17 @@
 
 namespace garcia {
 namespace {
+
+/// Thread counts for the sweep benchmarks: {1, 2, 4, hw}, deduped.
+std::vector<int64_t> SweepThreadCounts() {
+  std::vector<int64_t> counts = {1, 2, 4};
+  const int64_t hw =
+      static_cast<int64_t>(std::max(1u, std::thread::hardware_concurrency()));
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
 
 void BM_Gemm(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -139,7 +166,178 @@ void BM_TopKRetrieval(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKRetrieval)->Arg(1000)->Arg(100000);
 
+// ----- Thread sweep: execution-layer kernels -----
+
+void BM_GemmThreads(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  core::ExecutionContext ctx(threads);
+  core::Rng rng(9);
+  core::Matrix a = core::Matrix::Randn(n, n, &rng);
+  core::Matrix b = core::Matrix::Randn(n, n, &rng);
+  core::Matrix c(n, n);
+  for (auto _ : state) {
+    core::kernels::Gemm(ctx, false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{256, 512}, garcia::SweepThreadCounts()});
+
+void BM_SegmentSumThreads(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  const size_t segments = edges / 8;
+  core::ExecutionContext ctx(threads);
+  core::Rng rng(10);
+  std::vector<uint32_t> seg(edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(segments)));
+  }
+  core::Matrix x = core::Matrix::Randn(edges, 32, &rng);
+  core::Matrix out(segments, 32);
+  for (auto _ : state) {
+    core::kernels::SegmentSum(ctx, x, seg, segments, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * edges);
+}
+BENCHMARK(BM_SegmentSumThreads)
+    ->ArgsProduct({{100000}, garcia::SweepThreadCounts()});
+
+void BM_SegmentSoftmaxThreads(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  const size_t segments = edges / 8;
+  core::ExecutionContext ctx(threads);
+  core::Rng rng(11);
+  std::vector<uint32_t> seg(edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(segments)));
+  }
+  core::Matrix scores = core::Matrix::Randn(edges, 1, &rng);
+  core::Matrix out(edges, 1);
+  for (auto _ : state) {
+    core::kernels::SegmentSoftmax(ctx, scores, seg, segments, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * edges);
+}
+BENCHMARK(BM_SegmentSoftmaxThreads)
+    ->ArgsProduct({{100000}, garcia::SweepThreadCounts()});
+
+// ----- --speedup_json: chrono-timed speedup table -----
+
+/// Median-of-repeats wall-clock seconds of fn() (one warmup call first).
+template <typename Fn>
+double TimeMedianSeconds(int repeats, Fn fn) {
+  fn();  // warmup
+  std::vector<double> secs;
+  secs.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    secs.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  std::sort(secs.begin(), secs.end());
+  return secs[secs.size() / 2];
+}
+
+struct SweepEntry {
+  size_t threads;
+  double seconds;
+};
+
+void PrintSweepJson(const char* kernel, const std::string& shape,
+                    const std::vector<SweepEntry>& entries, bool last) {
+  std::printf("    {\"kernel\": \"%s\", \"shape\": \"%s\", \"sweep\": [",
+              kernel, shape.c_str());
+  const double serial_secs = entries.front().seconds;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::printf("%s{\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.2f}",
+                i == 0 ? "" : ", ", entries[i].threads, entries[i].seconds,
+                serial_secs / entries[i].seconds);
+  }
+  std::printf("]}%s\n", last ? "" : ",");
+}
+
+int RunSpeedupJson() {
+  const std::vector<int64_t> counts = SweepThreadCounts();
+  core::Rng rng(12);
+
+  std::printf("{\n  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+              std::thread::hardware_concurrency());
+
+  {  // GEMM 512^3 — the acceptance target: >= 2x at 4 threads on multicore.
+    const size_t n = 512;
+    core::Matrix a = core::Matrix::Randn(n, n, &rng);
+    core::Matrix b = core::Matrix::Randn(n, n, &rng);
+    core::Matrix c(n, n);
+    std::vector<SweepEntry> entries;
+    for (int64_t t : counts) {
+      core::ExecutionContext ctx(static_cast<size_t>(t));
+      entries.push_back(
+          {static_cast<size_t>(t), TimeMedianSeconds(5, [&] {
+             core::kernels::Gemm(ctx, false, false, 1.0f, a, b, 0.0f, &c);
+           })});
+    }
+    PrintSweepJson("gemm", "512x512x512", entries, false);
+  }
+
+  const size_t edges = 200000, segments = edges / 8;
+  std::vector<uint32_t> seg(edges);
+  for (auto& s : seg) {
+    s = static_cast<uint32_t>(rng.UniformInt(static_cast<uint64_t>(segments)));
+  }
+
+  {  // SegmentSum over a LightGCN-scale edge set.
+    core::Matrix x = core::Matrix::Randn(edges, 32, &rng);
+    core::Matrix out(segments, 32);
+    std::vector<SweepEntry> entries;
+    for (int64_t t : counts) {
+      core::ExecutionContext ctx(static_cast<size_t>(t));
+      entries.push_back({static_cast<size_t>(t), TimeMedianSeconds(5, [&] {
+                           core::kernels::SegmentSum(ctx, x, seg, segments,
+                                                     &out);
+                         })});
+    }
+    PrintSweepJson("segment_sum", "200000x32/25000", entries, false);
+  }
+
+  {  // SegmentSoftmax over the same segment structure.
+    core::Matrix scores = core::Matrix::Randn(edges, 1, &rng);
+    core::Matrix out(edges, 1);
+    std::vector<SweepEntry> entries;
+    for (int64_t t : counts) {
+      core::ExecutionContext ctx(static_cast<size_t>(t));
+      entries.push_back({static_cast<size_t>(t), TimeMedianSeconds(5, [&] {
+                           core::kernels::SegmentSoftmax(ctx, scores, seg,
+                                                         segments, &out);
+                         })});
+    }
+    PrintSweepJson("segment_softmax", "200000/25000", entries, true);
+  }
+
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace garcia
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--speedup_json") == 0) {
+      return garcia::RunSpeedupJson();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full check: plain Release build + ctest, then an address+undefined
-# sanitizer build + ctest. Usage: scripts/check.sh [extra ctest args].
+# sanitizer build + ctest, then a thread-sanitizer build running the
+# concurrency-sensitive suites (kernel execution layer, thread pool, the
+# rewired tensor ops). Usage: scripts/check.sh [extra ctest args].
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,5 +23,16 @@ run_suite "$ROOT/build"
 
 echo "==> Sanitizer build (address;undefined)"
 run_suite "$ROOT/build-asan" -DGARCIA_SANITIZE="address;undefined"
+
+echo "==> Sanitizer build (thread)"
+# TSan and ASan are mutually exclusive, so this is a third tree. Only the
+# threaded suites run here: they exercise every ShardedFor dispatch and the
+# destination-sharded reduction kernels.
+TSAN_DIR="$ROOT/build-tsan"
+cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target core_kernels_test core_threadpool_test nn_ops_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+  -R '^(core_kernels_test|core_threadpool_test|nn_ops_test)$'
 
 echo "==> All checks passed"

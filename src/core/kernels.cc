@@ -1,0 +1,487 @@
+#include "core/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/macros.h"
+
+namespace garcia::core {
+
+namespace {
+
+// Shard-size floors: below these a range runs inline even on a parallel
+// context, keeping dispatch overhead off tiny problems. They never affect
+// results (the kernels are bit-identical across backends by construction).
+constexpr size_t kMinGemmRowsPerShard = 8;
+constexpr size_t kMinElemsPerShard = 1 << 14;
+constexpr size_t kMinRowsPerShard = 64;
+constexpr size_t kMinSegmentsPerShard = 64;
+// Scatter/segment kernels pay an O(R + E) index build on the parallel
+// path; below this many sources the serial loop is cheaper outright.
+constexpr size_t kMinScatterSources = 2048;
+
+thread_local const ExecutionContext* tls_execution = nullptr;
+
+}  // namespace
+
+ExecutionContext::ExecutionContext(size_t num_threads) {
+  if (num_threads >= 2) pool_ = std::make_unique<ThreadPool>(num_threads);
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+size_t ExecutionContext::num_threads() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+void ExecutionContext::ShardedFor(
+    size_t begin, size_t end, size_t min_shard,
+    const std::function<void(size_t, size_t)>& fn) const {
+  if (begin >= end) return;
+  if (pool_ == nullptr) {
+    fn(begin, end);
+    return;
+  }
+  pool_->ParallelForShards(begin, end, fn, min_shard);
+}
+
+const ExecutionContext& SerialExecution() {
+  static const ExecutionContext* serial = new ExecutionContext(0);
+  return *serial;
+}
+
+const ExecutionContext& CurrentExecution() {
+  return tls_execution != nullptr ? *tls_execution : SerialExecution();
+}
+
+ScopedExecution::ScopedExecution(const ExecutionContext* ctx)
+    : prev_(tls_execution) {
+  if (ctx != nullptr) tls_execution = ctx;
+}
+
+ScopedExecution::~ScopedExecution() { tls_execution = prev_; }
+
+namespace kernels {
+namespace {
+
+// Inner GEMM kernel over a row range of C: c[i,:] += alpha * a[i,:] @ b for
+// i in [i_begin, i_end). Plain loops; -O2 vectorizes the innermost loop
+// well at the sizes we use.
+inline void GemmRowsNN(size_t i_begin, size_t i_end, size_t n, size_t k,
+                       float alpha, const float* a, size_t lda, const float* b,
+                       size_t ldb, float* c, size_t ldc) {
+  for (size_t i = i_begin; i < i_end; ++i) {
+    for (size_t l = 0; l < k; ++l) {
+      const float av = alpha * a[i * lda + l];
+      if (av == 0.0f) continue;
+      const float* brow = b + l * ldb;
+      float* crow = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+template <typename F>
+inline void ForEachElement(const ExecutionContext& ctx, size_t n, F&& f) {
+  ctx.ShardedFor(0, n, kMinElemsPerShard, [&f](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+  });
+}
+
+template <typename F>
+inline void ForEachRow(const ExecutionContext& ctx, size_t rows,
+                       size_t min_shard, F&& f) {
+  ctx.ShardedFor(0, rows, min_shard, [&f](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+  });
+}
+
+// Destination-major index over a scatter/segment id list: offsets[d] ..
+// offsets[d+1] bound the positions of destination d in `order`, which holds
+// source ids in ascending order within each destination — the serial loop's
+// per-destination accumulation order.
+struct DestIndex {
+  std::vector<size_t> offsets;   // num_dests + 1
+  std::vector<uint32_t> order;   // one entry per source
+};
+
+DestIndex BuildDestIndex(const std::vector<uint32_t>& idx, size_t num_dests) {
+  DestIndex di;
+  di.offsets.assign(num_dests + 1, 0);
+  for (uint32_t d : idx) {
+    GARCIA_CHECK_LT(d, num_dests);
+    ++di.offsets[d + 1];
+  }
+  for (size_t d = 0; d < num_dests; ++d) di.offsets[d + 1] += di.offsets[d];
+  di.order.resize(idx.size());
+  std::vector<size_t> cursor(di.offsets.begin(), di.offsets.end() - 1);
+  for (size_t e = 0; e < idx.size(); ++e) {
+    di.order[cursor[idx[e]]++] = static_cast<uint32_t>(e);
+  }
+  return di;
+}
+
+inline void AddRow(float* dst, const float* src, size_t cols) {
+  for (size_t j = 0; j < cols; ++j) dst[j] += src[j];
+}
+
+}  // namespace
+
+void Gemm(const ExecutionContext& ctx, bool trans_a, bool trans_b, float alpha,
+          const Matrix& a, const Matrix& b, float beta, Matrix* c) {
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t k = trans_a ? a.rows() : a.cols();
+  const size_t kb = trans_b ? b.cols() : b.rows();
+  const size_t n = trans_b ? b.rows() : b.cols();
+  GARCIA_CHECK_EQ(k, kb) << "GEMM inner dimension mismatch";
+  GARCIA_CHECK_EQ(c->rows(), m);
+  GARCIA_CHECK_EQ(c->cols(), n);
+
+  if (beta == 0.0f) {
+    c->Fill(0.0f);
+  } else if (beta != 1.0f) {
+    c->Scale(beta);
+  }
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  // Transposed operands are materialized once; the matrices in this
+  // codebase are small enough (parameters and activations) that the copy is
+  // cheaper than a strided kernel.
+  auto transpose = [](const Matrix& x) {
+    Matrix t(x.cols(), x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      for (size_t j = 0; j < x.cols(); ++j) t.at(j, i) = x.at(i, j);
+    }
+    return t;
+  };
+  const Matrix at = trans_a ? transpose(a) : Matrix();
+  const Matrix bt = trans_b ? transpose(b) : Matrix();
+  const Matrix& aa = trans_a ? at : a;
+  const Matrix& bb = trans_b ? bt : b;
+
+  const float* ad = aa.data();
+  const float* bd = bb.data();
+  float* cd = c->data();
+  const size_t lda = aa.cols(), ldb = bb.cols(), ldc = c->cols();
+  ctx.ShardedFor(0, m, kMinGemmRowsPerShard,
+                 [=](size_t lo, size_t hi) {
+                   GemmRowsNN(lo, hi, n, k, alpha, ad, lda, bd, ldb, cd, ldc);
+                 });
+}
+
+void UnaryForward(const ExecutionContext& ctx, UnaryOp op, float slope,
+                  const float* x, float* y, size_t n) {
+  switch (op) {
+    case UnaryOp::kRelu:
+      ForEachElement(ctx, n, [=](size_t i) {
+        y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      });
+      break;
+    case UnaryOp::kTanh:
+      ForEachElement(ctx, n, [=](size_t i) { y[i] = std::tanh(x[i]); });
+      break;
+    case UnaryOp::kLeakyRelu:
+      ForEachElement(ctx, n, [=](size_t i) {
+        y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+      });
+      break;
+    case UnaryOp::kSigmoid:
+      ForEachElement(ctx, n, [=](size_t i) {
+        const float v = x[i];
+        y[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      });
+      break;
+  }
+}
+
+void UnaryBackwardAdd(const ExecutionContext& ctx, UnaryOp op, float slope,
+                      const float* x, const float* y, const float* dy,
+                      float* dx, size_t n) {
+  switch (op) {
+    case UnaryOp::kRelu:
+      ForEachElement(ctx, n, [=](size_t i) {
+        if (x[i] > 0.0f) dx[i] += dy[i];
+      });
+      break;
+    case UnaryOp::kTanh:
+      ForEachElement(ctx, n, [=](size_t i) {
+        dx[i] += dy[i] * (1.0f - y[i] * y[i]);
+      });
+      break;
+    case UnaryOp::kLeakyRelu:
+      ForEachElement(ctx, n, [=](size_t i) {
+        dx[i] += dy[i] * (x[i] > 0.0f ? 1.0f : slope);
+      });
+      break;
+    case UnaryOp::kSigmoid:
+      ForEachElement(ctx, n, [=](size_t i) {
+        dx[i] += dy[i] * (y[i] * (1.0f - y[i]));
+      });
+      break;
+  }
+}
+
+void GatherRows(const ExecutionContext& ctx, const Matrix& src,
+                const std::vector<uint32_t>& idx, Matrix* out) {
+  GARCIA_CHECK_EQ(out->rows(), idx.size());
+  GARCIA_CHECK_EQ(out->cols(), src.cols());
+  const size_t cols = src.cols();
+  ForEachRow(ctx, idx.size(), kMinRowsPerShard, [&](size_t i) {
+    GARCIA_CHECK_LT(idx[i], src.rows());
+    std::memcpy(out->row(i), src.row(idx[i]), cols * sizeof(float));
+  });
+}
+
+void GatherAddRows(const ExecutionContext& ctx, const Matrix& src,
+                   const std::vector<uint32_t>& idx, Matrix* out) {
+  GARCIA_CHECK_EQ(out->rows(), idx.size());
+  GARCIA_CHECK_EQ(out->cols(), src.cols());
+  const size_t cols = src.cols();
+  ForEachRow(ctx, idx.size(), kMinRowsPerShard, [&](size_t i) {
+    GARCIA_CHECK_LT(idx[i], src.rows());
+    AddRow(out->row(i), src.row(idx[i]), cols);
+  });
+}
+
+void ScatterAddRows(const ExecutionContext& ctx, const Matrix& src,
+                    const std::vector<uint32_t>& idx, Matrix* accum) {
+  GARCIA_CHECK_EQ(src.rows(), idx.size());
+  GARCIA_CHECK_EQ(src.cols(), accum->cols());
+  const size_t cols = src.cols();
+  if (!ctx.parallel() || idx.size() < kMinScatterSources) {
+    for (size_t e = 0; e < idx.size(); ++e) {
+      GARCIA_CHECK_LT(idx[e], accum->rows());
+      AddRow(accum->row(idx[e]), src.row(e), cols);
+    }
+    return;
+  }
+  const DestIndex di = BuildDestIndex(idx, accum->rows());
+  ctx.ShardedFor(0, accum->rows(), kMinSegmentsPerShard,
+                 [&](size_t lo, size_t hi) {
+                   for (size_t d = lo; d < hi; ++d) {
+                     float* dst = accum->row(d);
+                     for (size_t p = di.offsets[d]; p < di.offsets[d + 1];
+                          ++p) {
+                       AddRow(dst, src.row(di.order[p]), cols);
+                     }
+                   }
+                 });
+}
+
+void SegmentSum(const ExecutionContext& ctx, const Matrix& x,
+                const std::vector<uint32_t>& seg, size_t num_segments,
+                Matrix* out) {
+  GARCIA_CHECK_EQ(out->rows(), num_segments);
+  out->Fill(0.0f);
+  ScatterAddRows(ctx, x, seg, out);
+}
+
+void SegmentSoftmax(const ExecutionContext& ctx, const Matrix& scores,
+                    const std::vector<uint32_t>& seg, size_t num_segments,
+                    Matrix* out) {
+  GARCIA_CHECK_EQ(scores.cols(), 1u);
+  GARCIA_CHECK_EQ(seg.size(), scores.rows());
+  GARCIA_CHECK_EQ(out->rows(), seg.size());
+  GARCIA_CHECK_EQ(out->cols(), 1u);
+  const size_t e_count = seg.size();
+  if (!ctx.parallel() || e_count < kMinScatterSources) {
+    std::vector<float> seg_max(num_segments, -1e30f);
+    for (size_t e = 0; e < e_count; ++e) {
+      GARCIA_CHECK_LT(seg[e], num_segments);
+      seg_max[seg[e]] = std::max(seg_max[seg[e]], scores.at(e, 0));
+    }
+    std::vector<double> seg_sum(num_segments, 0.0);
+    for (size_t e = 0; e < e_count; ++e) {
+      out->at(e, 0) = std::exp(scores.at(e, 0) - seg_max[seg[e]]);
+      seg_sum[seg[e]] += out->at(e, 0);
+    }
+    for (size_t e = 0; e < e_count; ++e) {
+      out->at(e, 0) = static_cast<float>(out->at(e, 0) / seg_sum[seg[e]]);
+    }
+    return;
+  }
+  const DestIndex di = BuildDestIndex(seg, num_segments);
+  ctx.ShardedFor(
+      0, num_segments, kMinSegmentsPerShard, [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) {
+          const size_t p0 = di.offsets[s], p1 = di.offsets[s + 1];
+          if (p0 == p1) continue;
+          float mx = -1e30f;
+          for (size_t p = p0; p < p1; ++p) {
+            mx = std::max(mx, scores.at(di.order[p], 0));
+          }
+          double sum = 0.0;
+          for (size_t p = p0; p < p1; ++p) {
+            const uint32_t e = di.order[p];
+            out->at(e, 0) = std::exp(scores.at(e, 0) - mx);
+            sum += out->at(e, 0);
+          }
+          for (size_t p = p0; p < p1; ++p) {
+            const uint32_t e = di.order[p];
+            out->at(e, 0) = static_cast<float>(out->at(e, 0) / sum);
+          }
+        }
+      });
+}
+
+void SegmentSoftmaxBackwardAdd(const ExecutionContext& ctx,
+                               const Matrix& alpha, const Matrix& dalpha,
+                               const std::vector<uint32_t>& seg,
+                               size_t num_segments, Matrix* dscores) {
+  GARCIA_CHECK_EQ(alpha.rows(), seg.size());
+  GARCIA_CHECK_EQ(dalpha.rows(), seg.size());
+  GARCIA_CHECK_EQ(dscores->rows(), seg.size());
+  const size_t e_count = seg.size();
+  if (!ctx.parallel() || e_count < kMinScatterSources) {
+    std::vector<double> seg_dot(num_segments, 0.0);
+    for (size_t e = 0; e < e_count; ++e) {
+      GARCIA_CHECK_LT(seg[e], num_segments);
+      seg_dot[seg[e]] +=
+          static_cast<double>(dalpha.at(e, 0)) * alpha.at(e, 0);
+    }
+    for (size_t e = 0; e < e_count; ++e) {
+      dscores->at(e, 0) +=
+          alpha.at(e, 0) *
+          (dalpha.at(e, 0) - static_cast<float>(seg_dot[seg[e]]));
+    }
+    return;
+  }
+  const DestIndex di = BuildDestIndex(seg, num_segments);
+  ctx.ShardedFor(
+      0, num_segments, kMinSegmentsPerShard, [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) {
+          const size_t p0 = di.offsets[s], p1 = di.offsets[s + 1];
+          double dot = 0.0;
+          for (size_t p = p0; p < p1; ++p) {
+            const uint32_t e = di.order[p];
+            dot += static_cast<double>(dalpha.at(e, 0)) * alpha.at(e, 0);
+          }
+          for (size_t p = p0; p < p1; ++p) {
+            const uint32_t e = di.order[p];
+            dscores->at(e, 0) +=
+                alpha.at(e, 0) *
+                (dalpha.at(e, 0) - static_cast<float>(dot));
+          }
+        }
+      });
+}
+
+void ScaleRowsInPlace(const ExecutionContext& ctx, Matrix* x,
+                      const Matrix& w) {
+  GARCIA_CHECK_EQ(w.cols(), 1u);
+  GARCIA_CHECK_EQ(w.rows(), x->rows());
+  const size_t cols = x->cols();
+  ForEachRow(ctx, x->rows(), kMinRowsPerShard, [&](size_t i) {
+    const float wi = w.at(i, 0);
+    float* r = x->row(i);
+    for (size_t j = 0; j < cols; ++j) r[j] *= wi;
+  });
+}
+
+void RowDotAdd(const ExecutionContext& ctx, const Matrix& a, const Matrix& b,
+               Matrix* out) {
+  GARCIA_CHECK_EQ(a.rows(), b.rows());
+  GARCIA_CHECK_EQ(a.cols(), b.cols());
+  GARCIA_CHECK_EQ(out->rows(), a.rows());
+  GARCIA_CHECK_EQ(out->cols(), 1u);
+  const size_t cols = a.cols();
+  ForEachRow(ctx, a.rows(), kMinRowsPerShard, [&](size_t i) {
+    double acc = 0.0;
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    for (size_t j = 0; j < cols; ++j) {
+      acc += static_cast<double>(ra[j]) * rb[j];
+    }
+    out->at(i, 0) += static_cast<float>(acc);
+  });
+}
+
+void L2NormalizeRows(const ExecutionContext& ctx, const Matrix& x, float eps,
+                     Matrix* out, std::vector<float>* norms) {
+  GARCIA_CHECK_EQ(out->rows(), x.rows());
+  GARCIA_CHECK_EQ(out->cols(), x.cols());
+  const size_t d = x.cols();
+  norms->resize(x.rows());
+  ForEachRow(ctx, x.rows(), kMinRowsPerShard, [&](size_t i) {
+    const float* r = x.row(i);
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) s += static_cast<double>(r[j]) * r[j];
+    const float norm = static_cast<float>(std::sqrt(s));
+    (*norms)[i] = std::max(norm, eps);
+    const float inv = norm > eps ? 1.0f / norm : 0.0f;
+    // Zero rows (norm <= eps) map to zero rows.
+    float* o = out->row(i);
+    for (size_t j = 0; j < d; ++j) o[j] = r[j] * inv;
+  });
+}
+
+void L2NormalizeRowsBackwardAdd(const ExecutionContext& ctx, const Matrix& y,
+                                const Matrix& dy,
+                                const std::vector<float>& norms, float eps,
+                                Matrix* dx) {
+  GARCIA_CHECK_EQ(norms.size(), y.rows());
+  GARCIA_CHECK_EQ(dx->rows(), y.rows());
+  const size_t d = y.cols();
+  ForEachRow(ctx, y.rows(), kMinRowsPerShard, [&](size_t i) {
+    if (norms[i] <= eps) return;  // zero row: zero gradient
+    const float* yi = y.row(i);
+    const float* dyi = dy.row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      dot += static_cast<double>(dyi[j]) * yi[j];
+    }
+    const float inv = 1.0f / norms[i];
+    float* gi = dx->row(i);
+    for (size_t j = 0; j < d; ++j) {
+      gi[j] += (dyi[j] - static_cast<float>(dot) * yi[j]) * inv;
+    }
+  });
+}
+
+double CrossEntropyForward(const ExecutionContext& ctx, Matrix* logits,
+                           const std::vector<uint32_t>& targets) {
+  const size_t n = logits->rows(), m = logits->cols();
+  GARCIA_CHECK_EQ(targets.size(), n);
+  GARCIA_CHECK_GT(n, 0u);
+  std::vector<double> row_loss(n);
+  ForEachRow(ctx, n, /*min_shard=*/32, [&](size_t i) {
+    GARCIA_CHECK_LT(targets[i], m);
+    float* r = logits->row(i);
+    float mx = r[0];
+    for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      sum += std::exp(static_cast<double>(r[j]) - mx);
+    }
+    const double lse = mx + std::log(sum);
+    row_loss[i] = lse - r[targets[i]];
+    for (size_t j = 0; j < m; ++j) {
+      r[j] = static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
+    }
+  });
+  // The total is summed serially in row order regardless of backend so the
+  // scalar loss is backend-independent.
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) loss += row_loss[i];
+  return loss;
+}
+
+void CrossEntropyBackwardAdd(const ExecutionContext& ctx,
+                             const Matrix& softmax,
+                             const std::vector<uint32_t>& targets, float gout,
+                             Matrix* dlogits) {
+  GARCIA_CHECK_EQ(dlogits->rows(), softmax.rows());
+  GARCIA_CHECK_EQ(dlogits->cols(), softmax.cols());
+  const size_t m = softmax.cols();
+  ForEachRow(ctx, softmax.rows(), kMinRowsPerShard, [&](size_t i) {
+    const float* s = softmax.row(i);
+    float* gr = dlogits->row(i);
+    for (size_t j = 0; j < m; ++j) gr[j] += gout * s[j];
+    gr[targets[i]] -= gout;
+  });
+}
+
+}  // namespace kernels
+}  // namespace garcia::core

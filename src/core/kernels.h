@@ -1,0 +1,202 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Pluggable kernel execution layer.
+//
+// Every hot compute loop of the training/serving stack — blocked GEMM, the
+// elementwise activations, row gather and its scatter-add adjoint, the
+// segment reductions behind graph aggregation, and the softmax
+// cross-entropy inside InfoNCE — dispatches through the kernels in this
+// file. Each kernel has a serial reference implementation and a
+// ParallelFor-sharded one; an ExecutionContext (thread pool handle +
+// shard-size policy) selects between them.
+//
+// Determinism contract: for ANY ExecutionContext the parallel path is
+// bit-identical to the serial reference, not merely close. Kernels shard
+// over independent output coordinates (rows, elements, segments); reduction
+// kernels (scatter-add, segment sum/softmax, cross-entropy) shard by
+// destination segment and accumulate each destination's contributions in
+// ascending source order — exactly the order of the serial loop. A model
+// trained with num_threads=N therefore reproduces the num_threads=0 loss
+// trajectory to the last bit (asserted by tests/core_kernels_test.cc and
+// tests/models_garcia_test.cc).
+//
+// How to add a kernel: write the serial loop; identify the independent
+// output coordinate; express the parallel path as ShardedFor over that
+// coordinate with per-destination source order fixed to ascending; add a
+// serial-vs-parallel bit-identity case to core_kernels_test.
+
+#ifndef GARCIA_CORE_KERNELS_H_
+#define GARCIA_CORE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/threadpool.h"
+
+namespace garcia::core {
+
+/// Execution policy handed to the compute kernels: either serial (the
+/// reference backend) or sharded across a privately owned thread pool.
+class ExecutionContext {
+ public:
+  /// num_threads <= 1 selects the serial backend (no pool is created);
+  /// num_threads >= 2 creates a pool of that many workers. The default
+  /// matches the historical single-threaded behavior by construction.
+  explicit ExecutionContext(size_t num_threads = 0);
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// 1 for the serial backend, the worker count otherwise.
+  size_t num_threads() const;
+  bool parallel() const { return pool_ != nullptr; }
+
+  /// Runs fn(lo, hi) over contiguous, non-overlapping shards covering
+  /// [begin, end): one inline call on the serial backend, pool-sharded
+  /// otherwise. min_shard bounds the smallest shard so tiny ranges stay
+  /// inline.
+  void ShardedFor(size_t begin, size_t end, size_t min_shard,
+                  const std::function<void(size_t, size_t)>& fn) const;
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  // null = serial backend
+};
+
+/// The process-default serial context.
+const ExecutionContext& SerialExecution();
+
+/// The context kernels dispatch through when no explicit one is passed.
+/// Defaults to SerialExecution(); models install theirs via ScopedExecution
+/// around Fit/Predict/Export so every op and backward closure inside picks
+/// it up. Thread-local, so concurrent models on different threads do not
+/// interfere.
+const ExecutionContext& CurrentExecution();
+
+/// RAII installer for CurrentExecution(). Passing nullptr keeps the serial
+/// default. Nestable; the previous context is restored on destruction.
+class ScopedExecution {
+ public:
+  explicit ScopedExecution(const ExecutionContext* ctx);
+  ~ScopedExecution();
+
+  ScopedExecution(const ScopedExecution&) = delete;
+  ScopedExecution& operator=(const ScopedExecution&) = delete;
+
+ private:
+  const ExecutionContext* prev_;
+};
+
+namespace kernels {
+
+// ----- GEMM -----
+
+/// C = alpha * op(A) @ op(B) + beta * C (row-major, blocked). Parallel
+/// backend shards the rows of C; each row's accumulation order equals the
+/// serial kernel's.
+void Gemm(const ExecutionContext& ctx, bool trans_a, bool trans_b,
+          float alpha, const Matrix& a, const Matrix& b, float beta,
+          Matrix* c);
+
+// ----- Elementwise activations -----
+
+enum class UnaryOp { kRelu, kTanh, kLeakyRelu, kSigmoid };
+
+/// y[i] = f(x[i]) for i < n. `slope` is the LeakyReLU negative slope
+/// (ignored by the other ops). x may alias y.
+void UnaryForward(const ExecutionContext& ctx, UnaryOp op, float slope,
+                  const float* x, float* y, size_t n);
+
+/// dx[i] += dy[i] * f'(x[i]) for i < n, with f' evaluated from the cached
+/// input x and output y (whichever the op needs).
+void UnaryBackwardAdd(const ExecutionContext& ctx, UnaryOp op, float slope,
+                      const float* x, const float* y, const float* dy,
+                      float* dx, size_t n);
+
+// ----- Row gather / scatter -----
+
+/// out->row(i) = src.row(idx[i]). out must be idx.size() x src.cols().
+void GatherRows(const ExecutionContext& ctx, const Matrix& src,
+                const std::vector<uint32_t>& idx, Matrix* out);
+
+/// out->row(i) += src.row(idx[i]) (gather-accumulate; the backward of
+/// SegmentSum). Sharded by output row.
+void GatherAddRows(const ExecutionContext& ctx, const Matrix& src,
+                   const std::vector<uint32_t>& idx, Matrix* out);
+
+/// accum->row(idx[e]) += src.row(e) for e in source order (the adjoint of
+/// GatherRows). Destinations may repeat; the parallel backend shards BY
+/// DESTINATION ROW and replays each destination's contributions in
+/// ascending e — bit-identical to the serial loop.
+void ScatterAddRows(const ExecutionContext& ctx, const Matrix& src,
+                    const std::vector<uint32_t>& idx, Matrix* accum);
+
+// ----- Segment reductions -----
+
+/// out->row(s) = Σ_{e: seg[e]==s} x.row(e). out must be num_segments x
+/// x.cols(); it is zeroed first. Sharded by destination segment.
+void SegmentSum(const ExecutionContext& ctx, const Matrix& x,
+                const std::vector<uint32_t>& seg, size_t num_segments,
+                Matrix* out);
+
+/// Per-segment max-stabilized softmax over Ex1 scores; segments may be
+/// empty. out must be Ex1 (may alias scores only on the serial backend; the
+/// callers never alias).
+void SegmentSoftmax(const ExecutionContext& ctx, const Matrix& scores,
+                    const std::vector<uint32_t>& seg, size_t num_segments,
+                    Matrix* out);
+
+/// dscores[e] += alpha[e] * (dalpha[e] - Σ_{e' in seg(e)} dalpha[e']
+/// alpha[e']). alpha is the forward output; sharded by segment.
+void SegmentSoftmaxBackwardAdd(const ExecutionContext& ctx,
+                               const Matrix& alpha, const Matrix& dalpha,
+                               const std::vector<uint32_t>& seg,
+                               size_t num_segments, Matrix* dscores);
+
+// ----- Row broadcast / row reduction -----
+
+/// x->at(i, j) *= w(i, 0) (MulColBroadcast forward, and its dX with x=dY).
+void ScaleRowsInPlace(const ExecutionContext& ctx, Matrix* x,
+                      const Matrix& w);
+
+/// out(i, 0) += Σ_j a(i, j) * b(i, j), accumulated in double per row
+/// (MulColBroadcast's dW). Sharded by row.
+void RowDotAdd(const ExecutionContext& ctx, const Matrix& a, const Matrix& b,
+               Matrix* out);
+
+// ----- L2 row normalization (InfoNCE forward) -----
+
+/// out->row(i) = x.row(i) / max(||x.row(i)||, eps); rows with norm <= eps
+/// map to zero rows. norms receives max(||row||, eps) for the backward.
+void L2NormalizeRows(const ExecutionContext& ctx, const Matrix& x, float eps,
+                     Matrix* out, std::vector<float>* norms);
+
+/// dx.row(i) += (dy.row(i) - <dy_i, y_i> y.row(i)) / norms[i]; rows whose
+/// forward norm was <= eps receive zero gradient.
+void L2NormalizeRowsBackwardAdd(const ExecutionContext& ctx, const Matrix& y,
+                                const Matrix& dy,
+                                const std::vector<float>& norms, float eps,
+                                Matrix* dx);
+
+// ----- Softmax cross-entropy (InfoNCE head) -----
+
+/// In-place row softmax of *logits plus the summed loss
+/// Σ_i [logsumexp(row_i) - row_i[targets[i]]]. Per-row terms are computed
+/// sharded; the final sum always runs serially in row order so the result
+/// is backend-independent.
+double CrossEntropyForward(const ExecutionContext& ctx, Matrix* logits,
+                           const std::vector<uint32_t>& targets);
+
+/// dlogits(i, j) += gout * softmax(i, j), minus gout at the target column.
+void CrossEntropyBackwardAdd(const ExecutionContext& ctx,
+                             const Matrix& softmax,
+                             const std::vector<uint32_t>& targets, float gout,
+                             Matrix* dlogits);
+
+}  // namespace kernels
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_KERNELS_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "core/kernels.h"
 #include "core/rng.h"
 
 namespace garcia::core {
@@ -43,66 +44,9 @@ Matrix Matrix::Xavier(size_t rows, size_t cols, Rng* rng) {
   return m;
 }
 
-namespace {
-
-// Inner kernel: c[mxn] += alpha * a_block[mxk] * b_block[kxn] where a is
-// accessed as a(i, l) with stride lda etc. Plain loops; -O2 vectorizes the
-// innermost loop well at the sizes we use (d <= 256).
-inline void GemmBlockNN(size_t m, size_t n, size_t k, float alpha,
-                        const float* a, size_t lda, const float* b, size_t ldb,
-                        float* c, size_t ldc) {
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t l = 0; l < k; ++l) {
-      const float av = alpha * a[i * lda + l];
-      if (av == 0.0f) continue;
-      const float* brow = b + l * ldb;
-      float* crow = c + i * ldc;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
 void Matrix::Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
                   const Matrix& b, float beta, Matrix* c) {
-  const size_t m = trans_a ? a.cols() : a.rows();
-  const size_t k = trans_a ? a.rows() : a.cols();
-  const size_t kb = trans_b ? b.cols() : b.rows();
-  const size_t n = trans_b ? b.rows() : b.cols();
-  GARCIA_CHECK_EQ(k, kb) << "GEMM inner dimension mismatch";
-  GARCIA_CHECK_EQ(c->rows(), m);
-  GARCIA_CHECK_EQ(c->cols(), n);
-
-  if (beta == 0.0f) {
-    c->Fill(0.0f);
-  } else if (beta != 1.0f) {
-    c->Scale(beta);
-  }
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
-
-  if (!trans_a && !trans_b) {
-    GemmBlockNN(m, n, k, alpha, a.data(), a.cols(), b.data(), b.cols(),
-                c->data(), c->cols());
-    return;
-  }
-
-  // Transposed paths: materialize the transposed operand once. The matrices
-  // in this codebase are small enough (parameters and activations) that the
-  // copy is cheaper than a strided kernel.
-  auto transpose = [](const Matrix& x) {
-    Matrix t(x.cols(), x.rows());
-    for (size_t i = 0; i < x.rows(); ++i) {
-      for (size_t j = 0; j < x.cols(); ++j) t.at(j, i) = x.at(i, j);
-    }
-    return t;
-  };
-  const Matrix at = trans_a ? transpose(a) : Matrix();
-  const Matrix bt = trans_b ? transpose(b) : Matrix();
-  const Matrix& aa = trans_a ? at : a;
-  const Matrix& bb = trans_b ? bt : b;
-  GemmBlockNN(m, n, k, alpha, aa.data(), aa.cols(), bb.data(), bb.cols(),
-              c->data(), c->cols());
+  kernels::Gemm(CurrentExecution(), trans_a, trans_b, alpha, a, b, beta, c);
 }
 
 Matrix Matrix::Matmul(const Matrix& a, const Matrix& b) {

@@ -71,7 +71,9 @@ class Matrix {
 
   /// C = alpha * op(A) @ op(B) + beta * C, blocked for cache friendliness.
   /// op(X) is X or X^T according to the transpose flags. C must already have
-  /// the result shape.
+  /// the result shape. Dispatches through the kernel execution layer
+  /// (core/kernels.h), so it runs thread-parallel under a ScopedExecution
+  /// with a parallel context — bit-identical to the serial backend.
   static void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
                    const Matrix& b, float beta, Matrix* c);
 

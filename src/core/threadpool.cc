@@ -43,11 +43,22 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn,
                              size_t min_shard) {
+  ParallelForShards(
+      begin, end,
+      [&fn](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      },
+      min_shard);
+}
+
+void ThreadPool::ParallelForShards(size_t begin, size_t end,
+                                   const std::function<void(size_t, size_t)>& fn,
+                                   size_t min_shard) {
   if (begin >= end) return;
   const size_t n = end - begin;
   const size_t threads = num_threads();
   if (threads <= 1 || n < min_shard * 2) {
-    for (size_t i = begin; i < end; ++i) fn(i);
+    fn(begin, end);
     return;
   }
   const size_t shards = std::min(threads, (n + min_shard - 1) / min_shard);
@@ -56,9 +67,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     const size_t lo = begin + s * per_shard;
     const size_t hi = std::min(end, lo + per_shard);
     if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    });
+    Submit([lo, hi, &fn] { fn(lo, hi); });
   }
   Wait();
 }

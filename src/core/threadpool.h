@@ -40,6 +40,15 @@ class ThreadPool {
                    const std::function<void(size_t)>& fn,
                    size_t min_shard = 256);
 
+  /// Shard-granular variant: runs fn(lo, hi) once per contiguous shard of
+  /// [begin, end); blocks until done. Shards never overlap and cover the
+  /// range exactly, so callers writing disjoint output ranges need no
+  /// synchronization. Executes fn(begin, end) inline when the range is
+  /// small or the pool has a single thread.
+  void ParallelForShards(size_t begin, size_t end,
+                         const std::function<void(size_t, size_t)>& fn,
+                         size_t min_shard = 256);
+
   /// Process-wide shared pool (lazily created).
   static ThreadPool* Global();
 

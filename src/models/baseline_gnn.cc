@@ -10,7 +10,7 @@ using core::Matrix;
 using nn::Tensor;
 
 GnnBaseline::GnnBaseline(const TrainConfig& config)
-    : cfg_(config), rng_(config.seed) {}
+    : cfg_(config), rng_(config.seed), exec_(config.num_threads) {}
 
 GnnBaseline::~GnnBaseline() = default;
 
@@ -37,6 +37,7 @@ Tensor GnnBaseline::BatchLogits(const Tensor& emb,
 }
 
 void GnnBaseline::Fit(const data::Scenario& s) {
+  core::ScopedExecution exec_scope(&exec_);
   scenario_ = &s;
   const size_t d = cfg_.embedding_dim;
   id_embedding_ =
@@ -103,6 +104,7 @@ std::vector<float> GnnBaseline::Predict(
   GARCIA_CHECK(fitted_) << "Fit must run before Predict";
   GARCIA_CHECK(scenario_ == &s);
   if (examples.empty()) return {};
+  core::ScopedExecution exec_scope(&exec_);
   Tensor emb = ComputeEmbeddings();
   std::vector<uint32_t> batch(examples.size());
   for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<uint32_t>(i);
@@ -118,6 +120,7 @@ std::vector<float> GnnBaseline::Predict(
 
 core::Matrix GnnBaseline::ExportQueryEmbeddings(const data::Scenario& s) {
   GARCIA_CHECK(fitted_);
+  core::ScopedExecution exec_scope(&exec_);
   Tensor emb = ComputeEmbeddings();
   Matrix out(s.num_queries(), cfg_.embedding_dim);
   for (uint32_t q = 0; q < s.num_queries(); ++q) {
@@ -128,6 +131,7 @@ core::Matrix GnnBaseline::ExportQueryEmbeddings(const data::Scenario& s) {
 
 core::Matrix GnnBaseline::ExportServiceEmbeddings(const data::Scenario& s) {
   GARCIA_CHECK(fitted_);
+  core::ScopedExecution exec_scope(&exec_);
   Tensor emb = ComputeEmbeddings();
   Matrix out(s.num_services(), cfg_.embedding_dim);
   for (uint32_t svc = 0; svc < s.num_services(); ++svc) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels.h"
 #include "models/common.h"
 #include "models/gnn_encoder.h"
 #include "nn/loss.h"
@@ -54,6 +55,9 @@ class GnnBaseline : public RankingModel {
   const data::Scenario* scenario_ = nullptr;
   TrainConfig cfg_;
   core::Rng rng_;
+  /// Compute backend (0 threads = serial); installed around Fit / Predict /
+  /// the export hooks with ScopedExecution.
+  core::ExecutionContext exec_;
   std::unique_ptr<nn::Embedding> id_embedding_;
   std::unique_ptr<nn::Linear> attr_proj_;
   std::unique_ptr<nn::Mlp> click_head_;

@@ -34,6 +34,11 @@ struct TrainConfig {
   /// 0 = no cap.
   size_t max_batches_per_epoch = 24;
   uint64_t seed = 7;
+  /// Worker threads for the kernel execution layer (core/kernels.h).
+  /// 0 = serial (no thread pool is created); any value >= 1 routes compute
+  /// through ExecutionContext. The parallel backend is bit-identical to
+  /// serial, so this changes wall-clock only, never losses or embeddings.
+  size_t num_threads = 0;
 
   // Multi-granularity contrastive learning (Eq. 11).
   float tau = 0.1f;    // temperature (paper: 0.1)

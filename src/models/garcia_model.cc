@@ -12,12 +12,13 @@ using core::Matrix;
 using nn::Tensor;
 
 GarciaModel::GarciaModel(const TrainConfig& config)
-    : cfg_(config), rng_(config.seed) {}
+    : cfg_(config), rng_(config.seed), exec_(config.num_threads) {}
 
 GarciaModel::~GarciaModel() = default;
 
 void GarciaModel::Setup(const data::Scenario& s) {
   scenario_ = &s;
+  encoded_cache_.reset();  // re-Fit invalidates any post-Fit encoding
   const size_t d = cfg_.embedding_dim;
 
   if (cfg_.share_encoders) {
@@ -71,6 +72,11 @@ GarciaModel::Encoded GarciaModel::EncodeAll() const {
     e.tail = tail_encoder_->Encode(tail_sub_->graph);
   }
   return e;
+}
+
+const GarciaModel::Encoded& GarciaModel::CachedEncoded() const {
+  if (!encoded_cache_.has_value()) encoded_cache_ = EncodeAll();
+  return *encoded_cache_;
 }
 
 std::pair<bool, uint32_t> GarciaModel::QueryRow(uint32_t query) const {
@@ -323,6 +329,7 @@ Tensor GarciaModel::BatchLogits(const std::vector<data::Example>& examples,
 }
 
 void GarciaModel::Fit(const data::Scenario& s) {
+  core::ScopedExecution exec_scope(&exec_);
   Setup(s);
 
   std::vector<Tensor> params = head_encoder_->Parameters();
@@ -398,7 +405,8 @@ std::vector<float> GarciaModel::Predict(
   GARCIA_CHECK(fitted_) << "Fit must run before Predict";
   GARCIA_CHECK(scenario_ == &s) << "Predict on a different scenario";
   if (examples.empty()) return {};
-  Encoded e = EncodeAll();
+  core::ScopedExecution exec_scope(&exec_);
+  const Encoded& e = CachedEncoded();
   std::vector<uint32_t> batch(examples.size());
   for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<uint32_t>(i);
   std::vector<uint32_t> order;
@@ -416,7 +424,8 @@ std::vector<float> GarciaModel::Predict(
 core::Matrix GarciaModel::ExportQueryEmbeddings(const data::Scenario& s) {
   GARCIA_CHECK(fitted_);
   GARCIA_CHECK(scenario_ == &s);
-  Encoded e = EncodeAll();
+  core::ScopedExecution exec_scope(&exec_);
+  const Encoded& e = CachedEncoded();
   Matrix out(s.num_queries(), cfg_.embedding_dim);
   for (uint32_t q = 0; q < s.num_queries(); ++q) {
     auto [is_head, row] = QueryRow(q);
@@ -430,7 +439,8 @@ core::Matrix GarciaModel::ExportQueryEmbeddings(const data::Scenario& s) {
 core::Matrix GarciaModel::ExportServiceEmbeddings(const data::Scenario& s) {
   GARCIA_CHECK(fitted_);
   GARCIA_CHECK(scenario_ == &s);
-  Encoded e = EncodeAll();
+  core::ScopedExecution exec_scope(&exec_);
+  const Encoded& e = CachedEncoded();
   Matrix out(s.num_services(), cfg_.embedding_dim);
   for (uint32_t svc = 0; svc < s.num_services(); ++svc) {
     const uint32_t hrow = ServiceRow(true, svc);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels.h"
 #include "models/common.h"
 #include "models/contrastive.h"
 #include "models/gnn_encoder.h"
@@ -60,6 +61,11 @@ class GarciaModel : public RankingModel {
   /// Builds encoders and partitions for the scenario (first Fit step).
   void Setup(const data::Scenario& s);
   Encoded EncodeAll() const;
+  /// Post-Fit encoding shared by Predict / the export hooks. Encoding is
+  /// deterministic given the fitted parameters (no RNG), so the first call
+  /// after Fit computes it and later calls reuse the cached pass. Re-Fit
+  /// invalidates the cache (via Setup).
+  const Encoded& CachedEncoded() const;
 
   /// (is_head_partition, local node row) of a query / service within the
   /// partition used for its representation.
@@ -83,6 +89,9 @@ class GarciaModel : public RankingModel {
 
   TrainConfig cfg_;
   core::Rng rng_;
+  /// Compute backend for every Fit / Predict / Export pass (0 threads =
+  /// serial). Installed around those entry points with ScopedExecution.
+  core::ExecutionContext exec_;
   bool fitted_ = false;
 
   // Scenario-bound state (built by Setup).
@@ -94,6 +103,8 @@ class GarciaModel : public RankingModel {
   std::unique_ptr<IntentionEncoder> intention_encoder_;
   std::unique_ptr<nn::Mlp> click_head_;
   KtclAnchors anchors_;
+  /// Cached post-Fit encoding (see CachedEncoded); reset on Setup.
+  mutable std::optional<Encoded> encoded_cache_;
 
   float first_pretrain_loss_ = 0.0f;
   float last_pretrain_loss_ = 0.0f;

@@ -96,31 +96,29 @@ nn::Tensor GcnPropagate(const nn::Tensor& z,
   // the bidirectionally-stored graph without dropout they coincide with the
   // undirected degree.
   std::vector<double> deg_in(num_nodes, 0.0), deg_out(num_nodes, 0.0);
+  size_t kept = 0;
   for (size_t e = 0; e < edge_src.size(); ++e) {
     if (keep != nullptr && !(*keep)[e]) continue;
     deg_in[edge_dst[e]] += 1.0;
     deg_out[edge_src[e]] += 1.0;
-  }
-  std::vector<uint32_t> src_kept, dst_kept;
-  src_kept.reserve(edge_src.size());
-  dst_kept.reserve(edge_src.size());
-  core::Matrix weights(keep == nullptr
-                           ? edge_src.size()
-                           : edge_src.size(),  // shrunk below when dropping
-                       1);
-  size_t kept = 0;
-  for (size_t e = 0; e < edge_src.size(); ++e) {
-    if (keep != nullptr && !(*keep)[e]) continue;
-    const double d = deg_out[edge_src[e]] * deg_in[edge_dst[e]];
-    weights.at(kept, 0) =
-        d > 0.0 ? static_cast<float>(1.0 / std::sqrt(d)) : 0.0f;
-    src_kept.push_back(edge_src[e]);
-    dst_kept.push_back(edge_dst[e]);
     ++kept;
   }
   if (kept == 0) return Tensor::Constant(core::Matrix(num_nodes, z.cols()));
+  // Exactly `kept` survivors are known after the degree pass, so the weight
+  // matrix is sized once and filled directly — no full-size scratch copy.
+  std::vector<uint32_t> src_kept, dst_kept;
+  src_kept.reserve(kept);
+  dst_kept.reserve(kept);
   core::Matrix w_kept(kept, 1);
-  for (size_t e = 0; e < kept; ++e) w_kept.at(e, 0) = weights.at(e, 0);
+  size_t w = 0;
+  for (size_t e = 0; e < edge_src.size(); ++e) {
+    if (keep != nullptr && !(*keep)[e]) continue;
+    const double d = deg_out[edge_src[e]] * deg_in[edge_dst[e]];
+    w_kept.at(w, 0) = d > 0.0 ? static_cast<float>(1.0 / std::sqrt(d)) : 0.0f;
+    src_kept.push_back(edge_src[e]);
+    dst_kept.push_back(edge_dst[e]);
+    ++w;
+  }
 
   Tensor gathered = nn::GatherRows(z, src_kept);
   Tensor weighted =

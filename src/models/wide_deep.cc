@@ -11,7 +11,7 @@ using core::Matrix;
 using nn::Tensor;
 
 WideDeep::WideDeep(const TrainConfig& config)
-    : cfg_(config), rng_(config.seed) {}
+    : cfg_(config), rng_(config.seed), exec_(config.num_threads) {}
 
 WideDeep::~WideDeep() = default;
 
@@ -53,6 +53,7 @@ Tensor WideDeep::BatchLogits(const std::vector<data::Example>& examples,
 }
 
 void WideDeep::Fit(const data::Scenario& s) {
+  core::ScopedExecution exec_scope(&exec_);
   scenario_ = &s;
   const size_t d = cfg_.embedding_dim;
   const size_t a = s.graph.attr_dim();
@@ -110,6 +111,7 @@ std::vector<float> WideDeep::Predict(
   GARCIA_CHECK(fitted_) << "Fit must run before Predict";
   GARCIA_CHECK(scenario_ == &s);
   if (examples.empty()) return {};
+  core::ScopedExecution exec_scope(&exec_);
   std::vector<uint32_t> batch(examples.size());
   for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<uint32_t>(i);
   Tensor logits = BatchLogits(examples, batch);

@@ -2,34 +2,30 @@
 
 #include <cmath>
 
+#include "core/kernels.h"
 #include "nn/ops.h"
 
 namespace garcia::nn {
 
+namespace kernels = core::kernels;
+
 using core::Matrix;
 using internal::TensorNode;
 
+namespace {
+
+const core::ExecutionContext& Exec() { return core::CurrentExecution(); }
+
+}  // namespace
+
 Tensor CrossEntropyWithLogits(const Tensor& logits,
                               const std::vector<uint32_t>& targets) {
-  const size_t n = logits.rows(), m = logits.cols();
+  const size_t n = logits.rows();
   GARCIA_CHECK_EQ(targets.size(), n);
   GARCIA_CHECK_GT(n, 0u);
-  // Forward: cache softmax for the backward pass.
+  // Forward: softmax rows in place (kernel), cached for the backward pass.
   Matrix softmax = logits.value();
-  double loss = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    GARCIA_CHECK_LT(targets[i], m);
-    float* r = softmax.row(i);
-    float mx = r[0];
-    for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
-    double sum = 0.0;
-    for (size_t j = 0; j < m; ++j) sum += std::exp(static_cast<double>(r[j]) - mx);
-    const double lse = mx + std::log(sum);
-    loss += lse - r[targets[i]];
-    for (size_t j = 0; j < m; ++j) {
-      r[j] = static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
-    }
-  }
+  const double loss = kernels::CrossEntropyForward(Exec(), &softmax, targets);
   Matrix out(1, 1);
   out.at(0, 0) = static_cast<float>(loss / n);
   const float inv_n = 1.0f / static_cast<float>(n);
@@ -39,13 +35,8 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
         TensorNode* p = node->parents[0].get();
         if (!p->requires_grad) return;
         const float gout = node->grad.at(0, 0) * inv_n;
-        Matrix& g = p->EnsureGrad();
-        for (size_t i = 0; i < softmax.rows(); ++i) {
-          const float* s = softmax.row(i);
-          float* gr = g.row(i);
-          for (size_t j = 0; j < softmax.cols(); ++j) gr[j] += gout * s[j];
-          gr[targets[i]] -= gout;
-        }
+        kernels::CrossEntropyBackwardAdd(Exec(), softmax, targets, gout,
+                                         &p->EnsureGrad());
       });
 }
 

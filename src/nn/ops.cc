@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels.h"
 #include "core/rng.h"
 
 namespace garcia::nn {
@@ -10,10 +11,18 @@ namespace garcia::nn {
 using core::Matrix;
 using internal::TensorNode;
 
+namespace kernels = core::kernels;
+
 namespace {
 
 /// Parent node i of an op output.
 TensorNode* Parent(TensorNode* out, size_t i) { return out->parents[i].get(); }
+
+/// The execution context the hot ops dispatch through (serial unless the
+/// caller installed one via core::ScopedExecution). Looked up both at op
+/// construction (forward) and inside backward closures, which run later
+/// under Backward() — still inside the caller's scope.
+const core::ExecutionContext& Exec() { return core::CurrentExecution(); }
 
 }  // namespace
 
@@ -175,30 +184,17 @@ Tensor MulColBroadcast(const Tensor& x, const Tensor& w) {
   GARCIA_CHECK_EQ(w.cols(), 1u);
   GARCIA_CHECK_EQ(w.rows(), x.rows());
   Matrix out = x.value();
-  for (size_t i = 0; i < out.rows(); ++i) {
-    const float wi = w.value().at(i, 0);
-    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) *= wi;
-  }
+  kernels::ScaleRowsInPlace(Exec(), &out, w.value());
   return Tensor::FromOp(std::move(out), {x, w}, [](TensorNode* n) {
     TensorNode* px = Parent(n, 0);
     TensorNode* pw = Parent(n, 1);
     if (px->requires_grad) {
       Matrix g = n->grad;
-      for (size_t i = 0; i < g.rows(); ++i) {
-        const float wi = pw->value.at(i, 0);
-        for (size_t j = 0; j < g.cols(); ++j) g.at(i, j) *= wi;
-      }
+      kernels::ScaleRowsInPlace(Exec(), &g, pw->value);
       px->AccumulateGrad(g);
     }
     if (pw->requires_grad) {
-      Matrix& g = pw->EnsureGrad();
-      for (size_t i = 0; i < n->grad.rows(); ++i) {
-        double acc = 0.0;
-        for (size_t j = 0; j < n->grad.cols(); ++j) {
-          acc += static_cast<double>(n->grad.at(i, j)) * px->value.at(i, j);
-        }
-        g.at(i, 0) += static_cast<float>(acc);
-      }
+      kernels::RowDotAdd(Exec(), n->grad, px->value, &pw->EnsureGrad());
     }
   });
 }
@@ -275,109 +271,63 @@ Tensor ConcatRows(const Tensor& a, const Tensor& b) {
 
 Tensor GatherRows(const Tensor& x, std::vector<uint32_t> indices) {
   Matrix out(indices.size(), x.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    GARCIA_CHECK_LT(indices[i], x.rows());
-    out.CopyRowFrom(x.value(), indices[i], i);
-  }
+  kernels::GatherRows(Exec(), x.value(), indices, &out);
   return Tensor::FromOp(
       std::move(out), {x}, [idx = std::move(indices)](TensorNode* n) {
         TensorNode* p = Parent(n, 0);
         if (!p->requires_grad) return;
-        Matrix& g = p->EnsureGrad();
-        const size_t cols = n->grad.cols();
-        for (size_t i = 0; i < idx.size(); ++i) {
-          float* dst = g.row(idx[i]);
-          const float* src = n->grad.row(i);
-          for (size_t j = 0; j < cols; ++j) dst[j] += src[j];
-        }
+        // Scatter-add adjoint: sharded by destination row, so the parallel
+        // backend accumulates repeated indices in the serial order.
+        kernels::ScatterAddRows(Exec(), n->grad, idx, &p->EnsureGrad());
       });
 }
 
 namespace {
 
-template <typename Fwd, typename Bwd>
-Tensor ElementwiseOp(const Tensor& x, Fwd fwd, Bwd bwd_from_in_out) {
-  Matrix out = x.value();
-  for (size_t i = 0; i < out.rows(); ++i) {
-    for (size_t j = 0; j < out.cols(); ++j) out.at(i, j) = fwd(out.at(i, j));
-  }
-  return Tensor::FromOp(std::move(out), {x},
-                        [bwd_from_in_out](TensorNode* n) {
-                          TensorNode* p = Parent(n, 0);
-                          if (!p->requires_grad) return;
-                          Matrix g = n->grad;
-                          for (size_t i = 0; i < g.rows(); ++i) {
-                            for (size_t j = 0; j < g.cols(); ++j) {
-                              g.at(i, j) *= bwd_from_in_out(p->value.at(i, j),
-                                                            n->value.at(i, j));
-                            }
-                          }
-                          p->AccumulateGrad(g);
-                        });
+/// Shared body of the four activations: forward and backward both dispatch
+/// through the elementwise kernels of the execution layer.
+Tensor UnaryEltwise(const Tensor& x, kernels::UnaryOp op, float slope) {
+  Matrix out(x.rows(), x.cols());
+  kernels::UnaryForward(Exec(), op, slope, x.value().data(), out.data(),
+                        out.size());
+  return Tensor::FromOp(std::move(out), {x}, [op, slope](TensorNode* n) {
+    TensorNode* p = Parent(n, 0);
+    if (!p->requires_grad) return;
+    Matrix& g = p->EnsureGrad();
+    kernels::UnaryBackwardAdd(Exec(), op, slope, p->value.data(),
+                              n->value.data(), n->grad.data(), g.data(),
+                              g.size());
+  });
 }
 
 }  // namespace
 
 Tensor Tanh(const Tensor& x) {
-  return ElementwiseOp(
-      x, [](float v) { return std::tanh(v); },
-      [](float, float y) { return 1.0f - y * y; });
+  return UnaryEltwise(x, kernels::UnaryOp::kTanh, 0.0f);
 }
 
 Tensor Relu(const Tensor& x) {
-  return ElementwiseOp(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float in, float) { return in > 0.0f ? 1.0f : 0.0f; });
+  return UnaryEltwise(x, kernels::UnaryOp::kRelu, 0.0f);
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
-  return ElementwiseOp(
-      x, [slope](float v) { return v > 0.0f ? v : slope * v; },
-      [slope](float in, float) { return in > 0.0f ? 1.0f : slope; });
+  return UnaryEltwise(x, kernels::UnaryOp::kLeakyRelu, slope);
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  return ElementwiseOp(
-      x,
-      [](float v) {
-        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                         : std::exp(v) / (1.0f + std::exp(v));
-      },
-      [](float, float y) { return y * (1.0f - y); });
+  return UnaryEltwise(x, kernels::UnaryOp::kSigmoid, 0.0f);
 }
 
 Tensor L2NormalizeRows(const Tensor& x, float eps) {
-  const size_t n = x.rows(), d = x.cols();
-  Matrix out(n, d);
-  std::vector<float> norms(n);
-  for (size_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    const float* r = x.value().row(i);
-    for (size_t j = 0; j < d; ++j) s += static_cast<double>(r[j]) * r[j];
-    const float norm = static_cast<float>(std::sqrt(s));
-    norms[i] = std::max(norm, eps);
-    const float inv = norm > eps ? 1.0f / norm : 0.0f;
-    // Zero rows (norm <= eps) map to zero rows.
-    for (size_t j = 0; j < d; ++j) out.at(i, j) = r[j] * inv;
-  }
+  Matrix out(x.rows(), x.cols());
+  std::vector<float> norms;
+  kernels::L2NormalizeRows(Exec(), x.value(), eps, &out, &norms);
   return Tensor::FromOp(
       std::move(out), {x}, [norms = std::move(norms), eps](TensorNode* n) {
         TensorNode* p = Parent(n, 0);
         if (!p->requires_grad) return;
-        Matrix& g = p->EnsureGrad();
-        const size_t d = n->value.cols();
-        for (size_t i = 0; i < n->value.rows(); ++i) {
-          if (norms[i] <= eps) continue;  // zero row: zero gradient
-          const float* y = n->value.row(i);
-          const float* dy = n->grad.row(i);
-          double dot = 0.0;
-          for (size_t j = 0; j < d; ++j) dot += static_cast<double>(dy[j]) * y[j];
-          const float inv = 1.0f / norms[i];
-          float* gi = g.row(i);
-          for (size_t j = 0; j < d; ++j) {
-            gi[j] += (dy[j] - static_cast<float>(dot) * y[j]) * inv;
-          }
-        }
+        kernels::L2NormalizeRowsBackwardAdd(Exec(), n->value, n->grad, norms,
+                                            eps, &p->EnsureGrad());
       });
 }
 
@@ -501,23 +451,15 @@ Tensor SegmentSum(const Tensor& x, std::vector<uint32_t> seg,
                   size_t num_segments) {
   GARCIA_CHECK_EQ(seg.size(), x.rows());
   Matrix out(num_segments, x.cols());
-  for (size_t e = 0; e < seg.size(); ++e) {
-    GARCIA_CHECK_LT(seg[e], num_segments);
-    float* dst = out.row(seg[e]);
-    const float* src = x.value().row(e);
-    for (size_t j = 0; j < x.cols(); ++j) dst[j] += src[j];
-  }
+  kernels::SegmentSum(Exec(), x.value(), seg, num_segments, &out);
   return Tensor::FromOp(std::move(out), {x},
                         [seg = std::move(seg)](TensorNode* n) {
                           TensorNode* p = Parent(n, 0);
                           if (!p->requires_grad) return;
-                          Matrix& g = p->EnsureGrad();
-                          const size_t cols = g.cols();
-                          for (size_t e = 0; e < seg.size(); ++e) {
-                            const float* src = n->grad.row(seg[e]);
-                            float* dst = g.row(e);
-                            for (size_t j = 0; j < cols; ++j) dst[j] += src[j];
-                          }
+                          // Adjoint of segment-sum is a row gather: row e of
+                          // dx reads row seg[e] of the upstream gradient.
+                          kernels::GatherAddRows(Exec(), n->grad, seg,
+                                                 &p->EnsureGrad());
                         });
 }
 
@@ -525,38 +467,16 @@ Tensor SegmentSoftmax(const Tensor& scores, std::vector<uint32_t> seg,
                       size_t num_segments) {
   GARCIA_CHECK_EQ(scores.cols(), 1u);
   GARCIA_CHECK_EQ(seg.size(), scores.rows());
-  const size_t e_count = seg.size();
-  std::vector<float> seg_max(num_segments, -1e30f);
-  for (size_t e = 0; e < e_count; ++e) {
-    GARCIA_CHECK_LT(seg[e], num_segments);
-    seg_max[seg[e]] = std::max(seg_max[seg[e]], scores.value().at(e, 0));
-  }
-  std::vector<double> seg_sum(num_segments, 0.0);
-  Matrix out(e_count, 1);
-  for (size_t e = 0; e < e_count; ++e) {
-    out.at(e, 0) = std::exp(scores.value().at(e, 0) - seg_max[seg[e]]);
-    seg_sum[seg[e]] += out.at(e, 0);
-  }
-  for (size_t e = 0; e < e_count; ++e) {
-    out.at(e, 0) = static_cast<float>(out.at(e, 0) / seg_sum[seg[e]]);
-  }
+  Matrix out(seg.size(), 1);
+  kernels::SegmentSoftmax(Exec(), scores.value(), seg, num_segments, &out);
   const size_t ns = num_segments;
   return Tensor::FromOp(
       std::move(out), {scores}, [seg = std::move(seg), ns](TensorNode* n) {
         TensorNode* p = Parent(n, 0);
         if (!p->requires_grad) return;
         // dscore_e = α_e (dα_e − Σ_{e' in same segment} dα_{e'} α_{e'})
-        std::vector<double> seg_dot(ns, 0.0);
-        for (size_t e = 0; e < seg.size(); ++e) {
-          seg_dot[seg[e]] += static_cast<double>(n->grad.at(e, 0)) *
-                             n->value.at(e, 0);
-        }
-        Matrix& g = p->EnsureGrad();
-        for (size_t e = 0; e < seg.size(); ++e) {
-          g.at(e, 0) += n->value.at(e, 0) *
-                        (n->grad.at(e, 0) -
-                         static_cast<float>(seg_dot[seg[e]]));
-        }
+        kernels::SegmentSoftmaxBackwardAdd(Exec(), n->value, n->grad, seg, ns,
+                                           &p->EnsureGrad());
       });
 }
 

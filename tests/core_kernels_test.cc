@@ -1,0 +1,279 @@
+// Bit-identity of the parallel kernel backend against the serial reference.
+//
+// Every EXPECT here is exact (EXPECT_EQ on floats, not near): the execution
+// layer's contract is that an ExecutionContext with any thread count
+// reproduces the serial backend bit for bit (see core/kernels.h). Shapes are
+// randomized and sized past the kernels' shard floors so the parallel paths
+// genuinely shard.
+
+#include "core/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+
+namespace garcia::core {
+namespace {
+
+Matrix RandMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal());
+  }
+  return m;
+}
+
+std::vector<uint32_t> RandIndices(size_t n, size_t max_exclusive, Rng* rng) {
+  std::vector<uint32_t> idx(n);
+  for (auto& v : idx) {
+    v = static_cast<uint32_t>(rng->UniformInt(max_exclusive));
+  }
+  return idx;
+}
+
+void ExpectBitIdentical(const Matrix& serial, const Matrix& parallel,
+                        const char* what) {
+  ASSERT_EQ(serial.rows(), parallel.rows()) << what;
+  ASSERT_EQ(serial.cols(), parallel.cols()) << what;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial.data()[i], parallel.data()[i])
+        << what << " diverges at flat index " << i;
+  }
+}
+
+class KernelsBitIdentityTest : public ::testing::Test {
+ protected:
+  // 3 and 4 workers: both an even and an uneven divisor of typical shapes.
+  ExecutionContext par3_{3};
+  ExecutionContext par4_{4};
+  Rng rng_{1234};
+};
+
+TEST_F(KernelsBitIdentityTest, GemmRandomizedShapes) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t m = 1 + rng_.UniformInt(96);
+    const size_t k = 1 + rng_.UniformInt(48);
+    const size_t n = 1 + rng_.UniformInt(64);
+    const bool ta = rng_.Bernoulli(0.5), tb = rng_.Bernoulli(0.5);
+    Matrix a = RandMatrix(ta ? k : m, ta ? m : k, &rng_);
+    Matrix b = RandMatrix(tb ? n : k, tb ? k : n, &rng_);
+    Matrix c0 = RandMatrix(m, n, &rng_);
+    Matrix c1 = c0;
+    const float alpha = 1.7f, beta = trial % 2 ? 0.3f : 0.0f;
+    kernels::Gemm(SerialExecution(), ta, tb, alpha, a, b, beta, &c0);
+    kernels::Gemm(trial % 2 ? par3_ : par4_, ta, tb, alpha, a, b, beta, &c1);
+    ExpectBitIdentical(c0, c1, "Gemm");
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, GemmLargeSquare) {
+  Matrix a = RandMatrix(128, 128, &rng_);
+  Matrix b = RandMatrix(128, 128, &rng_);
+  Matrix c0(128, 128), c1(128, 128);
+  kernels::Gemm(SerialExecution(), false, false, 1.0f, a, b, 0.0f, &c0);
+  kernels::Gemm(par4_, false, false, 1.0f, a, b, 0.0f, &c1);
+  ExpectBitIdentical(c0, c1, "Gemm 128^3");
+}
+
+TEST_F(KernelsBitIdentityTest, UnaryForwardAndBackward) {
+  const kernels::UnaryOp ops[] = {
+      kernels::UnaryOp::kRelu, kernels::UnaryOp::kTanh,
+      kernels::UnaryOp::kLeakyRelu, kernels::UnaryOp::kSigmoid};
+  // Large enough to clear kMinElemsPerShard on the parallel backend.
+  const size_t n = 40000 + rng_.UniformInt(5000);
+  Matrix x = RandMatrix(n, 1, &rng_);
+  Matrix dy = RandMatrix(n, 1, &rng_);
+  for (kernels::UnaryOp op : ops) {
+    Matrix y0(n, 1), y1(n, 1);
+    kernels::UnaryForward(SerialExecution(), op, 0.01f, x.data(), y0.data(),
+                          n);
+    kernels::UnaryForward(par4_, op, 0.01f, x.data(), y1.data(), n);
+    ExpectBitIdentical(y0, y1, "UnaryForward");
+
+    Matrix dx0 = RandMatrix(n, 1, &rng_);
+    Matrix dx1 = dx0;
+    kernels::UnaryBackwardAdd(SerialExecution(), op, 0.01f, x.data(),
+                              y0.data(), dy.data(), dx0.data(), n);
+    kernels::UnaryBackwardAdd(par3_, op, 0.01f, x.data(), y1.data(),
+                              dy.data(), dx1.data(), n);
+    ExpectBitIdentical(dx0, dx1, "UnaryBackwardAdd");
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, GatherAndGatherAdd) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t src_rows = 50 + rng_.UniformInt(200);
+    const size_t cols = 1 + rng_.UniformInt(40);
+    const size_t n = 500 + rng_.UniformInt(3000);
+    Matrix src = RandMatrix(src_rows, cols, &rng_);
+    std::vector<uint32_t> idx = RandIndices(n, src_rows, &rng_);
+
+    Matrix out0(n, cols), out1(n, cols);
+    kernels::GatherRows(SerialExecution(), src, idx, &out0);
+    kernels::GatherRows(par4_, src, idx, &out1);
+    ExpectBitIdentical(out0, out1, "GatherRows");
+
+    Matrix acc0 = RandMatrix(n, cols, &rng_);
+    Matrix acc1 = acc0;
+    kernels::GatherAddRows(SerialExecution(), src, idx, &acc0);
+    kernels::GatherAddRows(par3_, src, idx, &acc1);
+    ExpectBitIdentical(acc0, acc1, "GatherAddRows");
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, ScatterAddRandomizedCollisions) {
+  for (int trial = 0; trial < 4; ++trial) {
+    // Few destinations + many sources forces heavy collisions, where a
+    // naive parallel scatter would be both racy and order-divergent.
+    const size_t dests = 3 + rng_.UniformInt(60);
+    const size_t cols = 1 + rng_.UniformInt(24);
+    const size_t n = 4096 + rng_.UniformInt(4096);
+    Matrix src = RandMatrix(n, cols, &rng_);
+    std::vector<uint32_t> idx = RandIndices(n, dests, &rng_);
+
+    Matrix acc0 = RandMatrix(dests, cols, &rng_);
+    Matrix acc1 = acc0;
+    kernels::ScatterAddRows(SerialExecution(), src, idx, &acc0);
+    kernels::ScatterAddRows(trial % 2 ? par3_ : par4_, src, idx, &acc1);
+    ExpectBitIdentical(acc0, acc1, "ScatterAddRows");
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, SegmentSumWithEmptySegments) {
+  const size_t segments = 300;  // some never referenced
+  const size_t cols = 16;
+  const size_t n = 8000;
+  Matrix x = RandMatrix(n, cols, &rng_);
+  std::vector<uint32_t> seg = RandIndices(n, segments / 2, &rng_);
+
+  Matrix out0(segments, cols), out1(segments, cols);
+  kernels::SegmentSum(SerialExecution(), x, seg, segments, &out0);
+  kernels::SegmentSum(par4_, x, seg, segments, &out1);
+  ExpectBitIdentical(out0, out1, "SegmentSum");
+  // Untouched segments stay exactly zero.
+  for (size_t s = segments / 2; s < segments; ++s) {
+    for (size_t j = 0; j < cols; ++j) EXPECT_EQ(out0.at(s, j), 0.0f);
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, SegmentSoftmaxForwardBackward) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t segments = 100 + rng_.UniformInt(200);
+    const size_t n = 4000 + rng_.UniformInt(4000);
+    Matrix scores = RandMatrix(n, 1, &rng_);
+    std::vector<uint32_t> seg = RandIndices(n, segments, &rng_);
+
+    Matrix a0(n, 1), a1(n, 1);
+    kernels::SegmentSoftmax(SerialExecution(), scores, seg, segments, &a0);
+    kernels::SegmentSoftmax(par3_, scores, seg, segments, &a1);
+    ExpectBitIdentical(a0, a1, "SegmentSoftmax");
+
+    Matrix da = RandMatrix(n, 1, &rng_);
+    Matrix g0 = RandMatrix(n, 1, &rng_);
+    Matrix g1 = g0;
+    kernels::SegmentSoftmaxBackwardAdd(SerialExecution(), a0, da, seg,
+                                       segments, &g0);
+    kernels::SegmentSoftmaxBackwardAdd(par4_, a1, da, seg, segments, &g1);
+    ExpectBitIdentical(g0, g1, "SegmentSoftmaxBackwardAdd");
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, ScaleRowsAndRowDot) {
+  const size_t n = 3000, cols = 24;
+  Matrix a = RandMatrix(n, cols, &rng_);
+  Matrix b = RandMatrix(n, cols, &rng_);
+  Matrix w = RandMatrix(n, 1, &rng_);
+
+  Matrix s0 = a, s1 = a;
+  kernels::ScaleRowsInPlace(SerialExecution(), &s0, w);
+  kernels::ScaleRowsInPlace(par4_, &s1, w);
+  ExpectBitIdentical(s0, s1, "ScaleRowsInPlace");
+
+  Matrix d0 = RandMatrix(n, 1, &rng_);
+  Matrix d1 = d0;
+  kernels::RowDotAdd(SerialExecution(), a, b, &d0);
+  kernels::RowDotAdd(par3_, a, b, &d1);
+  ExpectBitIdentical(d0, d1, "RowDotAdd");
+}
+
+TEST_F(KernelsBitIdentityTest, L2NormalizeForwardBackward) {
+  const size_t n = 2000, cols = 32;
+  Matrix x = RandMatrix(n, cols, &rng_);
+  // Plant exact zero rows: they must normalize to zero with zero gradient.
+  for (size_t j = 0; j < cols; ++j) x.at(7, j) = x.at(100, j) = 0.0f;
+  const float eps = 1e-12f;
+
+  Matrix y0(n, cols), y1(n, cols);
+  std::vector<float> norms0, norms1;
+  kernels::L2NormalizeRows(SerialExecution(), x, eps, &y0, &norms0);
+  kernels::L2NormalizeRows(par4_, x, eps, &y1, &norms1);
+  ExpectBitIdentical(y0, y1, "L2NormalizeRows");
+  ASSERT_EQ(norms0.size(), norms1.size());
+  for (size_t i = 0; i < norms0.size(); ++i) EXPECT_EQ(norms0[i], norms1[i]);
+
+  Matrix dy = RandMatrix(n, cols, &rng_);
+  Matrix dx0 = RandMatrix(n, cols, &rng_);
+  Matrix dx1 = dx0;
+  kernels::L2NormalizeRowsBackwardAdd(SerialExecution(), y0, dy, norms0, eps,
+                                      &dx0);
+  kernels::L2NormalizeRowsBackwardAdd(par3_, y1, dy, norms1, eps, &dx1);
+  ExpectBitIdentical(dx0, dx1, "L2NormalizeRowsBackwardAdd");
+}
+
+TEST_F(KernelsBitIdentityTest, CrossEntropyForwardBackward) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t n = 200 + rng_.UniformInt(400);
+    const size_t m = 2 + rng_.UniformInt(300);
+    Matrix logits = RandMatrix(n, m, &rng_);
+    std::vector<uint32_t> targets = RandIndices(n, m, &rng_);
+
+    Matrix sm0 = logits, sm1 = logits;
+    const double loss0 =
+        kernels::CrossEntropyForward(SerialExecution(), &sm0, targets);
+    const double loss1 = kernels::CrossEntropyForward(
+        trial % 2 ? par3_ : par4_, &sm1, targets);
+    EXPECT_EQ(loss0, loss1);
+    ExpectBitIdentical(sm0, sm1, "CrossEntropyForward softmax");
+
+    Matrix g0 = RandMatrix(n, m, &rng_);
+    Matrix g1 = g0;
+    kernels::CrossEntropyBackwardAdd(SerialExecution(), sm0, targets, 0.125f,
+                                     &g0);
+    kernels::CrossEntropyBackwardAdd(par4_, sm1, targets, 0.125f, &g1);
+    ExpectBitIdentical(g0, g1, "CrossEntropyBackwardAdd");
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, ScopedExecutionInstallsAndRestores) {
+  EXPECT_FALSE(CurrentExecution().parallel());
+  {
+    ScopedExecution outer(&par4_);
+    EXPECT_TRUE(CurrentExecution().parallel());
+    EXPECT_EQ(CurrentExecution().num_threads(), 4u);
+    {
+      ScopedExecution inner(nullptr);  // nullptr keeps the current default
+      EXPECT_TRUE(CurrentExecution().parallel());
+    }
+    {
+      ScopedExecution inner(&par3_);
+      EXPECT_EQ(CurrentExecution().num_threads(), 3u);
+    }
+    EXPECT_EQ(CurrentExecution().num_threads(), 4u);
+  }
+  EXPECT_FALSE(CurrentExecution().parallel());
+}
+
+TEST_F(KernelsBitIdentityTest, SerialContextNeverCreatesPool) {
+  ExecutionContext serial0(0), serial1(1);
+  EXPECT_FALSE(serial0.parallel());
+  EXPECT_FALSE(serial1.parallel());
+  EXPECT_EQ(serial0.num_threads(), 1u);
+  EXPECT_EQ(serial1.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace garcia::core

@@ -150,5 +150,63 @@ TEST(GarciaModelTest, PretrainingReducesContrastiveLoss) {
   EXPECT_LT(model.last_pretrain_loss(), model.first_pretrain_loss() * 0.8f);
 }
 
+TEST(GarciaModelTest, ThreadedTrainingMatchesSerialExactly) {
+  // The kernel execution layer's determinism contract (core/kernels.h):
+  // num_threads=4 must reproduce the serial loss trajectory and predictions
+  // bit for bit, not approximately.
+  TrainConfig serial_cfg = FastTrainConfig();
+  serial_cfg.num_threads = 0;
+  TrainConfig threaded_cfg = FastTrainConfig();
+  threaded_cfg.num_threads = 4;
+
+  GarciaModel serial(serial_cfg);
+  GarciaModel threaded(threaded_cfg);
+  serial.Fit(Tiny());
+  threaded.Fit(Tiny());
+
+  EXPECT_EQ(serial.first_pretrain_loss(), threaded.first_pretrain_loss());
+  EXPECT_EQ(serial.last_pretrain_loss(), threaded.last_pretrain_loss());
+  EXPECT_EQ(serial.last_finetune_loss(), threaded.last_finetune_loss());
+
+  auto ss = serial.Predict(Tiny(), Tiny().test);
+  auto st = threaded.Predict(Tiny(), Tiny().test);
+  ASSERT_EQ(ss.size(), st.size());
+  for (size_t i = 0; i < ss.size(); ++i) {
+    ASSERT_EQ(ss[i], st[i]) << "prediction " << i;
+  }
+}
+
+TEST(GarciaModelTest, PredictionsStableAcrossRepeatedCalls) {
+  // Predict/Export reuse one cached post-Fit encoding; repeated calls must
+  // agree with each other and with the export hooks exactly.
+  GarciaModel model(FastTrainConfig());
+  model.Fit(Tiny());
+  auto first = model.Predict(Tiny(), Tiny().test);
+  auto second = model.Predict(Tiny(), Tiny().test);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]);
+
+  core::Matrix q1 = model.ExportQueryEmbeddings(Tiny());
+  core::Matrix q2 = model.ExportQueryEmbeddings(Tiny());
+  EXPECT_TRUE(q1.AllClose(q2, 0.0f));
+}
+
+TEST(GarciaModelTest, RefitInvalidatesEncodedCache) {
+  // A second Fit must not serve stale embeddings: its Predict has to see
+  // the re-trained parameters (re-Fit advances the model's RNG stream, so
+  // at least one score changes).
+  GarciaModel model(FastTrainConfig());
+  model.Fit(Tiny());
+  auto before = model.Predict(Tiny(), Tiny().test);
+  model.Fit(Tiny());
+  auto after = model.Predict(Tiny(), Tiny().test);
+  ASSERT_EQ(before.size(), after.size());
+  bool any_changed = false;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
 }  // namespace
 }  // namespace garcia::models
