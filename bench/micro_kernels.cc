@@ -8,6 +8,11 @@
 // emitting a JSON speedup table (serial wall-clock / threaded wall-clock)
 // to stdout. Speedups are hardware-dependent: on a multi-core box GEMM at
 // 512^3 should clear 2x at 4 threads; a single-core container reports ~1x.
+//
+// `micro_kernels --sample_json` times one GARCIA finetune step on the full
+// graph against the block-sampled step (TrainConfig::sample_fanout,
+// DESIGN.md §5e) and emits the speedup as JSON; on the small bench scale
+// the minibatch step should clear 2x.
 
 #include <benchmark/benchmark.h>
 
@@ -326,6 +331,72 @@ int RunSpeedupJson() {
   return 0;
 }
 
+// ----- --sample_json: minibatch vs full-graph encode step -----
+
+/// Times one GARCIA finetune step (encode + batch loss + backward) on the
+/// full graph against the same step over a NeighborSampler block seeded by
+/// the batch rows (DESIGN.md §5e), emitting a JSON speedup record. The
+/// graph matches the small bench preset scale.
+int RunSampleJson() {
+  core::Rng rng(13);
+  const size_t queries = 8000, services = 2000, links = 40000;
+  graph::SearchGraph g = MakeBenchGraph(queries, services, links);
+  models::GarciaGnnEncoder enc(g.num_nodes(), g.attr_dim(), 32, 2, &rng);
+  auto params = enc.Parameters();
+
+  // One step's seed frontier: the distinct query/service nodes of a
+  // 256-example batch, collected exactly like the training loop does.
+  const size_t batch = 256;
+  graph::SeedSet seed_set(/*identity=*/false);
+  for (size_t i = 0; i < batch; ++i) {
+    seed_set.Map(g.QueryNode(
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{queries}))));
+    seed_set.Map(g.ServiceNode(
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{services}))));
+  }
+  const std::vector<uint32_t>& seeds = seed_set.seeds();
+
+  const size_t fanout = 4;
+  graph::NeighborSampler sampler(&g, enc.num_layers(), fanout);
+  core::Rng sample_rng(1013);
+
+  const double full_secs = TimeMedianSeconds(5, [&] {
+    for (auto& p : params) p.ZeroGrad();
+    models::GnnOutput out = enc.Encode(g);
+    nn::Tensor loss = nn::MeanAll(nn::GatherRows(out.readout, seeds));
+    loss.Backward();
+  });
+  const double mini_secs = TimeMedianSeconds(5, [&] {
+    for (auto& p : params) p.ZeroGrad();
+    graph::Block b = sampler.Sample(seeds, &sample_rng);
+    // The block readout rows are exactly the seeds, in order.
+    nn::Tensor loss = nn::MeanAll(enc.EncodeBlock(g, b).readout);
+    loss.Backward();
+  });
+
+  graph::Block stats = sampler.Sample(seeds, &sample_rng);
+  size_t block_edges = 0;
+  for (const auto& layer : stats.layers) block_edges += layer.src.size();
+
+  std::printf(
+      "{\n"
+      "  \"benchmark\": \"minibatch_vs_full_encode_step\",\n"
+      "  \"preset\": \"small\",\n"
+      "  \"graph\": {\"nodes\": %zu, \"edges\": %zu},\n"
+      "  \"batch_examples\": %zu,\n"
+      "  \"seed_nodes\": %zu,\n"
+      "  \"fanout\": %zu,\n"
+      "  \"block\": {\"nodes\": %zu, \"edges\": %zu},\n"
+      "  \"full_step_seconds\": %.6f,\n"
+      "  \"minibatch_step_seconds\": %.6f,\n"
+      "  \"speedup\": %.2f\n"
+      "}\n",
+      g.num_nodes(), g.num_edges(), batch, seeds.size(), fanout,
+      stats.nodes.size(), block_edges, full_secs, mini_secs,
+      full_secs / mini_secs);
+  return 0;
+}
+
 }  // namespace
 }  // namespace garcia
 
@@ -333,6 +404,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--speedup_json") == 0) {
       return garcia::RunSpeedupJson();
+    }
+    if (std::strcmp(argv[i], "--sample_json") == 0) {
+      return garcia::RunSampleJson();
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -4,12 +4,13 @@
 //
 //   ./build/examples/run_experiment [--model GARCIA] [--dataset "Sep. A"]
 //       [--scale 0.4] [--dim 32] [--epochs 10] [--pretrain 4] [--seed 7]
-//       [--share] [--no-ktcl] [--no-secl] [--no-igcl] [--tree-levels 5]
-//       [--list]
+//       [--fanout 0] [--threads 0] [--share] [--no-ktcl] [--no-secl]
+//       [--no-igcl] [--tree-levels 5] [--list]
 //
 // Examples:
 //   run_experiment --model LightGCN --dataset Music
 //   run_experiment --model GARCIA --share --dataset "Sep. B" --scale 0.25
+//   run_experiment --model GARCIA --fanout 4   # minibatch sampled blocks
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,9 +27,9 @@ namespace {
 void PrintUsageAndExit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--model NAME] [--dataset NAME] [--scale F] "
-               "[--dim N] [--epochs N] [--pretrain N] [--seed N] [--share] "
-               "[--no-ktcl] [--no-secl] [--no-igcl] [--tree-levels N] "
-               "[--list]\n",
+               "[--dim N] [--epochs N] [--pretrain N] [--seed N] "
+               "[--fanout N] [--threads N] [--share] [--no-ktcl] "
+               "[--no-secl] [--no-igcl] [--tree-levels N] [--list]\n",
                argv0);
   std::exit(2);
 }
@@ -68,6 +69,12 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoi(need_value("--pretrain")));
     } else if (!std::strcmp(argv[i], "--seed")) {
       cfg.seed = static_cast<uint64_t>(std::atoll(need_value("--seed")));
+    } else if (!std::strcmp(argv[i], "--fanout")) {
+      cfg.sample_fanout =
+          static_cast<size_t>(std::atoi(need_value("--fanout")));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      cfg.num_threads =
+          static_cast<size_t>(std::atoi(need_value("--threads")));
     } else if (!std::strcmp(argv[i], "--tree-levels")) {
       cfg.tree_levels =
           static_cast<size_t>(std::atoi(need_value("--tree-levels")));
@@ -119,10 +126,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("dataset=%s scale=%.2f model=%s dim=%zu pretrain=%zu "
-              "epochs=%zu seed=%llu\n",
+              "epochs=%zu seed=%llu fanout=%zu threads=%zu\n",
               dataset_name.c_str(), scale, model_name.c_str(),
               cfg.embedding_dim, cfg.pretrain_epochs, cfg.finetune_epochs,
-              static_cast<unsigned long long>(cfg.seed));
+              static_cast<unsigned long long>(cfg.seed), cfg.sample_fanout,
+              cfg.num_threads);
 
   data::Scenario s = data::GeneratePreset(dataset, scale);
   std::printf("generated: %zu queries / %zu services / %zu train examples / "

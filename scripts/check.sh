@@ -26,13 +26,15 @@ run_suite "$ROOT/build-asan" -DGARCIA_SANITIZE="address;undefined"
 
 echo "==> Sanitizer build (thread)"
 # TSan and ASan are mutually exclusive, so this is a third tree. Only the
-# threaded suites run here: they exercise every ShardedFor dispatch and the
-# destination-sharded reduction kernels.
+# threaded suites run here: they exercise every ShardedFor dispatch, the
+# destination-sharded reduction kernels, and the block sampler's
+# thread-count-invariance contract.
 TSAN_DIR="$ROOT/build-tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target core_kernels_test core_threadpool_test nn_ops_test
+  --target core_kernels_test core_threadpool_test nn_ops_test \
+  graph_sampler_test
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -R '^(core_kernels_test|core_threadpool_test|nn_ops_test)$'
+  -R '^(core_kernels_test|core_threadpool_test|nn_ops_test|graph_sampler_test)$'
 
 echo "==> All checks passed"

@@ -1,0 +1,95 @@
+#include "graph/neighbor_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+
+namespace garcia::graph {
+
+Block Block::FullGraph(const SearchGraph& g) {
+  GARCIA_CHECK(g.finalized());
+  Block b;
+  b.full_graph = true;
+  b.num_graph_nodes = g.num_nodes();
+  b.num_seeds = g.num_nodes();
+  return b;
+}
+
+NeighborSampler::NeighborSampler(const SearchGraph* g, size_t num_layers,
+                                 size_t fanout)
+    : g_(g), num_layers_(num_layers), fanout_(fanout) {
+  GARCIA_CHECK(g_ != nullptr);
+  GARCIA_CHECK(g_->finalized());
+}
+
+Block NeighborSampler::Sample(const std::vector<uint32_t>& seeds,
+                              core::Rng* rng) const {
+  Block b;
+  b.num_graph_nodes = g_->num_nodes();
+  b.num_seeds = seeds.size();
+  b.nodes = seeds;
+  // Global -> block-local map; seeds must be distinct so local ids are
+  // well defined.
+  std::vector<int32_t> local_of(g_->num_nodes(), -1);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    GARCIA_CHECK_LT(seeds[i], g_->num_nodes());
+    GARCIA_CHECK_EQ(local_of[seeds[i]], -1) << "duplicate seed " << seeds[i];
+    local_of[seeds[i]] = static_cast<int32_t>(i);
+  }
+
+  b.layers.resize(num_layers_);
+  // Expand outward: the last encoder pass updates exactly the seeds, each
+  // earlier pass updates everything the following pass reads.
+  for (size_t p = num_layers_; p-- > 0;) {
+    BlockLayer& layer = b.layers[p];
+    layer.num_dst = b.nodes.size();
+    std::vector<size_t> edge_ids;  // global edge rows, for the feature copy
+    auto take_edge = [&](size_t e) {
+      const uint32_t gsrc = g_->edge_src()[e];
+      int32_t& slot = local_of[gsrc];
+      if (slot < 0) {
+        slot = static_cast<int32_t>(b.nodes.size());
+        b.nodes.push_back(gsrc);
+      }
+      layer.src.push_back(static_cast<uint32_t>(slot));
+      edge_ids.push_back(e);
+    };
+    for (uint32_t d = 0; d < layer.num_dst; ++d) {
+      const auto [lo, hi] = g_->IncomingRange(b.nodes[d]);
+      const size_t deg = hi - lo;
+      const size_t before = layer.src.size();
+      if (fanout_ == 0 || deg <= fanout_) {
+        for (size_t e = lo; e < hi; ++e) take_edge(e);
+      } else {
+        // Draws happen in ascending destination order only — determinism
+        // depends on nothing but the rng state. Picks are re-sorted so the
+        // surviving edges keep the CSR's ascending global edge order.
+        std::vector<size_t> picks = rng->SampleWithoutReplacement(deg, fanout_);
+        std::sort(picks.begin(), picks.end());
+        for (size_t k : picks) take_edge(lo + k);
+      }
+      layer.dst.insert(layer.dst.end(), layer.src.size() - before, d);
+    }
+    layer.num_src = b.nodes.size();
+    layer.edge_feats = core::Matrix(edge_ids.size(), kEdgeFeatureDim);
+    for (size_t i = 0; i < edge_ids.size(); ++i) {
+      layer.edge_feats.CopyRowFrom(g_->edge_features(), edge_ids[i], i);
+    }
+  }
+  return b;
+}
+
+std::vector<float> InvSqrtDegrees(const SearchGraph& g) {
+  GARCIA_CHECK(g.finalized());
+  std::vector<float> inv(g.num_nodes(), 0.0f);
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    const size_t deg = g.Degree(v);
+    if (deg > 0) {
+      inv[v] = static_cast<float>(1.0 / std::sqrt(static_cast<double>(deg)));
+    }
+  }
+  return inv;
+}
+
+}  // namespace garcia::graph

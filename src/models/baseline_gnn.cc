@@ -1,7 +1,5 @@
 #include "models/baseline_gnn.h"
 
-#include <cmath>
-
 #include "core/logging.h"
 
 namespace garcia::models {
@@ -10,26 +8,30 @@ using core::Matrix;
 using nn::Tensor;
 
 GnnBaseline::GnnBaseline(const TrainConfig& config)
-    : cfg_(config), rng_(config.seed), exec_(config.num_threads) {}
+    : cfg_(config),
+      rng_(config.seed),
+      sample_rng_(config.sample_seed),
+      exec_(config.num_threads) {}
 
 GnnBaseline::~GnnBaseline() = default;
 
-Tensor GnnBaseline::BaseEmbeddings() const {
-  return nn::Add(id_embedding_->Table(),
-                 attr_proj_->Forward(
-                     Tensor::Constant(scenario_->graph.attributes())));
+Tensor GnnBaseline::BaseEmbeddings(const graph::Block& block) const {
+  const graph::SearchGraph& g = scenario_->graph;
+  if (block.full_graph) {
+    return nn::Add(id_embedding_->Table(),
+                   attr_proj_->Forward(Tensor::Constant(g.attributes())));
+  }
+  Matrix attrs(block.nodes.size(), g.attr_dim());
+  for (size_t i = 0; i < block.nodes.size(); ++i) {
+    attrs.CopyRowFrom(g.attributes(), block.nodes[i], i);
+  }
+  return nn::Add(nn::GatherRows(id_embedding_->Table(), block.nodes),
+                 attr_proj_->Forward(Tensor::Constant(std::move(attrs))));
 }
 
-Tensor GnnBaseline::BatchLogits(const Tensor& emb,
-                                const std::vector<data::Example>& examples,
-                                const std::vector<uint32_t>& batch) const {
-  std::vector<uint32_t> q_rows, s_rows;
-  q_rows.reserve(batch.size());
-  s_rows.reserve(batch.size());
-  for (uint32_t bi : batch) {
-    q_rows.push_back(scenario_->graph.QueryNode(examples[bi].query));
-    s_rows.push_back(scenario_->graph.ServiceNode(examples[bi].service));
-  }
+Tensor GnnBaseline::LogitsFromRows(const Tensor& emb,
+                                   const std::vector<uint32_t>& q_rows,
+                                   const std::vector<uint32_t>& s_rows) const {
   Tensor zq = nn::GatherRows(emb, q_rows);
   Tensor zs = nn::GatherRows(emb, s_rows);
   if (cfg_.inner_product_head) return nn::RowDot(zq, zs);
@@ -47,6 +49,15 @@ void GnnBaseline::Fit(const data::Scenario& s) {
   click_head_ =
       std::make_unique<nn::Mlp>(std::vector<size_t>{2 * d, d, 1}, &rng_);
   BuildModules(s);
+
+  full_block_ = graph::Block::FullGraph(s.graph);
+  sampling_ = cfg_.sample_fanout > 0;
+  sample_rng_ = core::Rng(cfg_.sample_seed);  // re-Fit restarts the stream
+  if (sampling_) {
+    sampler_.emplace(&s.graph, cfg_.num_layers, cfg_.sample_fanout);
+  } else {
+    sampler_.reset();
+  }
 
   std::vector<Tensor> params = id_embedding_->Parameters();
   auto append = [&params](const std::vector<Tensor>& more) {
@@ -76,8 +87,21 @@ void GnnBaseline::Fit(const data::Scenario& s) {
       std::vector<uint32_t> batch = it.Next();
       if (batch.empty()) break;
       opt.ZeroGrad();
-      Tensor emb = ComputeEmbeddings();
-      Tensor logits = BatchLogits(emb, s.train, batch);
+      // Plan: map the batch's node rows (identity on the full graph,
+      // block-local collection when sampling) before encoding.
+      graph::SeedSet seeds(!sampling_);
+      std::vector<uint32_t> q_rows, s_rows;
+      q_rows.reserve(batch.size());
+      s_rows.reserve(batch.size());
+      for (uint32_t bi : batch) {
+        q_rows.push_back(seeds.Map(s.graph.QueryNode(s.train[bi].query)));
+        s_rows.push_back(seeds.Map(s.graph.ServiceNode(s.train[bi].service)));
+      }
+      graph::Block sampled;
+      if (sampling_) sampled = sampler_->Sample(seeds.seeds(), &sample_rng_);
+      const graph::Block& block = sampling_ ? sampled : full_block_;
+      Tensor emb = ComputeEmbeddings(block);
+      Tensor logits = LogitsFromRows(emb, q_rows, s_rows);
       Matrix labels(batch.size(), 1);
       for (size_t i = 0; i < batch.size(); ++i) {
         labels.at(i, 0) = s.train[batch[i]].label;
@@ -105,15 +129,18 @@ std::vector<float> GnnBaseline::Predict(
   GARCIA_CHECK(scenario_ == &s);
   if (examples.empty()) return {};
   core::ScopedExecution exec_scope(&exec_);
-  Tensor emb = ComputeEmbeddings();
-  std::vector<uint32_t> batch(examples.size());
-  for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<uint32_t>(i);
-  Tensor logits = BatchLogits(emb, examples, batch);
+  Tensor emb = ComputeEmbeddings(full_block_);
+  std::vector<uint32_t> q_rows, s_rows;
+  q_rows.reserve(examples.size());
+  s_rows.reserve(examples.size());
+  for (const data::Example& ex : examples) {
+    q_rows.push_back(s.graph.QueryNode(ex.query));
+    s_rows.push_back(s.graph.ServiceNode(ex.service));
+  }
+  Tensor logits = LogitsFromRows(emb, q_rows, s_rows);
   std::vector<float> scores(examples.size());
   for (size_t i = 0; i < scores.size(); ++i) {
-    const float z = logits.value().at(i, 0);
-    scores[i] = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                          : std::exp(z) / (1.0f + std::exp(z));
+    scores[i] = nn::StableSigmoid(logits.value().at(i, 0));
   }
   return scores;
 }
@@ -121,7 +148,7 @@ std::vector<float> GnnBaseline::Predict(
 core::Matrix GnnBaseline::ExportQueryEmbeddings(const data::Scenario& s) {
   GARCIA_CHECK(fitted_);
   core::ScopedExecution exec_scope(&exec_);
-  Tensor emb = ComputeEmbeddings();
+  Tensor emb = ComputeEmbeddings(full_block_);
   Matrix out(s.num_queries(), cfg_.embedding_dim);
   for (uint32_t q = 0; q < s.num_queries(); ++q) {
     out.CopyRowFrom(emb.value(), s.graph.QueryNode(q), q);
@@ -132,7 +159,7 @@ core::Matrix GnnBaseline::ExportQueryEmbeddings(const data::Scenario& s) {
 core::Matrix GnnBaseline::ExportServiceEmbeddings(const data::Scenario& s) {
   GARCIA_CHECK(fitted_);
   core::ScopedExecution exec_scope(&exec_);
-  Tensor emb = ComputeEmbeddings();
+  Tensor emb = ComputeEmbeddings(full_block_);
   Matrix out(s.num_services(), cfg_.embedding_dim);
   for (uint32_t svc = 0; svc < s.num_services(); ++svc) {
     out.CopyRowFrom(emb.value(), s.graph.ServiceNode(svc), svc);

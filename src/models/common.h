@@ -39,6 +39,16 @@ struct TrainConfig {
   /// through ExecutionContext. The parallel backend is bit-identical to
   /// serial, so this changes wall-clock only, never losses or embeddings.
   size_t num_threads = 0;
+  /// Per-destination neighbor fanout for minibatch sampled-subgraph
+  /// training (graph::NeighborSampler, DESIGN.md §5e). 0 = full-graph
+  /// training (every step encodes the whole graph, the pre-sampling
+  /// behavior, bit for bit); >= 1 trains each step on an L-hop block
+  /// sampled from that step's batch, keeping at most this many incoming
+  /// edges per destination. Predict/Export always use the full graph.
+  size_t sample_fanout = 0;
+  /// Seed of the dedicated sampler rng stream. Kept separate from `seed`
+  /// so turning sampling on never shifts batch order or negative draws.
+  uint64_t sample_seed = 1013;
 
   // Multi-granularity contrastive learning (Eq. 11).
   float tau = 0.1f;    // temperature (paper: 0.1)

@@ -12,13 +12,18 @@ using core::Matrix;
 using nn::Tensor;
 
 GarciaModel::GarciaModel(const TrainConfig& config)
-    : cfg_(config), rng_(config.seed), exec_(config.num_threads) {}
+    : cfg_(config),
+      rng_(config.seed),
+      sample_rng_(config.sample_seed),
+      exec_(config.num_threads) {}
 
 GarciaModel::~GarciaModel() = default;
 
 void GarciaModel::Setup(const data::Scenario& s) {
   scenario_ = &s;
   encoded_cache_.reset();  // re-Fit invalidates any post-Fit encoding
+  sample_rng_ = core::Rng(cfg_.sample_seed);  // re-Fit restarts the stream
+  sampling_ = cfg_.sample_fanout > 0;
   const size_t d = cfg_.embedding_dim;
 
   if (cfg_.share_encoders) {
@@ -44,6 +49,37 @@ void GarciaModel::Setup(const data::Scenario& s) {
         &rng_, cfg_.use_attention);
   }
 
+  // Encoder/graph shape invariants, asserted once per Setup instead of on
+  // every encode consumer.
+  GARCIA_CHECK(head_sub_->graph.finalized());
+  GARCIA_CHECK_EQ(head_sub_->graph.attr_dim(), s.graph.attr_dim());
+  GARCIA_CHECK_EQ(head_encoder_->num_nodes(), head_sub_->graph.num_nodes());
+  GARCIA_CHECK_EQ(head_sub_->global_query_ids.size() + s.num_services(),
+                  head_sub_->graph.num_nodes());
+  if (!cfg_.share_encoders) {
+    GARCIA_CHECK(tail_sub_->graph.finalized());
+    GARCIA_CHECK_EQ(tail_sub_->graph.attr_dim(), s.graph.attr_dim());
+    GARCIA_CHECK_EQ(tail_encoder_->num_nodes(), tail_sub_->graph.num_nodes());
+    GARCIA_CHECK_EQ(tail_sub_->global_query_ids.size() + s.num_services(),
+                    tail_sub_->graph.num_nodes());
+  }
+
+  if (sampling_) {
+    // The optionals' storage is stable, so the samplers may hold graph
+    // pointers across the whole Fit.
+    head_sampler_.emplace(&head_sub_->graph, cfg_.num_layers,
+                          cfg_.sample_fanout);
+    if (cfg_.share_encoders) {
+      tail_sampler_.reset();
+    } else {
+      tail_sampler_.emplace(&tail_sub_->graph, cfg_.num_layers,
+                            cfg_.sample_fanout);
+    }
+  } else {
+    head_sampler_.reset();
+    tail_sampler_.reset();
+  }
+
   if (cfg_.use_intention) {
     intention_encoder_ = std::make_unique<IntentionEncoder>(
         s.forest, d, cfg_.tree_levels, &rng_);
@@ -63,6 +99,17 @@ void GarciaModel::Setup(const data::Scenario& s) {
                     << head_sub_->graph.num_nodes();
 }
 
+std::vector<Tensor> GarciaModel::CollectParameters() const {
+  std::vector<Tensor> params = head_encoder_->Parameters();
+  auto append = [&params](const std::vector<Tensor>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  if (tail_encoder_) append(tail_encoder_->Parameters());
+  if (intention_encoder_) append(intention_encoder_->Parameters());
+  append(click_head_->Parameters());
+  return params;
+}
+
 GarciaModel::Encoded GarciaModel::EncodeAll() const {
   Encoded e;
   e.head = head_encoder_->Encode(head_sub_->graph);
@@ -70,6 +117,23 @@ GarciaModel::Encoded GarciaModel::EncodeAll() const {
     e.tail = e.head;
   } else {
     e.tail = tail_encoder_->Encode(tail_sub_->graph);
+  }
+  return e;
+}
+
+GarciaModel::Encoded GarciaModel::EncodeBlocks(
+    const std::vector<uint32_t>& head_seeds,
+    const std::vector<uint32_t>& tail_seeds) {
+  Encoded e;
+  if (!head_seeds.empty()) {
+    e.head = head_encoder_->EncodeBlock(
+        head_sub_->graph, head_sampler_->Sample(head_seeds, &sample_rng_));
+  }
+  if (cfg_.share_encoders) {
+    e.tail = e.head;
+  } else if (!tail_seeds.empty()) {
+    e.tail = tail_encoder_->EncodeBlock(
+        tail_sub_->graph, tail_sampler_->Sample(tail_seeds, &sample_rng_));
   }
   return e;
 }
@@ -95,72 +159,139 @@ uint32_t GarciaModel::ServiceRow(bool head_partition, uint32_t service) const {
   return sub.graph.ServiceNode(service);
 }
 
-Tensor GarciaModel::KtclLoss(const data::Scenario& s, const Encoded& e,
-                             core::Rng* rng) const {
-  std::vector<Tensor> terms;
+GarciaModel::PretrainPlan GarciaModel::PlanPretrainStep(
+    const data::Scenario& s, core::Rng* rng, graph::SeedSet* head_seeds,
+    graph::SeedSet* tail_seeds) const {
+  PretrainPlan plan;
 
-  // Query side (Eq. 4): pull each tail query toward its mined head anchor,
-  // against in-batch head negatives.
-  if (anchors_.size() >= 2) {
-    const size_t b = std::min(cfg_.cl_batch_size, anchors_.size());
-    auto picks = rng->SampleWithoutReplacement(anchors_.size(), b);
-    std::vector<uint32_t> tail_rows;
-    std::vector<uint32_t> head_rows;  // deduped candidate rows
-    std::vector<uint32_t> targets;
-    std::unordered_map<uint32_t, uint32_t> head_pos;
-    for (size_t i : picks) {
-      const uint32_t tq = anchors_.tail_query[i];
-      const uint32_t hq = anchors_.head_query[i];
-      tail_rows.push_back(QueryRow(tq).second);
-      auto [it, inserted] =
-          head_pos.emplace(hq, static_cast<uint32_t>(head_rows.size()));
-      if (inserted) head_rows.push_back(QueryRow(hq).second);
-      targets.push_back(it->second);
+  if (cfg_.use_ktcl) {
+    // Query side (Eq. 4): pull each tail query toward its mined head
+    // anchor, against in-batch head negatives.
+    if (anchors_.size() >= 2) {
+      const size_t b = std::min(cfg_.cl_batch_size, anchors_.size());
+      auto picks = rng->SampleWithoutReplacement(anchors_.size(), b);
+      std::vector<uint32_t> tail_rows, head_rows, targets;
+      std::unordered_map<uint32_t, uint32_t> head_pos;
+      for (size_t i : picks) {
+        const uint32_t tq = anchors_.tail_query[i];
+        const uint32_t hq = anchors_.head_query[i];
+        tail_rows.push_back(tail_seeds->Map(QueryRow(tq).second));
+        auto [it, inserted] =
+            head_pos.emplace(hq, static_cast<uint32_t>(head_rows.size()));
+        if (inserted) head_rows.push_back(head_seeds->Map(QueryRow(hq).second));
+        targets.push_back(it->second);
+      }
+      if (head_rows.size() >= 2) {
+        plan.ktcl_query = true;
+        plan.kq_tail_rows = std::move(tail_rows);
+        plan.kq_head_rows = std::move(head_rows);
+        plan.kq_targets = std::move(targets);
+      }
     }
-    if (head_rows.size() >= 2) {
-      Tensor anchors_t = nn::GatherRows(e.tail.readout, tail_rows);
-      Tensor cands_t = nn::GatherRows(e.head.readout, head_rows);
-      terms.push_back(nn::InfoNce(anchors_t, cands_t, targets, cfg_.tau));
-    }
-  }
 
-  // Service side (Eq. 5): align the two views of each service.
-  {
-    const size_t b =
-        std::min<size_t>(cfg_.cl_batch_size, s.num_services());
+    // Service side (Eq. 5): align the two views of each service.
+    const size_t b = std::min<size_t>(cfg_.cl_batch_size, s.num_services());
     if (b >= 2) {
       auto picks = rng->SampleWithoutReplacement(s.num_services(), b);
-      std::vector<uint32_t> head_rows, tail_rows, identity;
+      plan.ktcl_service = true;
       for (size_t i = 0; i < picks.size(); ++i) {
-        head_rows.push_back(
-            ServiceRow(true, static_cast<uint32_t>(picks[i])));
-        tail_rows.push_back(
-            ServiceRow(false, static_cast<uint32_t>(picks[i])));
-        identity.push_back(static_cast<uint32_t>(i));
+        const uint32_t svc = static_cast<uint32_t>(picks[i]);
+        plan.ks_head_rows.push_back(head_seeds->Map(ServiceRow(true, svc)));
+        plan.ks_tail_rows.push_back(tail_seeds->Map(ServiceRow(false, svc)));
       }
-      Tensor zh = nn::GatherRows(e.head.readout, head_rows);
-      Tensor zt = nn::GatherRows(e.tail.readout, tail_rows);
-      terms.push_back(nn::Add(nn::InfoNce(zh, zt, identity, cfg_.tau),
-                              nn::InfoNce(zt, zh, identity, cfg_.tau)));
     }
   }
 
+  if (cfg_.use_secl && cfg_.alpha > 0.0f) {
+    // Eq. 7 anchors z^{(0)} rows against z^{(l)} rows per partition.
+    auto plan_partition = [&](size_t n, graph::SeedSet* seeds,
+                              std::vector<uint32_t>* rows, bool* fires) {
+      const size_t b = std::min<size_t>(cfg_.cl_batch_size, n);
+      if (b < 2 || cfg_.num_layers + 1 < 2) return;
+      auto picks = rng->SampleWithoutReplacement(n, b);
+      *fires = true;
+      rows->reserve(b);
+      for (size_t p : picks) {
+        rows->push_back(seeds->Map(static_cast<uint32_t>(p)));
+      }
+    };
+    plan_partition(head_sub_->graph.num_nodes(), head_seeds,
+                   &plan.secl_head_rows, &plan.secl_head);
+    if (!cfg_.share_encoders) {
+      plan_partition(tail_sub_->graph.num_nodes(), tail_seeds,
+                     &plan.secl_tail_rows, &plan.secl_tail);
+    }
+  }
+
+  if (cfg_.use_igcl && cfg_.beta > 0.0f && intention_encoder_ != nullptr) {
+    // Entity batch: half queries, half services, routed to the partition
+    // that carries their representation.
+    const size_t half = std::max<size_t>(1, cfg_.cl_batch_size / 2);
+    const size_t nq = std::min(half, s.num_queries());
+    const size_t ns = std::min(half, s.num_services());
+    auto q_picks = rng->SampleWithoutReplacement(s.num_queries(), nq);
+    for (size_t qi : q_picks) {
+      const uint32_t q = static_cast<uint32_t>(qi);
+      auto [is_head, row] = QueryRow(q);
+      if (is_head) {
+        plan.igcl_head_rows.push_back(head_seeds->Map(row));
+        plan.igcl_head_intents.push_back(s.query_intent[q]);
+      } else {
+        plan.igcl_tail_rows.push_back(tail_seeds->Map(row));
+        plan.igcl_tail_intents.push_back(s.query_intent[q]);
+      }
+    }
+    auto s_picks = rng->SampleWithoutReplacement(s.num_services(), ns);
+    for (size_t si : s_picks) {
+      const uint32_t svc = static_cast<uint32_t>(si);
+      // Alternate partitions so both service views receive the signal.
+      const bool head_side = cfg_.share_encoders || (svc % 2 == 0);
+      if (head_side) {
+        plan.igcl_head_rows.push_back(head_seeds->Map(ServiceRow(true, svc)));
+        plan.igcl_head_intents.push_back(s.service_intent[svc]);
+      } else {
+        plan.igcl_tail_rows.push_back(tail_seeds->Map(ServiceRow(false, svc)));
+        plan.igcl_tail_intents.push_back(s.service_intent[svc]);
+      }
+    }
+    plan.igcl = true;
+  }
+
+  return plan;
+}
+
+Tensor GarciaModel::KtclLossFromPlan(const PretrainPlan& plan,
+                                     const Encoded& e) const {
+  std::vector<Tensor> terms;
+  if (plan.ktcl_query) {
+    Tensor anchors_t = nn::GatherRows(e.tail.readout, plan.kq_tail_rows);
+    Tensor cands_t = nn::GatherRows(e.head.readout, plan.kq_head_rows);
+    terms.push_back(nn::InfoNce(anchors_t, cands_t, plan.kq_targets,
+                                cfg_.tau));
+  }
+  if (plan.ktcl_service) {
+    const size_t b = plan.ks_head_rows.size();
+    std::vector<uint32_t> identity(b);
+    for (size_t i = 0; i < b; ++i) identity[i] = static_cast<uint32_t>(i);
+    Tensor zh = nn::GatherRows(e.head.readout, plan.ks_head_rows);
+    Tensor zt = nn::GatherRows(e.tail.readout, plan.ks_tail_rows);
+    terms.push_back(nn::Add(nn::InfoNce(zh, zt, identity, cfg_.tau),
+                            nn::InfoNce(zt, zh, identity, cfg_.tau)));
+  }
   if (terms.empty()) return Tensor::Constant(Matrix(1, 1));
   Tensor total = terms[0];
   for (size_t i = 1; i < terms.size(); ++i) total = nn::Add(total, terms[i]);
   return total;
 }
 
-Tensor GarciaModel::SeclLoss(const Encoded& e, core::Rng* rng) const {
+Tensor GarciaModel::SeclLossFromPlan(const PretrainPlan& plan,
+                                     const Encoded& e) const {
   // Eq. 7: anchor z^{(0)}, positives z^{(l)} of the same node, in-batch
   // negatives; applied per partition, averaged over layers.
   std::vector<Tensor> terms;
-  auto add_partition = [&](const GnnOutput& out) {
-    const size_t n = out.readout.rows();
-    const size_t b = std::min<size_t>(cfg_.cl_batch_size, n);
-    if (b < 2 || out.layers.size() < 2) return;
-    auto picks = rng->SampleWithoutReplacement(n, b);
-    std::vector<uint32_t> rows(picks.begin(), picks.end());
+  auto add_partition = [&](const GnnOutput& out,
+                           const std::vector<uint32_t>& rows) {
+    const size_t b = rows.size();
     std::vector<uint32_t> identity(b);
     for (size_t i = 0; i < b; ++i) identity[i] = static_cast<uint32_t>(i);
     Tensor z0 = nn::GatherRows(out.layers[0], rows);
@@ -171,8 +302,8 @@ Tensor GarciaModel::SeclLoss(const Encoded& e, core::Rng* rng) const {
     }
     terms.push_back(nn::Average(per_layer));
   };
-  add_partition(e.head);
-  if (!cfg_.share_encoders) add_partition(e.tail);
+  if (plan.secl_head) add_partition(e.head, plan.secl_head_rows);
+  if (plan.secl_tail) add_partition(e.tail, plan.secl_tail_rows);
 
   if (terms.empty()) return Tensor::Constant(Matrix(1, 1));
   Tensor total = terms[0];
@@ -180,46 +311,18 @@ Tensor GarciaModel::SeclLoss(const Encoded& e, core::Rng* rng) const {
   return total;
 }
 
-Tensor GarciaModel::IgclLoss(const data::Scenario& s, const Encoded& e,
-                             core::Rng* rng) const {
+Tensor GarciaModel::IgclLossFromPlan(const PretrainPlan& plan,
+                                     const Encoded& e) const {
   GARCIA_CHECK(intention_encoder_ != nullptr);
-  // Sample an entity batch: half queries, half services; gather their
-  // readout rows from the proper partition.
-  const size_t half = std::max<size_t>(1, cfg_.cl_batch_size / 2);
-  const size_t nq = std::min(half, s.num_queries());
-  const size_t ns = std::min(half, s.num_services());
-
-  std::vector<uint32_t> head_rows, tail_rows;
-  std::vector<uint32_t> intents_head, intents_tail;
-  auto q_picks = rng->SampleWithoutReplacement(s.num_queries(), nq);
-  for (size_t qi : q_picks) {
-    const uint32_t q = static_cast<uint32_t>(qi);
-    auto [is_head, row] = QueryRow(q);
-    if (is_head) {
-      head_rows.push_back(row);
-      intents_head.push_back(s.query_intent[q]);
-    } else {
-      tail_rows.push_back(row);
-      intents_tail.push_back(s.query_intent[q]);
-    }
-  }
-  auto s_picks = rng->SampleWithoutReplacement(s.num_services(), ns);
-  for (size_t si : s_picks) {
-    const uint32_t svc = static_cast<uint32_t>(si);
-    // Alternate partitions so both service views receive the signal.
-    const bool head_side = cfg_.share_encoders || (svc % 2 == 0);
-    if (head_side) {
-      head_rows.push_back(ServiceRow(true, svc));
-      intents_head.push_back(s.service_intent[svc]);
-    } else {
-      tail_rows.push_back(ServiceRow(false, svc));
-      intents_tail.push_back(s.service_intent[svc]);
-    }
-  }
+  const std::vector<uint32_t>& head_rows = plan.igcl_head_rows;
+  const std::vector<uint32_t>& tail_rows = plan.igcl_tail_rows;
 
   // Assemble the entity embedding batch (head rows then tail rows).
   Tensor entity_emb;
-  std::vector<uint32_t> intents;
+  std::vector<uint32_t> intents = plan.igcl_head_intents;
+  intents.insert(intents.end(), plan.igcl_tail_intents.begin(),
+                 plan.igcl_tail_intents.end());
+  if (intents.empty()) return Tensor::Constant(Matrix(1, 1));
   if (!head_rows.empty() && !tail_rows.empty()) {
     entity_emb = nn::ConcatRows(nn::GatherRows(e.head.readout, head_rows),
                                 nn::GatherRows(e.tail.readout, tail_rows));
@@ -228,9 +331,6 @@ Tensor GarciaModel::IgclLoss(const data::Scenario& s, const Encoded& e,
   } else {
     entity_emb = nn::GatherRows(e.tail.readout, tail_rows);
   }
-  intents = intents_head;
-  intents.insert(intents.end(), intents_tail.begin(), intents_tail.end());
-  if (intents.empty()) return Tensor::Constant(Matrix(1, 1));
 
   IgclBatch batch = BuildIgclBatch(*intention_encoder_, intents);
   if (batch.num_pairs() == 0 || batch.candidate_ids.size() < 2) {
@@ -243,102 +343,104 @@ Tensor GarciaModel::IgclLoss(const data::Scenario& s, const Encoded& e,
                            cfg_.tau);
 }
 
-Tensor GarciaModel::PretrainLoss(const data::Scenario& s, const Encoded& e,
-                                 core::Rng* rng) {
+Tensor GarciaModel::PretrainLossFromPlan(const PretrainPlan& plan,
+                                         const Encoded& e) const {
   // Eq. 11: L_P = L_KTCL + alpha L_SECL + beta L_IGCL.
   Tensor total = Tensor::Constant(Matrix(1, 1));
-  if (cfg_.use_ktcl) total = nn::Add(total, KtclLoss(s, e, rng));
+  if (cfg_.use_ktcl) total = nn::Add(total, KtclLossFromPlan(plan, e));
   if (cfg_.use_secl && cfg_.alpha > 0.0f) {
-    total = nn::Add(total, nn::Scale(SeclLoss(e, rng), cfg_.alpha));
+    total = nn::Add(total, nn::Scale(SeclLossFromPlan(plan, e), cfg_.alpha));
   }
   if (cfg_.use_igcl && cfg_.beta > 0.0f && intention_encoder_ != nullptr) {
-    total = nn::Add(total, nn::Scale(IgclLoss(s, e, rng), cfg_.beta));
+    total = nn::Add(total, nn::Scale(IgclLossFromPlan(plan, e), cfg_.beta));
   }
   return total;
 }
 
-Tensor GarciaModel::BatchLogits(const std::vector<data::Example>& examples,
-                                const std::vector<uint32_t>& batch,
-                                const Encoded& e,
-                                std::vector<uint32_t>* order) const {
-  std::vector<uint32_t> hq_rows, hs_rows, tq_rows, ts_rows;
+GarciaModel::LogitsPlan GarciaModel::PlanBatchLogits(
+    const std::vector<data::Example>& examples,
+    const std::vector<uint32_t>& batch, graph::SeedSet* head_seeds,
+    graph::SeedSet* tail_seeds) const {
+  LogitsPlan plan;
+  // The other-partition view rows only seed the block when the
+  // inner-product head actually averages the two service views.
+  const bool wants_other = cfg_.inner_product_head && !cfg_.share_encoders;
   std::vector<uint32_t> head_order, tail_order;
   for (uint32_t bi : batch) {
     const data::Example& ex = examples[bi];
     auto [is_head, qrow] = QueryRow(ex.query);
     if (is_head) {
-      hq_rows.push_back(qrow);
-      hs_rows.push_back(ServiceRow(true, ex.service));
+      plan.hq_rows.push_back(head_seeds->Map(qrow));
+      plan.hs_rows.push_back(head_seeds->Map(ServiceRow(true, ex.service)));
+      if (wants_other) {
+        plan.hs_other_rows.push_back(
+            tail_seeds->Map(ServiceRow(false, ex.service)));
+      }
       head_order.push_back(bi);
     } else {
-      tq_rows.push_back(qrow);
-      ts_rows.push_back(ServiceRow(false, ex.service));
+      plan.tq_rows.push_back(tail_seeds->Map(qrow));
+      plan.ts_rows.push_back(tail_seeds->Map(ServiceRow(false, ex.service)));
+      if (wants_other) {
+        plan.ts_other_rows.push_back(
+            head_seeds->Map(ServiceRow(true, ex.service)));
+      }
       tail_order.push_back(bi);
     }
   }
-  order->clear();
-  order->insert(order->end(), head_order.begin(), head_order.end());
-  order->insert(order->end(), tail_order.begin(), tail_order.end());
+  plan.order.reserve(batch.size());
+  plan.order.insert(plan.order.end(), head_order.begin(), head_order.end());
+  plan.order.insert(plan.order.end(), tail_order.begin(), tail_order.end());
+  return plan;
+}
 
+Tensor GarciaModel::LogitsFromPlan(const LogitsPlan& plan,
+                                   const Encoded& e) const {
   // With the online inner-product head, services must be scored through
   // the SAME single embedding that is exported for retrieval (the mean of
   // the two aligned views) — otherwise training and serving diverge.
-  auto service_view = [&](const Encoded& enc,
-                          const std::vector<uint32_t>& head_side_rows,
-                          const std::vector<uint32_t>& tail_side_rows,
-                          bool head_partition) -> Tensor {
-    const std::vector<uint32_t>& own =
-        head_partition ? head_side_rows : tail_side_rows;
-    Tensor z_own = nn::GatherRows(
-        head_partition ? enc.head.readout : enc.tail.readout, own);
-    if (!cfg_.inner_product_head || cfg_.share_encoders) return z_own;
-    const std::vector<uint32_t>& other =
-        head_partition ? tail_side_rows : head_side_rows;
-    Tensor z_other = nn::GatherRows(
-        head_partition ? enc.tail.readout : enc.head.readout, other);
-    return nn::Scale(nn::Add(z_own, z_other), 0.5f);
-  };
-
-  auto make_side = [&](bool head_partition, const std::vector<uint32_t>& q,
-                       const std::vector<uint32_t>& sv) -> Tensor {
+  auto make_side = [&](bool head_partition) -> Tensor {
     const GnnOutput& out = head_partition ? e.head : e.tail;
+    const std::vector<uint32_t>& q = head_partition ? plan.hq_rows
+                                                    : plan.tq_rows;
+    const std::vector<uint32_t>& sv = head_partition ? plan.hs_rows
+                                                     : plan.ts_rows;
     Tensor zq = nn::GatherRows(out.readout, q);
-    // Row ids of the same services in the other partition.
-    std::vector<uint32_t> sv_other(sv.size());
-    if (!cfg_.share_encoders) {
-      for (size_t i = 0; i < sv.size(); ++i) {
-        const uint32_t svc =
-            head_partition ? head_sub_->graph.ServiceIdOf(sv[i])
-                           : tail_sub_->graph.ServiceIdOf(sv[i]);
-        sv_other[i] = ServiceRow(!head_partition, svc);
-      }
+    Tensor zs = nn::GatherRows(out.readout, sv);
+    if (cfg_.inner_product_head && !cfg_.share_encoders) {
+      const GnnOutput& other = head_partition ? e.tail : e.head;
+      const std::vector<uint32_t>& sv_other =
+          head_partition ? plan.hs_other_rows : plan.ts_other_rows;
+      Tensor z_other = nn::GatherRows(other.readout, sv_other);
+      zs = nn::Scale(nn::Add(zs, z_other), 0.5f);
     }
-    Tensor zs = head_partition ? service_view(e, sv, sv_other, true)
-                               : service_view(e, sv_other, sv, false);
     if (cfg_.inner_product_head) return nn::RowDot(zq, zs);
     return click_head_->Forward(nn::ConcatCols(zq, zs));
   };
 
-  if (!head_order.empty() && !tail_order.empty()) {
-    return nn::ConcatRows(make_side(true, hq_rows, hs_rows),
-                          make_side(false, tq_rows, ts_rows));
+  const bool has_head = !plan.hq_rows.empty();
+  const bool has_tail = !plan.tq_rows.empty();
+  if (has_head && has_tail) {
+    return nn::ConcatRows(make_side(true), make_side(false));
   }
-  if (!head_order.empty()) return make_side(true, hq_rows, hs_rows);
-  GARCIA_CHECK(!tail_order.empty());
-  return make_side(false, tq_rows, ts_rows);
+  if (has_head) return make_side(true);
+  GARCIA_CHECK(has_tail);
+  return make_side(false);
 }
 
 void GarciaModel::Fit(const data::Scenario& s) {
   core::ScopedExecution exec_scope(&exec_);
   Setup(s);
+  std::vector<Tensor> params = CollectParameters();
 
-  std::vector<Tensor> params = head_encoder_->Parameters();
-  auto append = [&params](const std::vector<Tensor>& more) {
-    params.insert(params.end(), more.begin(), more.end());
+  // Each step plans (all rng draws), encodes (full graph or a block from
+  // the plan's seed rows), then evaluates the loss against the plan. When
+  // encoders are shared, head and tail rows live in one space, so both
+  // plan sides feed a single seed set.
+  auto plan_seeds = [this](graph::SeedSet* head_store,
+                           graph::SeedSet* tail_store) -> graph::SeedSet* {
+    (void)head_store;
+    return cfg_.share_encoders ? head_store : tail_store;
   };
-  if (tail_encoder_) append(tail_encoder_->Parameters());
-  if (intention_encoder_) append(intention_encoder_->Parameters());
-  append(click_head_->Parameters());
 
   // ---- Pre-training (Sec. IV-C1) ----
   const bool any_cl = cfg_.use_ktcl || cfg_.use_secl || cfg_.use_igcl;
@@ -349,8 +451,15 @@ void GarciaModel::Fit(const data::Scenario& s) {
       double epoch_loss = 0.0;
       for (size_t step = 0; step < steps; ++step) {
         opt.ZeroGrad();
-        Encoded e = EncodeAll();
-        Tensor loss = PretrainLoss(s, e, &rng_);
+        graph::SeedSet head_seeds(!sampling_);
+        graph::SeedSet tail_store(!sampling_);
+        graph::SeedSet* tail_seeds = plan_seeds(&head_seeds, &tail_store);
+        PretrainPlan plan = PlanPretrainStep(s, &rng_, &head_seeds,
+                                             tail_seeds);
+        Encoded e = sampling_
+                        ? EncodeBlocks(head_seeds.seeds(), tail_seeds->seeds())
+                        : EncodeAll();
+        Tensor loss = PretrainLossFromPlan(plan, e);
         loss.Backward();
         nn::ClipGradNorm(params, 5.0);
         opt.Step();
@@ -379,12 +488,18 @@ void GarciaModel::Fit(const data::Scenario& s) {
       std::vector<uint32_t> batch = it.Next();
       if (batch.empty()) break;
       opt.ZeroGrad();
-      Encoded e = EncodeAll();
-      std::vector<uint32_t> order;
-      Tensor logits = BatchLogits(s.train, batch, e, &order);
-      Matrix labels(order.size(), 1);
-      for (size_t i = 0; i < order.size(); ++i) {
-        labels.at(i, 0) = s.train[order[i]].label;
+      graph::SeedSet head_seeds(!sampling_);
+      graph::SeedSet tail_store(!sampling_);
+      graph::SeedSet* tail_seeds = plan_seeds(&head_seeds, &tail_store);
+      LogitsPlan plan = PlanBatchLogits(s.train, batch, &head_seeds,
+                                        tail_seeds);
+      Encoded e = sampling_
+                      ? EncodeBlocks(head_seeds.seeds(), tail_seeds->seeds())
+                      : EncodeAll();
+      Tensor logits = LogitsFromPlan(plan, e);
+      Matrix labels(plan.order.size(), 1);
+      for (size_t i = 0; i < plan.order.size(); ++i) {
+        labels.at(i, 0) = s.train[plan.order[i]].label;
       }
       Tensor loss = nn::BceWithLogits(logits, labels);
       loss.Backward();
@@ -409,14 +524,15 @@ std::vector<float> GarciaModel::Predict(
   const Encoded& e = CachedEncoded();
   std::vector<uint32_t> batch(examples.size());
   for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<uint32_t>(i);
-  std::vector<uint32_t> order;
-  Tensor logits = BatchLogits(examples, batch, e, &order);
+  // Inference always scores against the cached full-graph pass, so the
+  // plan rows stay partition-local (identity seed sets).
+  graph::SeedSet head_seeds(/*identity=*/true);
+  graph::SeedSet tail_seeds(/*identity=*/true);
+  LogitsPlan plan = PlanBatchLogits(examples, batch, &head_seeds, &tail_seeds);
+  Tensor logits = LogitsFromPlan(plan, e);
   std::vector<float> scores(examples.size(), 0.0f);
-  for (size_t r = 0; r < order.size(); ++r) {
-    const float z = logits.value().at(r, 0);
-    scores[order[r]] =
-        z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                  : std::exp(z) / (1.0f + std::exp(z));
+  for (size_t r = 0; r < plan.order.size(); ++r) {
+    scores[plan.order[r]] = nn::StableSigmoid(logits.value().at(r, 0));
   }
   return scores;
 }

@@ -1,6 +1,7 @@
 #include "models/gnn_encoder.h"
 
 #include <cmath>
+#include <numeric>
 
 namespace garcia::models {
 
@@ -27,34 +28,79 @@ GarciaGnnEncoder::GarciaGnnEncoder(size_t num_nodes, size_t attr_dim,
   }
 }
 
+Tensor SliceRows(const Tensor& z, size_t rows) {
+  if (z.rows() == rows) return z;
+  GARCIA_CHECK_LT(rows, z.rows());
+  std::vector<uint32_t> prefix(rows);
+  std::iota(prefix.begin(), prefix.end(), 0u);
+  return nn::GatherRows(z, std::move(prefix));
+}
+
+Tensor LayerMeanReadout(const std::vector<Tensor>& layers, size_t rows) {
+  bool uniform = true;
+  for (const Tensor& l : layers) uniform = uniform && l.rows() == rows;
+  if (uniform) return nn::Average(layers);
+  std::vector<Tensor> sliced;
+  sliced.reserve(layers.size());
+  for (const Tensor& l : layers) sliced.push_back(SliceRows(l, rows));
+  return nn::Average(sliced);
+}
+
 GnnOutput GarciaGnnEncoder::Encode(const graph::SearchGraph& g) const {
+  return EncodeBlock(g, graph::Block::FullGraph(g));
+}
+
+GnnOutput GarciaGnnEncoder::EncodeBlock(const graph::SearchGraph& g,
+                                        const graph::Block& block) const {
   GARCIA_CHECK(g.finalized());
   GARCIA_CHECK_EQ(g.num_nodes(), id_embedding_->num_entities());
-  const size_t n = g.num_nodes();
+  GARCIA_CHECK_EQ(block.num_graph_nodes, g.num_nodes());
+  const bool full = block.full_graph;
+  if (!full) GARCIA_CHECK_EQ(block.layers.size(), num_layers_);
 
   GnnOutput out;
-  // z^(0): id embedding + projected attributes.
-  Tensor z = nn::Add(id_embedding_->Table(),
-                     attr_proj_->Forward(Tensor::Constant(g.attributes())));
+  // z^(0): id embedding + projected attributes — the whole table for the
+  // full graph, the block's gathered rows otherwise.
+  Tensor z;
+  if (full) {
+    z = nn::Add(id_embedding_->Table(),
+                attr_proj_->Forward(Tensor::Constant(g.attributes())));
+  } else {
+    core::Matrix attrs(block.nodes.size(), g.attr_dim());
+    for (size_t i = 0; i < block.nodes.size(); ++i) {
+      attrs.CopyRowFrom(g.attributes(), block.nodes[i], i);
+    }
+    z = nn::Add(nn::GatherRows(id_embedding_->Table(), block.nodes),
+                attr_proj_->Forward(Tensor::Constant(std::move(attrs))));
+  }
   out.layers.push_back(z);
 
-  const auto& src = g.edge_src();
-  const auto& dst = g.edge_dst();
-  Tensor efeat = Tensor::Constant(g.edge_features());
+  // Full graph: one edge-feature constant hoisted out of the layer loop;
+  // sampled blocks carry per-pass feature rows instead.
+  Tensor full_efeat;
+  if (full) full_efeat = Tensor::Constant(g.edge_features());
 
   for (size_t l = 0; l < num_layers_; ++l) {
     const Layer& layer = layers_[l];
+    const std::vector<uint32_t>& src =
+        full ? g.edge_src() : block.layers[l].src;
+    const std::vector<uint32_t>& dst =
+        full ? g.edge_dst() : block.layers[l].dst;
+    const size_t ndst = full ? g.num_nodes() : block.layers[l].num_dst;
     if (src.empty()) {
       // No edges: message is zero; update still mixes z with the zero
       // message so parameters stay exercised.
-      Tensor zero_m = Tensor::Constant(core::Matrix(n, dim_));
+      Tensor zero_m = Tensor::Constant(core::Matrix(ndst, dim_));
       Tensor m = nn::Tanh(layer.aggregate->Forward(
           nn::ConcatCols(zero_m, Tensor::Constant(core::Matrix(
-                                     n, graph::kEdgeFeatureDim)))));
-      z = nn::Relu(layer.update->Forward(nn::ConcatCols(z, m)));
+                                     ndst, graph::kEdgeFeatureDim)))));
+      z = nn::Relu(layer.update->Forward(
+          nn::ConcatCols(SliceRows(z, ndst), m)));
       out.layers.push_back(z);
       continue;
     }
+    Tensor efeat =
+        full ? full_efeat : Tensor::Constant(block.layers[l].edge_feats);
     Tensor z_src = nn::GatherRows(z, src);
     Tensor alpha;
     if (use_attention_) {
@@ -64,23 +110,23 @@ GnnOutput GarciaGnnEncoder::Encode(const graph::SearchGraph& g) const {
       // mechanism", Eq. 2).
       Tensor att_in = nn::ConcatCols(nn::ConcatCols(z_dst, z_src), efeat);
       Tensor logits = nn::LeakyRelu(layer.attention->Forward(att_in), 0.2f);
-      alpha = nn::SegmentSoftmax(logits, dst, n);
+      alpha = nn::SegmentSoftmax(logits, dst, ndst);
     } else {
       // Uniform 1/deg weights (segment softmax of constant scores).
       alpha = nn::SegmentSoftmax(
-          Tensor::Constant(core::Matrix(src.size(), 1)), dst, n);
+          Tensor::Constant(core::Matrix(src.size(), 1)), dst, ndst);
     }
     // Weighted sum of [z_v || e], then W_A + Tanh.
     Tensor msg_in = nn::ConcatCols(z_src, efeat);
     Tensor weighted = nn::MulColBroadcast(msg_in, alpha);
-    Tensor summed = nn::SegmentSum(weighted, dst, n);
+    Tensor summed = nn::SegmentSum(weighted, dst, ndst);
     Tensor m = nn::Tanh(layer.aggregate->Forward(summed));
-    // Update: ReLU(W_U [z || m]).
-    z = nn::Relu(layer.update->Forward(nn::ConcatCols(z, m)));
+    // Update: ReLU(W_U [z || m]) over this pass's destination prefix.
+    z = nn::Relu(layer.update->Forward(nn::ConcatCols(SliceRows(z, ndst), m)));
     out.layers.push_back(z);
   }
 
-  out.readout = nn::Average(out.layers);
+  out.readout = LayerMeanReadout(out.layers, block.num_readout_rows());
   return out;
 }
 
@@ -124,6 +170,26 @@ nn::Tensor GcnPropagate(const nn::Tensor& z,
   Tensor weighted =
       nn::MulColBroadcast(gathered, Tensor::Constant(std::move(w_kept)));
   return nn::SegmentSum(weighted, dst_kept, num_nodes);
+}
+
+nn::Tensor GcnPropagateBlockLayer(const nn::Tensor& z,
+                                  const graph::Block& block,
+                                  const graph::BlockLayer& layer,
+                                  const std::vector<float>& inv_sqrt_deg) {
+  GARCIA_CHECK(!block.full_graph);
+  GARCIA_CHECK_GE(z.rows(), layer.num_src);
+  if (layer.src.empty()) {
+    return Tensor::Constant(core::Matrix(layer.num_dst, z.cols()));
+  }
+  core::Matrix w(layer.src.size(), 1);
+  for (size_t e = 0; e < layer.src.size(); ++e) {
+    w.at(e, 0) = inv_sqrt_deg[block.nodes[layer.src[e]]] *
+                 inv_sqrt_deg[block.nodes[layer.dst[e]]];
+  }
+  Tensor gathered = nn::GatherRows(z, layer.src);
+  Tensor weighted =
+      nn::MulColBroadcast(gathered, Tensor::Constant(std::move(w)));
+  return nn::SegmentSum(weighted, layer.dst, layer.num_dst);
 }
 
 }  // namespace garcia::models

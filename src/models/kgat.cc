@@ -1,5 +1,7 @@
 #include "models/kgat.h"
 
+#include "core/macros.h"
+
 namespace garcia::models {
 
 using nn::Tensor;
@@ -26,40 +28,69 @@ std::vector<Tensor> Kgat::ExtraParameters() const {
   return out;
 }
 
-Tensor Kgat::ComputeEmbeddings() {
+Tensor Kgat::ComputeEmbeddings(const graph::Block& block) {
   const graph::SearchGraph& g = scenario_->graph;
-  const size_t n = g.num_nodes();
   std::vector<Tensor> outputs;
-  Tensor z = BaseEmbeddings();
+  Tensor z = BaseEmbeddings(block);
   outputs.push_back(z);
 
-  Tensor e_rel;
-  if (g.num_edges() > 0) {
-    e_rel = relation_proj_->Forward(Tensor::Constant(g.edge_features()));
+  if (block.full_graph) {
+    const size_t n = g.num_nodes();
+    Tensor e_rel;
+    if (g.num_edges() > 0) {
+      e_rel = relation_proj_->Forward(Tensor::Constant(g.edge_features()));
+    }
+    for (size_t l = 0; l < cfg_.num_layers; ++l) {
+      if (g.num_edges() == 0) {
+        outputs.push_back(z);
+        continue;
+      }
+      Tensor z_src = nn::GatherRows(z, g.edge_src());
+      Tensor z_dst = nn::GatherRows(z, g.edge_dst());
+      // KGAT attention: pi(h, r, t) = (W z_t)^T tanh(W z_h + e_r); with W
+      // folded into the shared embedding space this is
+      // <z_src, tanh(z_dst + e_r)>, normalized per destination.
+      Tensor score = nn::RowDot(z_src, nn::Tanh(nn::Add(z_dst, e_rel)));
+      Tensor alpha = nn::SegmentSoftmax(score, g.edge_dst(), n);
+      Tensor agg =
+          nn::SegmentSum(nn::MulColBroadcast(z_src, alpha), g.edge_dst(), n);
+      // Bi-interaction: LeakyReLU(W1(z+agg)) + LeakyReLU(W2(z⊙agg)).
+      Tensor sum_part =
+          nn::LeakyRelu(layers_[l].w_sum->Forward(nn::Add(z, agg)), 0.2f);
+      Tensor prod_part =
+          nn::LeakyRelu(layers_[l].w_prod->Forward(nn::Mul(z, agg)), 0.2f);
+      z = nn::Add(sum_part, prod_part);
+      outputs.push_back(z);
+    }
+    return nn::Average(outputs);
   }
+
+  GARCIA_CHECK_EQ(block.layers.size(), cfg_.num_layers);
   for (size_t l = 0; l < cfg_.num_layers; ++l) {
-    if (g.num_edges() == 0) {
+    const graph::BlockLayer& bl = block.layers[l];
+    if (bl.src.empty()) {
+      // Mirror the full path's "no edges" behavior on the block's
+      // destination prefix.
+      z = SliceRows(z, bl.num_dst);
       outputs.push_back(z);
       continue;
     }
-    Tensor z_src = nn::GatherRows(z, g.edge_src());
-    Tensor z_dst = nn::GatherRows(z, g.edge_dst());
-    // KGAT attention: pi(h, r, t) = (W z_t)^T tanh(W z_h + e_r); with W
-    // folded into the shared embedding space this is
-    // <z_src, tanh(z_dst + e_r)>, normalized per destination.
+    Tensor e_rel = relation_proj_->Forward(Tensor::Constant(bl.edge_feats));
+    Tensor z_src = nn::GatherRows(z, bl.src);
+    Tensor z_dst = nn::GatherRows(z, bl.dst);
     Tensor score = nn::RowDot(z_src, nn::Tanh(nn::Add(z_dst, e_rel)));
-    Tensor alpha = nn::SegmentSoftmax(score, g.edge_dst(), n);
-    Tensor agg =
-        nn::SegmentSum(nn::MulColBroadcast(z_src, alpha), g.edge_dst(), n);
-    // Bi-interaction aggregator: LeakyReLU(W1(z+agg)) + LeakyReLU(W2(z⊙agg)).
+    Tensor alpha = nn::SegmentSoftmax(score, bl.dst, bl.num_dst);
+    Tensor agg = nn::SegmentSum(nn::MulColBroadcast(z_src, alpha), bl.dst,
+                                bl.num_dst);
+    Tensor zd = SliceRows(z, bl.num_dst);
     Tensor sum_part =
-        nn::LeakyRelu(layers_[l].w_sum->Forward(nn::Add(z, agg)), 0.2f);
+        nn::LeakyRelu(layers_[l].w_sum->Forward(nn::Add(zd, agg)), 0.2f);
     Tensor prod_part =
-        nn::LeakyRelu(layers_[l].w_prod->Forward(nn::Mul(z, agg)), 0.2f);
+        nn::LeakyRelu(layers_[l].w_prod->Forward(nn::Mul(zd, agg)), 0.2f);
     z = nn::Add(sum_part, prod_part);
     outputs.push_back(z);
   }
-  return nn::Average(outputs);
+  return LayerMeanReadout(outputs, block.num_readout_rows());
 }
 
 }  // namespace garcia::models

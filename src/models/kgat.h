@@ -22,7 +22,7 @@ class Kgat : public GnnBaseline {
 
  protected:
   void BuildModules(const data::Scenario& s) override;
-  nn::Tensor ComputeEmbeddings() override;
+  nn::Tensor ComputeEmbeddings(const graph::Block& block) override;
   std::vector<nn::Tensor> ExtraParameters() const override;
 
  private:

@@ -1,23 +1,41 @@
 #include "models/lightgcn.h"
 
+#include "core/macros.h"
+
 namespace garcia::models {
 
 using nn::Tensor;
 
-Tensor LightGcn::PropagateFrom(const Tensor& z0,
+void LightGcn::BuildModules(const data::Scenario& s) {
+  inv_sqrt_deg_ = cfg_.sample_fanout > 0 ? graph::InvSqrtDegrees(s.graph)
+                                         : std::vector<float>();
+}
+
+Tensor LightGcn::PropagateFrom(const Tensor& z0, const graph::Block& block,
                                const std::vector<uint8_t>* keep) const {
-  const graph::SearchGraph& g = scenario_->graph;
+  if (block.full_graph) {
+    const graph::SearchGraph& g = scenario_->graph;
+    std::vector<Tensor> layers = {z0};
+    Tensor z = z0;
+    for (size_t l = 0; l < cfg_.num_layers; ++l) {
+      z = GcnPropagate(z, g.edge_src(), g.edge_dst(), g.num_nodes(), keep);
+      layers.push_back(z);
+    }
+    return nn::Average(layers);
+  }
+  GARCIA_CHECK(keep == nullptr) << "edge masks only exist on the full graph";
+  GARCIA_CHECK_EQ(block.layers.size(), cfg_.num_layers);
   std::vector<Tensor> layers = {z0};
   Tensor z = z0;
   for (size_t l = 0; l < cfg_.num_layers; ++l) {
-    z = GcnPropagate(z, g.edge_src(), g.edge_dst(), g.num_nodes(), keep);
+    z = GcnPropagateBlockLayer(z, block, block.layers[l], inv_sqrt_deg_);
     layers.push_back(z);
   }
-  return nn::Average(layers);
+  return LayerMeanReadout(layers, block.num_readout_rows());
 }
 
-Tensor LightGcn::ComputeEmbeddings() {
-  return PropagateFrom(BaseEmbeddings(), nullptr);
+Tensor LightGcn::ComputeEmbeddings(const graph::Block& block) {
+  return PropagateFrom(BaseEmbeddings(block), block, nullptr);
 }
 
 }  // namespace garcia::models

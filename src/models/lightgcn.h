@@ -20,11 +20,17 @@ class LightGcn : public GnnBaseline {
   std::string name() const override { return "LightGCN"; }
 
  protected:
-  nn::Tensor ComputeEmbeddings() override;
+  void BuildModules(const data::Scenario& s) override;
+  nn::Tensor ComputeEmbeddings(const graph::Block& block) override;
 
-  /// Propagation with an optional edge-keep mask (SGL reuses this).
-  nn::Tensor PropagateFrom(const nn::Tensor& z0,
+  /// Propagation with an optional edge-keep mask (SGL reuses this). The
+  /// mask only exists on the full graph; sampled blocks weight edges by
+  /// the full graph's degrees (graph::InvSqrtDegrees).
+  nn::Tensor PropagateFrom(const nn::Tensor& z0, const graph::Block& block,
                            const std::vector<uint8_t>* keep) const;
+
+ private:
+  std::vector<float> inv_sqrt_deg_;  // full-graph 1/sqrt(deg), sampling only
 };
 
 }  // namespace garcia::models

@@ -14,11 +14,13 @@ Tensor Sgl::AuxiliaryLoss(core::Rng* rng) {
     }
     return keep;
   };
+  // The auxiliary views intentionally stay on the full graph even when
+  // supervised training samples blocks (DESIGN.md §5e).
   const std::vector<uint8_t> keep1 = make_keep();
   const std::vector<uint8_t> keep2 = make_keep();
-  Tensor z0 = BaseEmbeddings();
-  Tensor v1 = PropagateFrom(z0, &keep1);
-  Tensor v2 = PropagateFrom(z0, &keep2);
+  Tensor z0 = BaseEmbeddings(full_block_);
+  Tensor v1 = PropagateFrom(z0, full_block_, &keep1);
+  Tensor v2 = PropagateFrom(z0, full_block_, &keep2);
 
   const size_t n = g.num_nodes();
   const size_t b = std::min(cfg_.cl_batch_size, n);

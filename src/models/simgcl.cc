@@ -39,7 +39,8 @@ Tensor SimGcl::NoisyView(const Tensor& z0, core::Rng* rng) const {
 Tensor SimGcl::AuxiliaryLoss(core::Rng* rng) {
   const graph::SearchGraph& g = scenario_->graph;
   if (g.num_edges() == 0) return Tensor();
-  Tensor z0 = BaseEmbeddings();
+  // Noisy views stay full-graph under sampled training (DESIGN.md §5e).
+  Tensor z0 = BaseEmbeddings(full_block_);
   Tensor v1 = NoisyView(z0, rng);
   Tensor v2 = NoisyView(z0, rng);
 

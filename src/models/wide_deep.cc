@@ -117,9 +117,7 @@ std::vector<float> WideDeep::Predict(
   Tensor logits = BatchLogits(examples, batch);
   std::vector<float> scores(examples.size());
   for (size_t i = 0; i < scores.size(); ++i) {
-    const float z = logits.value().at(i, 0);
-    scores[i] = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                          : std::exp(z) / (1.0f + std::exp(z));
+    scores[i] = nn::StableSigmoid(logits.value().at(i, 0));
   }
   return scores;
 }

@@ -86,9 +86,7 @@ Tensor BceWithLogits(const Tensor& logits, const core::Matrix& targets) {
       const double z = logits.value().at(i, j);
       const double y = targets.at(i, j);
       loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
-      const double s = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
-                                : std::exp(z) / (1.0 + std::exp(z));
-      dz.at(i, j) = static_cast<float>(s - y);
+      dz.at(i, j) = static_cast<float>(StableSigmoid(z) - y);
     }
   }
   Matrix out(1, 1);

@@ -8,6 +8,7 @@
 #ifndef GARCIA_NN_OPS_H_
 #define GARCIA_NN_OPS_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,19 @@ Tensor Tanh(const Tensor& x);
 Tensor Relu(const Tensor& x);
 Tensor LeakyRelu(const Tensor& x, float slope = 0.2f);
 Tensor Sigmoid(const Tensor& x);
+
+/// Numerically stable scalar logistic sigmoid: never exponentiates a
+/// positive argument, so it cannot overflow. The shared score->probability
+/// helper for every Predict / serving path (and the dz cache of
+/// BceWithLogits).
+inline float StableSigmoid(float z) {
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                   : std::exp(z) / (1.0f + std::exp(z));
+}
+inline double StableSigmoid(double z) {
+  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                  : std::exp(z) / (1.0 + std::exp(z));
+}
 
 // ----- Normalization / softmax -----
 

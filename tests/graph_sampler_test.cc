@@ -1,0 +1,221 @@
+#include "graph/neighbor_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "models/gnn_encoder.h"
+#include "nn/gradcheck.h"
+#include "nn/ops.h"
+
+namespace garcia::graph {
+namespace {
+
+using core::Matrix;
+using core::Rng;
+
+/// 6 queries, 4 services, mixed degrees (service node 6+s gets in-edges
+/// from several queries; query nodes get the reverse edges).
+SearchGraph MediumGraph() {
+  SearchGraph g(6, 4, 5);
+  Rng rng(11);
+  g.attributes() = Matrix::Randn(10, 5, &rng);
+  g.AddLink(0, 0, EdgeKind::kInteraction, 0.9f, 0);
+  g.AddLink(1, 0, EdgeKind::kInteraction, 0.7f, kCorrBrand);
+  g.AddLink(2, 0, EdgeKind::kInteraction, 0.5f, 0);
+  g.AddLink(3, 0, EdgeKind::kCorrelation, 0.0f, kCorrCity);
+  g.AddLink(0, 1, EdgeKind::kInteraction, 0.4f, 0);
+  g.AddLink(1, 1, EdgeKind::kCorrelation, 0.0f, kCorrCategory);
+  g.AddLink(4, 1, EdgeKind::kInteraction, 0.8f, 0);
+  g.AddLink(2, 2, EdgeKind::kInteraction, 0.6f, kCorrBrand | kCorrCity);
+  g.AddLink(5, 2, EdgeKind::kInteraction, 0.3f, 0);
+  g.AddLink(4, 3, EdgeKind::kCorrelation, 0.0f, kCorrBrand);
+  g.Finalize();
+  return g;
+}
+
+/// Checks the per-destination edges of one block pass against the graph's
+/// CSR: every sampled edge must be a real in-edge of its destination, in
+/// ascending global edge order within the destination, at most `fanout`
+/// per destination (0 = all), and with matching feature rows.
+void CheckLayerAgainstGraph(const SearchGraph& g, const Block& b,
+                            const BlockLayer& layer, size_t fanout) {
+  ASSERT_EQ(layer.src.size(), layer.dst.size());
+  ASSERT_EQ(layer.edge_feats.rows(), layer.src.size());
+  size_t e = 0;
+  for (size_t d = 0; d < layer.num_dst; ++d) {
+    const uint32_t global_dst = b.nodes[d];
+    auto [lo, hi] = g.IncomingRange(global_dst);
+    size_t count = 0;
+    size_t cursor = lo;  // enforces ascending global edge order
+    while (e < layer.src.size() && layer.dst[e] == d) {
+      const uint32_t global_src = b.nodes[layer.src[e]];
+      // Find this edge in the destination's CSR range, at or after the
+      // previous match.
+      bool found = false;
+      for (; cursor < hi; ++cursor) {
+        if (g.edge_src()[cursor] == global_src) {
+          for (size_t k = 0; k < kEdgeFeatureDim; ++k) {
+            EXPECT_EQ(layer.edge_feats.at(e, k),
+                      g.edge_features().at(cursor, k));
+          }
+          ++cursor;
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "edge not in CSR order for dst " << global_dst;
+      ++count;
+      ++e;
+    }
+    if (fanout == 0) {
+      EXPECT_EQ(count, hi - lo) << "fanout 0 must take every in-edge";
+    } else {
+      EXPECT_LE(count, fanout);
+      EXPECT_EQ(count, std::min(fanout, hi - lo));
+    }
+  }
+  EXPECT_EQ(e, layer.src.size()) << "edges must be grouped by ascending dst";
+}
+
+TEST(NeighborSamplerTest, FullFanoutReproducesClosure) {
+  SearchGraph g = MediumGraph();
+  NeighborSampler sampler(&g, 2, /*fanout=*/0);
+  Rng rng(3);
+  const std::vector<uint32_t> seeds = {g.QueryNode(0), g.ServiceNode(2)};
+  Block b = sampler.Sample(seeds, &rng);
+
+  EXPECT_FALSE(b.full_graph);
+  EXPECT_EQ(b.num_seeds, seeds.size());
+  ASSERT_EQ(b.layers.size(), 2u);
+  for (size_t i = 0; i < seeds.size(); ++i) EXPECT_EQ(b.nodes[i], seeds[i]);
+
+  // Nested prefixes: pass 1 (innermost) updates exactly the seeds; pass 0
+  // updates pass 1's sources.
+  EXPECT_EQ(b.layers[1].num_dst, seeds.size());
+  EXPECT_EQ(b.layers[0].num_dst, b.layers[1].num_src);
+  EXPECT_EQ(b.layers[0].num_src, b.nodes.size());
+  EXPECT_LE(b.layers[1].num_dst, b.layers[1].num_src);
+  EXPECT_LE(b.layers[0].num_dst, b.layers[0].num_src);
+
+  for (const BlockLayer& layer : b.layers) {
+    CheckLayerAgainstGraph(g, b, layer, 0);
+  }
+
+  // Local ids map to distinct globals.
+  std::set<uint32_t> uniq(b.nodes.begin(), b.nodes.end());
+  EXPECT_EQ(uniq.size(), b.nodes.size());
+}
+
+TEST(NeighborSamplerTest, FanoutBoundsEdgesPerDestination) {
+  SearchGraph g = MediumGraph();
+  NeighborSampler sampler(&g, 2, /*fanout=*/2);
+  Rng rng(5);
+  const std::vector<uint32_t> seeds = {g.ServiceNode(0), g.QueryNode(4)};
+  Block b = sampler.Sample(seeds, &rng);
+  for (const BlockLayer& layer : b.layers) {
+    CheckLayerAgainstGraph(g, b, layer, 2);
+  }
+}
+
+TEST(NeighborSamplerTest, DeterministicGivenSeed) {
+  SearchGraph g = MediumGraph();
+  NeighborSampler sampler(&g, 2, /*fanout=*/2);
+  const std::vector<uint32_t> seeds = {g.QueryNode(1), g.ServiceNode(1),
+                                       g.QueryNode(5)};
+  Rng rng_a(17), rng_b(17);
+  Block a = sampler.Sample(seeds, &rng_a);
+  Block b = sampler.Sample(seeds, &rng_b);
+  ASSERT_EQ(a.nodes, b.nodes);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (size_t l = 0; l < a.layers.size(); ++l) {
+    EXPECT_EQ(a.layers[l].src, b.layers[l].src);
+    EXPECT_EQ(a.layers[l].dst, b.layers[l].dst);
+    EXPECT_EQ(a.layers[l].num_dst, b.layers[l].num_dst);
+    EXPECT_EQ(a.layers[l].num_src, b.layers[l].num_src);
+  }
+}
+
+TEST(NeighborSamplerTest, FullGraphBlockIsTrivial) {
+  SearchGraph g = MediumGraph();
+  Block b = Block::FullGraph(g);
+  EXPECT_TRUE(b.full_graph);
+  EXPECT_EQ(b.num_nodes(), g.num_nodes());
+  EXPECT_EQ(b.num_readout_rows(), g.num_nodes());
+  EXPECT_TRUE(b.nodes.empty());
+  EXPECT_TRUE(b.layers.empty());
+}
+
+TEST(NeighborSamplerTest, FullFanoutEncodeParity) {
+  // The acceptance check of DESIGN.md §5e: a fanout-0 block encode is
+  // bit-identical, row for row, to the full-graph encode at the seeds.
+  SearchGraph g = MediumGraph();
+  Rng enc_rng(23);
+  models::GarciaGnnEncoder enc(g.num_nodes(), g.attr_dim(), 8, 2, &enc_rng);
+  models::GnnOutput full = enc.Encode(g);
+
+  NeighborSampler sampler(&g, 2, /*fanout=*/0);
+  Rng rng(29);
+  const std::vector<uint32_t> seeds = {g.QueryNode(2), g.ServiceNode(0),
+                                       g.QueryNode(5)};
+  Block b = sampler.Sample(seeds, &rng);
+  models::GnnOutput sampled = enc.EncodeBlock(g, b);
+
+  ASSERT_EQ(sampled.readout.rows(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t k = 0; k < 8; ++k) {
+      EXPECT_EQ(sampled.readout.value().at(i, k),
+                full.readout.value().at(seeds[i], k))
+          << "row " << i << " col " << k << " not bit-identical";
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, GradcheckThroughSampledBlock) {
+  SearchGraph g = MediumGraph();
+  Rng enc_rng(31);
+  models::GarciaGnnEncoder enc(g.num_nodes(), g.attr_dim(), 3, 1, &enc_rng);
+  NeighborSampler sampler(&g, 1, /*fanout=*/2);
+  Rng rng(37);
+  const std::vector<uint32_t> seeds = {g.ServiceNode(1), g.QueryNode(0)};
+  Block b = sampler.Sample(seeds, &rng);
+  auto res = nn::CheckGradients(
+      [&] { return nn::MeanAll(nn::Tanh(enc.EncodeBlock(g, b).readout)); },
+      enc.Parameters(), 1e-2f);
+  EXPECT_LT(res.max_rel_error, 3e-2);
+}
+
+TEST(SeedSetTest, IdentityModePassesRowsThrough) {
+  SeedSet seeds(/*identity=*/true);
+  EXPECT_EQ(seeds.Map(7u), 7u);
+  EXPECT_EQ(seeds.Map(3u), 3u);
+  EXPECT_EQ(seeds.Map(7u), 7u);
+  EXPECT_TRUE(seeds.seeds().empty());
+}
+
+TEST(SeedSetTest, CollectModeAssignsFirstUseOrder) {
+  SeedSet seeds(/*identity=*/false);
+  EXPECT_EQ(seeds.Map(7u), 0u);
+  EXPECT_EQ(seeds.Map(3u), 1u);
+  EXPECT_EQ(seeds.Map(7u), 0u);  // dedup keeps the first local id
+  EXPECT_EQ(seeds.Map(9u), 2u);
+  EXPECT_EQ(seeds.seeds(), (std::vector<uint32_t>{7u, 3u, 9u}));
+}
+
+TEST(InvSqrtDegreesTest, MatchesGraphDegrees) {
+  SearchGraph g = MediumGraph();
+  std::vector<float> inv = InvSqrtDegrees(g);
+  ASSERT_EQ(inv.size(), g.num_nodes());
+  for (uint32_t n = 0; n < g.num_nodes(); ++n) {
+    const size_t deg = g.Degree(n);
+    if (deg == 0) {
+      EXPECT_EQ(inv[n], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(inv[n], 1.0f / std::sqrt(static_cast<float>(deg)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace garcia::graph

@@ -104,5 +104,22 @@ TEST(BaselineEmbeddingsTest, WideDeepHasNoEmbeddingSpace) {
   EXPECT_TRUE(model->ExportQueryEmbeddings(Tiny()).empty());
 }
 
+TEST(BaselineSamplingTest, GnnBaselinesTrainOnSampledBlocks) {
+  // Each GNN baseline's shared propagate path must also run over sampled
+  // blocks (DESIGN.md §5e) and keep producing valid probabilities.
+  TrainConfig cfg = FastTrainConfig();
+  cfg.sample_fanout = 3;
+  for (const std::string& name : {"LightGCN", "SGL", "SimSGL", "KGAT"}) {
+    auto model = CreateModel(name, cfg);
+    model->Fit(Tiny());
+    auto scores = model->Predict(Tiny(), Tiny().test);
+    ASSERT_EQ(scores.size(), Tiny().test.size()) << name;
+    for (float p : scores) {
+      ASSERT_GE(p, 0.0f) << name;
+      ASSERT_LE(p, 1.0f) << name;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace garcia::models

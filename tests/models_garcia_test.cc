@@ -208,5 +208,50 @@ TEST(GarciaModelTest, RefitInvalidatesEncodedCache) {
   EXPECT_TRUE(any_changed);
 }
 
+TEST(GarciaModelTest, SampledTrainingThreadInvariantAndAccurate) {
+  // Minibatch sampled-subgraph training (DESIGN.md §5e): with a finite
+  // fanout, the block sampler draws only from its own rng stream, so
+  // num_threads must not change the trajectory bit for bit — and sampled
+  // training must still rank well above random.
+  TrainConfig serial_cfg = FastTrainConfig();
+  serial_cfg.sample_fanout = 4;
+  serial_cfg.num_threads = 0;
+  TrainConfig threaded_cfg = serial_cfg;
+  threaded_cfg.num_threads = 4;
+
+  GarciaModel serial(serial_cfg);
+  GarciaModel threaded(threaded_cfg);
+  serial.Fit(Tiny());
+  threaded.Fit(Tiny());
+
+  EXPECT_EQ(serial.first_pretrain_loss(), threaded.first_pretrain_loss());
+  EXPECT_EQ(serial.last_pretrain_loss(), threaded.last_pretrain_loss());
+  EXPECT_EQ(serial.last_finetune_loss(), threaded.last_finetune_loss());
+
+  auto ss = serial.Predict(Tiny(), Tiny().test);
+  auto st = threaded.Predict(Tiny(), Tiny().test);
+  ASSERT_EQ(ss.size(), st.size());
+  for (size_t i = 0; i < ss.size(); ++i) {
+    ASSERT_EQ(ss[i], st[i]) << "prediction " << i;
+  }
+
+  auto m = EvaluateModel(&serial, Tiny(), Tiny().test);
+  EXPECT_GT(m.overall.auc, 0.6) << "sampled training lost ranking quality";
+}
+
+TEST(GarciaModelTest, SampledSharedEncoderVariantRuns) {
+  TrainConfig cfg = FastTrainConfig();
+  cfg.sample_fanout = 3;
+  cfg.share_encoders = true;
+  GarciaModel model(cfg);
+  model.Fit(Tiny());
+  auto scores = model.Predict(Tiny(), Tiny().test);
+  ASSERT_EQ(scores.size(), Tiny().test.size());
+  for (float p : scores) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
 }  // namespace
 }  // namespace garcia::models
