@@ -27,14 +27,15 @@ run_suite "$ROOT/build-asan" -DGARCIA_SANITIZE="address;undefined"
 echo "==> Sanitizer build (thread)"
 # TSan and ASan are mutually exclusive, so this is a third tree. Only the
 # threaded suites run here: they exercise every ShardedFor dispatch, the
-# destination-sharded reduction kernels, and the block sampler's
-# thread-count-invariance contract.
+# destination-sharded reduction kernels, the block sampler's
+# thread-count-invariance contract, and the concurrent batched serving
+# path (BatchRanker + ResilientRanker's sequenced resolve phase).
 TSAN_DIR="$ROOT/build-tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target core_kernels_test core_threadpool_test nn_ops_test \
-  graph_sampler_test
+  graph_sampler_test serving_concurrency_test serving_resilience_test
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -R '^(core_kernels_test|core_threadpool_test|nn_ops_test|graph_sampler_test)$'
+  -R '^(core_kernels_test|core_threadpool_test|nn_ops_test|graph_sampler_test|serving_concurrency_test|serving_resilience_test)$'
 
 echo "==> All checks passed"

@@ -483,5 +483,89 @@ void CrossEntropyBackwardAdd(const ExecutionContext& ctx,
   });
 }
 
+// ----- Top-K retrieval -----
+
+namespace {
+
+using ScoredId = std::pair<uint32_t, float>;
+
+// Fixed block size for the parallel partial-heap path. Independent of the
+// thread count on purpose: the result is order-invariant anyway (unique
+// selection under a total order), but fixed blocks keep the work split
+// reproducible and give every worker cache-sized chunks.
+constexpr size_t kTopKBlockRows = 1024;
+
+// The retrieval total order: higher score first, ties by ascending id.
+inline bool RanksBefore(const ScoredId& a, const ScoredId& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+inline float DotRowDouble(const float* query, const float* row, size_t dim) {
+  double dot = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    dot += static_cast<double>(query[j]) * row[j];
+  }
+  return static_cast<float>(dot);
+}
+
+// Bounded top-k over rows [lo, hi): a k-element heap whose top is the
+// currently-worst kept candidate (std::*_heap with RanksBefore puts the
+// comparator-maximal element — the one ranking LAST — on top). out is left
+// sorted best-first.
+void PartialTopKRows(const float* query, size_t dim, const Matrix& cands,
+                     size_t lo, size_t hi, size_t k,
+                     std::vector<ScoredId>* out) {
+  out->clear();
+  if (k == 0) return;
+  for (size_t i = lo; i < hi; ++i) {
+    const ScoredId cand{static_cast<uint32_t>(i),
+                        DotRowDouble(query, cands.row(i), dim)};
+    if (out->size() < k) {
+      out->push_back(cand);
+      std::push_heap(out->begin(), out->end(), RanksBefore);
+    } else if (RanksBefore(cand, out->front())) {
+      std::pop_heap(out->begin(), out->end(), RanksBefore);
+      out->back() = cand;
+      std::push_heap(out->begin(), out->end(), RanksBefore);
+    }
+  }
+  std::sort_heap(out->begin(), out->end(), RanksBefore);
+}
+
+}  // namespace
+
+std::vector<ScoredId> TopKDot(const ExecutionContext& ctx, const float* query,
+                              size_t dim, const Matrix& candidates, size_t k) {
+  const size_t n = candidates.rows();
+  GARCIA_CHECK_EQ(candidates.cols(), dim);
+  k = std::min(k, n);
+  std::vector<ScoredId> result;
+  if (k == 0) return result;
+  if (!ctx.parallel() || n <= kTopKBlockRows) {
+    PartialTopKRows(query, dim, candidates, 0, n, k, &result);
+    return result;
+  }
+  const size_t num_blocks = (n + kTopKBlockRows - 1) / kTopKBlockRows;
+  std::vector<std::vector<ScoredId>> partial(num_blocks);
+  ctx.ShardedFor(0, num_blocks, /*min_shard=*/1, [&](size_t blo, size_t bhi) {
+    for (size_t b = blo; b < bhi; ++b) {
+      const size_t lo = b * kTopKBlockRows;
+      PartialTopKRows(query, dim, candidates, lo,
+                      std::min(n, lo + kTopKBlockRows), k, &partial[b]);
+    }
+  });
+  // Merge the per-block winners in ascending block order. The k best of
+  // the union of block top-k lists are exactly the global top-k, and the
+  // total order makes that selection (and its sort) unique.
+  for (const auto& block : partial) {
+    result.insert(result.end(), block.begin(), block.end());
+  }
+  std::partial_sort(result.begin(), result.begin() + k, result.end(),
+                    RanksBefore);
+  result.resize(k);
+  return result;
+}
+
 }  // namespace kernels
 }  // namespace garcia::core

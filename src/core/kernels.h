@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/matrix.h"
@@ -195,6 +196,24 @@ void CrossEntropyBackwardAdd(const ExecutionContext& ctx,
                              const Matrix& softmax,
                              const std::vector<uint32_t>& targets, float gout,
                              Matrix* dlogits);
+
+// ----- Top-K retrieval (the online serving hot loop) -----
+
+/// Top-k (row index, score) of score[i] = <query, candidates.row(i)>,
+/// sorted by descending score with ties broken by ascending index.
+///
+/// Every backend accumulates each row's dot product in double over
+/// ascending columns. The serial reference keeps one bounded partial top-k
+/// heap over all rows; the parallel path partitions rows into fixed-size
+/// blocks, keeps a partial heap per block, and merges the per-block
+/// winners. Selection under the (score desc, index asc) TOTAL order is
+/// unique, so the result is bit-identical to the serial reference for any
+/// thread count and any block partitioning. k = 0 returns empty; k >= rows
+/// returns the full sorted ranking. Candidate scores must not be NaN.
+std::vector<std::pair<uint32_t, float>> TopKDot(const ExecutionContext& ctx,
+                                                const float* query, size_t dim,
+                                                const Matrix& candidates,
+                                                size_t k);
 
 }  // namespace kernels
 }  // namespace garcia::core

@@ -26,12 +26,12 @@ double AbTestResult::MeanValidCtrImprovement() const {
 
 namespace {
 
-/// Simulates one request against one arm; returns {clicked, valid}.
-std::pair<bool, bool> SimulateRequest(const data::Scenario& s,
-                                      const Ranker& ranker, uint32_t query,
-                                      const AbTestConfig& cfg,
-                                      core::Rng* rng) {
-  const RankedList list = ranker.Rank(query, cfg.top_k);
+/// Simulates the user's reaction to one ranked list; returns
+/// {clicked, valid}.
+std::pair<bool, bool> SimulateClicks(const data::Scenario& s,
+                                     const RankedList& list, uint32_t query,
+                                     const AbTestConfig& cfg,
+                                     core::Rng* rng) {
   double examine = 1.0;
   for (const auto& [service, score] : list) {
     if (rng->Bernoulli(examine * s.TrueClickProbability(query, service))) {
@@ -44,31 +44,51 @@ std::pair<bool, bool> SimulateRequest(const data::Scenario& s,
   return {false, false};
 }
 
+/// Non-owning shared_ptr view of an arm held by the caller.
+std::shared_ptr<const Ranker> Borrow(const Ranker& ranker) {
+  return std::shared_ptr<const Ranker>(std::shared_ptr<const Ranker>(),
+                                       &ranker);
+}
+
 }  // namespace
 
 AbTestResult RunAbTest(const data::Scenario& scenario, const Ranker& baseline,
                        const Ranker& treatment, const AbTestConfig& config) {
   baseline.PrepareForRun(config.fault_profile, config.seed);
   treatment.PrepareForRun(config.fault_profile, config.seed);
+  // One batched dispatcher per arm; the request-index streams run across
+  // days, exactly like the request sequence a serial loop would produce.
+  BatchRanker batch_a(Borrow(baseline), config.serve);
+  BatchRanker batch_b(Borrow(treatment), config.serve);
   core::Rng traffic_rng(config.seed);
   core::ZipfSampler traffic(scenario.num_queries(),
                             scenario.config.zipf_exponent);
   AbTestResult result;
   result.baseline.resize(config.num_days);
   result.treatment.resize(config.num_days);
+  std::vector<ServeRequest> requests(config.requests_per_day);
+  std::vector<core::Rng> users(config.requests_per_day);
   for (size_t day = 0; day < config.num_days; ++day) {
-    size_t clicks_a = 0, valid_a = 0, clicks_b = 0, valid_b = 0;
+    // Draw the day's traffic first — queries and per-user behavior streams
+    // come off traffic_rng in the same order as a request-at-a-time loop —
+    // then rank the whole day through the batched path.
     for (size_t r = 0; r < config.requests_per_day; ++r) {
-      const uint32_t query =
-          static_cast<uint32_t>(traffic.Sample(&traffic_rng));
+      requests[r].query = static_cast<uint32_t>(traffic.Sample(&traffic_rng));
+      requests[r].k = config.top_k;
       // Paired buckets: identical query and an identically-seeded user for
       // both arms, so day-level noise cancels.
-      core::Rng user_a = traffic_rng.Fork();
-      core::Rng user_b = user_a;  // same user behavior stream
-      auto [ca, va] = SimulateRequest(scenario, baseline, query, config,
-                                      &user_a);
-      auto [cb, vb] = SimulateRequest(scenario, treatment, query, config,
-                                      &user_b);
+      users[r] = traffic_rng.Fork();
+    }
+    const std::vector<RankedList> lists_a = batch_a.RankBatch(requests);
+    const std::vector<RankedList> lists_b = batch_b.RankBatch(requests);
+    size_t clicks_a = 0, valid_a = 0, clicks_b = 0, valid_b = 0;
+    for (size_t r = 0; r < config.requests_per_day; ++r) {
+      core::Rng user_a = users[r];
+      core::Rng user_b = users[r];  // same user behavior stream
+      auto [ca, va] = SimulateClicks(scenario, lists_a[r], requests[r].query,
+                                     config, &user_a);
+      auto [cb, vb] = SimulateClicks(scenario, lists_b[r], requests[r].query,
+                                     config, &user_b);
       clicks_a += ca;
       valid_a += va;
       clicks_b += cb;

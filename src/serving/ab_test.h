@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "data/scenario.h"
+#include "serving/batch_ranker.h"
 #include "serving/ranking_service.h"
 
 namespace garcia::serving {
@@ -31,6 +32,12 @@ struct AbTestConfig {
   /// hands it to both arms via Ranker::PrepareForRun before the first
   /// request; fault-aware arms install it, plain arms ignore it. Not owned.
   const FaultProfile* fault_profile = nullptr;
+
+  /// Batched-serving knobs: each arm's requests go through a BatchRanker
+  /// with this config. Metrics are bit-identical for any num_threads /
+  /// batch_size (the request indices, not the interleaving, drive every
+  /// random stream); the default serves serially.
+  ServeConfig serve;
 };
 
 /// One arm's daily outcome.

@@ -1,0 +1,86 @@
+#include "serving/batch_ranker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "core/macros.h"
+
+namespace garcia::serving {
+
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BatchRanker::BatchRanker(std::shared_ptr<const Ranker> ranker,
+                         ServeConfig config)
+    : ranker_(std::move(ranker)), config_(config) {
+  GARCIA_CHECK(ranker_ != nullptr);
+  GARCIA_CHECK(config_.batch_size > 0);
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<core::ThreadPool>(config_.num_threads);
+  }
+}
+
+std::vector<RankedList> BatchRanker::RankBatch(
+    const std::vector<ServeRequest>& requests) {
+  return RankBatch(requests, nullptr);
+}
+
+std::vector<RankedList> BatchRanker::RankBatch(
+    const std::vector<ServeRequest>& requests,
+    std::vector<double>* latency_micros) {
+  std::vector<RankedList> results(requests.size());
+  if (latency_micros != nullptr) latency_micros->assign(requests.size(), 0.0);
+  const uint64_t base = next_index_;
+  next_index_ += requests.size();
+
+  const auto serve_one = [&](size_t i) {
+    const double start =
+        latency_micros != nullptr ? NowMicros() : 0.0;
+    results[i] =
+        ranker_->RankAt(base + i, requests[i].query, requests[i].k);
+    if (latency_micros != nullptr) {
+      (*latency_micros)[i] = NowMicros() - start;
+    }
+  };
+
+  for (size_t offset = 0; offset < requests.size();
+       offset += config_.batch_size) {
+    const size_t wave_end =
+        std::min(requests.size(), offset + config_.batch_size);
+    if (pool_ == nullptr) {
+      for (size_t i = offset; i < wave_end; ++i) serve_one(i);
+      continue;
+    }
+    // Dynamic scheduling: workers claim the next request through an atomic
+    // cursor, so indices are claimed in ascending order. A contiguous-shard
+    // split would make worker 1's first request wait for worker 0's entire
+    // shard inside ResilientRanker's index-ordered resolve sequencer; with
+    // the cursor, request i's resolve overlaps the scoring of requests < i.
+    std::atomic<size_t> cursor{offset};
+    const size_t workers =
+        std::min(pool_->num_threads(), wave_end - offset);
+    for (size_t w = 0; w < workers; ++w) {
+      pool_->Submit([&cursor, wave_end, &serve_one] {
+        for (;;) {
+          const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= wave_end) return;
+          serve_one(i);
+        }
+      });
+    }
+    pool_->Wait();
+  }
+  return results;
+}
+
+void BatchRanker::Reset() { next_index_ = 0; }
+
+}  // namespace garcia::serving

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Concurrent batched serving on the kernel execution layer.
+//
+// BatchRanker is the serving-side analogue of core::ExecutionContext: one
+// facade that accepts a batch of requests and runs them through a Ranker
+// either serially or on a private thread pool, with the same determinism
+// contract the kernel layer has — the results (and, for ResilientRanker,
+// the per-request tier decisions and health counters) are bit-identical to
+// a serial pass for any thread count and batch size.
+//
+// How that works: every request gets a monotonically increasing index from
+// the facade's stream. Stateless rankers ignore it; ResilientRanker keys
+// its per-request fault/backoff streams on it and resolves shared state in
+// ascending index order (DESIGN.md §5f). Workers claim indices through an
+// atomic cursor — ascending claim order — so request i's sequenced resolve
+// phase overlaps with the top-K scoring of earlier requests instead of
+// waiting behind a whole contiguous shard.
+
+#ifndef GARCIA_SERVING_BATCH_RANKER_H_
+#define GARCIA_SERVING_BATCH_RANKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/threadpool.h"
+#include "serving/ranking_service.h"
+
+namespace garcia::serving {
+
+/// One serving request: rank the top `k` services for `query`.
+struct ServeRequest {
+  uint32_t query = 0;
+  size_t k = 10;
+};
+
+/// Batched-serving knobs, plumbed through RunAbTest and the bench driver.
+struct ServeConfig {
+  /// Worker threads for request-level parallelism. 0 or 1 serves inline on
+  /// the calling thread (the serial reference path).
+  size_t num_threads = 0;
+  /// Requests dispatched per scheduling wave. Results are identical for any
+  /// value; smaller waves bound the latency skew between the first and last
+  /// request of a wave, larger waves amortize pool wake-ups.
+  size_t batch_size = 256;
+};
+
+/// Facade that fans a vector of requests out over a (possibly concurrent)
+/// Ranker. Owns its thread pool when num_threads > 1. One dispatcher: the
+/// facade itself is not re-entrant — issue one RankBatch() at a time (the
+/// wrapped Ranker may additionally be hammered from other threads if it is
+/// thread-safe, as ResilientRanker is).
+class BatchRanker {
+ public:
+  explicit BatchRanker(std::shared_ptr<const Ranker> ranker,
+                       ServeConfig config = {});
+
+  /// Ranks every request; result i corresponds to requests[i]. Request
+  /// indices continue the facade's stream: the j-th request ever submitted
+  /// (since construction or Reset()) gets index j, matching what a serial
+  /// pass over the same requests would hand the ranker.
+  std::vector<RankedList> RankBatch(const std::vector<ServeRequest>& requests);
+
+  /// Same, and when `latency_micros` is non-null also records the
+  /// wall-clock service time of each request (bench telemetry; excluded
+  /// from the determinism contract).
+  std::vector<RankedList> RankBatch(const std::vector<ServeRequest>& requests,
+                                    std::vector<double>* latency_micros);
+
+  /// Rewinds the request-index stream to 0. Pair with the wrapped ranker's
+  /// PrepareForRun() when replaying a run.
+  void Reset();
+
+  /// Next index the facade will assign.
+  uint64_t next_index() const { return next_index_; }
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const Ranker> ranker_;
+  ServeConfig config_;
+  std::unique_ptr<core::ThreadPool> pool_;  // null when serving inline
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_BATCH_RANKER_H_

@@ -20,6 +20,13 @@ const char* FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+uint64_t PerRequestSeed(uint64_t base_seed, uint64_t request_index) {
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (request_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 FaultInjector::FaultInjector(const EmbeddingStore* store,
                              const FaultProfile& profile)
     : store_(store), profile_(profile), rng_(profile.seed) {
@@ -34,6 +41,10 @@ void FaultInjector::Reset(uint64_t seed) {
   num_lookups_ = 0;
   fault_counts_.fill(0);
   scratch_.clear();
+}
+
+void FaultInjector::BeginRequest(uint64_t request_index) {
+  rng_ = core::Rng(PerRequestSeed(profile_.seed, request_index));
 }
 
 LookupOutcome FaultInjector::Lookup(uint32_t id) {

@@ -46,6 +46,13 @@ constexpr size_t kNumFaultKinds = 5;
 
 const char* FaultKindName(FaultKind kind);
 
+/// Deterministic stream seed for one serving request: a SplitMix64 finalize
+/// of (base_seed, request_index). Concurrent requests draw from independent
+/// streams whose content depends only on the pair — never on how lookups
+/// from different requests interleave — which is what makes batched serving
+/// replay bit-identically against a serial pass (see ResilientRanker).
+uint64_t PerRequestSeed(uint64_t base_seed, uint64_t request_index);
+
 /// Result of one (possibly perturbed) lookup.
 struct LookupOutcome {
   core::Status status;           // Ok, NotFound (missing id) or Unavailable
@@ -69,6 +76,14 @@ class FaultInjector {
   void Reset();
   /// Same, but overrides the seed (for paired A/B runs).
   void Reset(uint64_t seed);
+
+  /// Rewinds the fault stream to the per-request stream
+  /// PerRequestSeed(profile seed, request_index). Opt-in: callers that
+  /// never invoke it keep the single continuous stream. ResilientRanker
+  /// calls it at the top of every request so a request's fault draws are a
+  /// function of (profile seed, request index) alone. Counters are NOT
+  /// reset — they stay cumulative across the run.
+  void BeginRequest(uint64_t request_index);
 
   const FaultProfile& profile() const { return profile_; }
   uint64_t num_lookups() const { return num_lookups_; }

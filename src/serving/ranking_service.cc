@@ -4,25 +4,16 @@
 
 namespace garcia::serving {
 
+RankedList TopKInnerProduct(const core::ExecutionContext& ctx,
+                            const float* query_vec, size_t dim,
+                            const core::Matrix& candidates, size_t k) {
+  return core::kernels::TopKDot(ctx, query_vec, dim, candidates, k);
+}
+
 RankedList TopKInnerProduct(const float* query_vec, size_t dim,
                             const core::Matrix& candidates, size_t k) {
-  GARCIA_CHECK_EQ(candidates.cols(), dim);
-  const size_t n = candidates.rows();
-  RankedList scored(n);
-  for (size_t i = 0; i < n; ++i) {
-    const float* row = candidates.row(i);
-    double dot = 0.0;
-    for (size_t j = 0; j < dim; ++j) dot += static_cast<double>(query_vec[j]) * row[j];
-    scored[i] = {static_cast<uint32_t>(i), static_cast<float>(dot)};
-  }
-  k = std::min(k, n);
-  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
-                    [](const auto& a, const auto& b) {
-                      if (a.second != b.second) return a.second > b.second;
-                      return a.first < b.first;  // deterministic ties
-                    });
-  scored.resize(k);
-  return scored;
+  return TopKInnerProduct(core::CurrentExecution(), query_vec, dim, candidates,
+                          k);
 }
 
 EmbeddingRanker::EmbeddingRanker(EmbeddingStore queries,

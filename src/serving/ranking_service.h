@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/kernels.h"
 #include "serving/embedding_store.h"
 
 namespace garcia::serving {
@@ -20,7 +21,16 @@ struct FaultProfile;  // serving/fault_injector.h
 /// (service id, score), sorted by descending score.
 using RankedList = std::vector<std::pair<uint32_t, float>>;
 
-/// Exact inner-product top-K over a candidate matrix.
+/// Exact inner-product top-K over a candidate matrix, sharded through the
+/// given execution context (core::kernels::TopKDot): block-partitioned
+/// partial top-K heaps merged deterministically, bit-identical to serial
+/// for any thread count. Ties break by ascending service id.
+RankedList TopKInnerProduct(const core::ExecutionContext& ctx,
+                            const float* query_vec, size_t dim,
+                            const core::Matrix& candidates, size_t k);
+
+/// Same, dispatching through the ambient core::CurrentExecution() (the
+/// serial reference unless a ScopedExecution is installed).
 RankedList TopKInnerProduct(const float* query_vec, size_t dim,
                             const core::Matrix& candidates, size_t k);
 
@@ -29,6 +39,18 @@ class Ranker {
  public:
   virtual ~Ranker() = default;
   virtual RankedList Rank(uint32_t query, size_t k) const = 0;
+
+  /// Indexed entry point used by the batched serving path (BatchRanker).
+  /// `request_index` identifies the request's position in the serving
+  /// sequence; stateful rankers (ResilientRanker) key their per-request
+  /// fault/backoff streams and their resolve order on it, which is what
+  /// makes concurrent serving bit-identical to a serial pass over the same
+  /// indices. Stateless rankers ignore it. Implementations must be safe to
+  /// call concurrently from multiple threads.
+  virtual RankedList RankAt(uint64_t /*request_index*/, uint32_t query,
+                            size_t k) const {
+    return Rank(query, k);
+  }
 
   /// Called by RunAbTest before the first request of a run. Fault-aware
   /// rankers (ResilientRanker) override this to install `profile` (may be

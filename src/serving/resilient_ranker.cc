@@ -69,7 +69,6 @@ ResilientRanker::ResilientRanker(EmbeddingStore fresh_queries,
     : fresh_(std::move(fresh_queries)),
       services_(std::move(services)),
       config_(config),
-      backoff_rng_(config.seed),
       breaker_(config.breaker, &clock_) {
   GARCIA_CHECK(!services_.empty());
   GARCIA_CHECK(fresh_.empty() || fresh_.dim() == services_.dim());
@@ -115,7 +114,8 @@ LookupOutcome ResilientRanker::RawLookup(uint32_t id) const {
 }
 
 const float* ResilientRanker::FreshLookup(uint32_t query,
-                                          DeadlineBudget* budget) const {
+                                          DeadlineBudget* budget,
+                                          core::Rng* backoff_rng) const {
   for (size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (budget->expired()) {
       ++health_.deadline_exceeded;
@@ -156,7 +156,7 @@ const float* ResilientRanker::FreshLookup(uint32_t query,
     }
     if (attempt + 1 < config_.max_attempts) {
       const uint64_t delay =
-          core::BackoffDelayMicros(config_.backoff, attempt, &backoff_rng_);
+          core::BackoffDelayMicros(config_.backoff, attempt, backoff_rng);
       if (delay >= budget->remaining_micros()) {
         ++health_.deadline_exceeded;
         return nullptr;
@@ -168,15 +168,28 @@ const float* ResilientRanker::FreshLookup(uint32_t query,
   return nullptr;
 }
 
-RankedList ResilientRanker::Rank(uint32_t query, size_t k) const {
-  std::lock_guard<std::mutex> lock(mu_);
+ResilientRanker::Resolved ResilientRanker::ResolveRequest(
+    uint64_t request_index, uint32_t query) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A request index below the sequencer cursor was already resolved: the
+  // caller reused an index (or mixed Rank() with explicit RankAt()), which
+  // would otherwise deadlock the wait below. Fail loudly instead.
+  GARCIA_CHECK_GE(request_index, next_resolve_index_);
+  resolve_cv_.wait(lock,
+                   [&] { return next_resolve_index_ == request_index; });
+
   clock_.AdvanceMicros(config_.inter_request_micros);
   ++health_.requests;
   DeadlineBudget budget(&clock_, config_.deadline_micros);
+  // Per-request streams: the request's fault and jitter draws depend only
+  // on (seeds, index), never on what other requests consumed.
+  if (injector_.has_value()) injector_->BeginRequest(request_index);
+  core::Rng backoff_rng(
+      PerRequestSeed(config_.seed ^ run_seed_, request_index));
 
   // Tier 0: fresh store, with retries / breaker / deadline.
   ServingTier tier = ServingTier::kFresh;
-  const float* vec = FreshLookup(query, &budget);
+  const float* vec = FreshLookup(query, &budget, &backoff_rng);
 
   // Tier 1: stale snapshot. Plain local read: yesterday's dump is already
   // resident, so none of the remote-store failure modes apply.
@@ -219,14 +232,35 @@ RankedList ResilientRanker::Rank(uint32_t query, size_t k) const {
     }
   }
 
-  RankedList result;
+  Resolved out;
   if (vec != nullptr) {
-    result = TopKInnerProduct(vec, services_.dim(), services_.matrix(), k);
-  } else if (text_ != nullptr) {
-    tier = ServingTier::kText;
+    out.tier = tier;
+    out.embedding.assign(vec, vec + services_.dim());
+  } else {
+    out.tier =
+        text_ != nullptr ? ServingTier::kText : ServingTier::kPopularity;
+  }
+  ++next_resolve_index_;
+  resolve_cv_.notify_all();
+  return out;
+}
+
+RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
+                                   size_t k,
+                                   ServingTier* served_tier) const {
+  Resolved r = ResolveRequest(request_index, query);
+
+  // Score outside the lock: the top-K scan over the service catalog is the
+  // expensive part, is independent across requests, and overlaps with the
+  // store I/O of later requests' resolve phases.
+  ServingTier tier = r.tier;
+  RankedList result;
+  if (!r.embedding.empty()) {
+    result = TopKInnerProduct(r.embedding.data(), services_.dim(),
+                              services_.matrix(), k);
+  } else if (tier == ServingTier::kText) {
     result = text_->Rank(query, k);
   } else {
-    tier = ServingTier::kPopularity;
     result = popularity_->Rank(query, k);
   }
   // An embedding-free tier that still produced nothing (e.g. empty query
@@ -235,8 +269,26 @@ RankedList ResilientRanker::Rank(uint32_t query, size_t k) const {
     tier = ServingTier::kPopularity;
     result = popularity_->Rank(query, k);
   }
-  ++health_.served_at_tier[static_cast<size_t>(tier)];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++health_.served_at_tier[static_cast<size_t>(tier)];
+  }
+  if (served_tier != nullptr) *served_tier = tier;
   return result;
+}
+
+RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
+                                   size_t k) const {
+  return RankAt(request_index, query, k, nullptr);
+}
+
+RankedList ResilientRanker::Rank(uint32_t query, size_t k) const {
+  uint64_t request_index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    request_index = next_arrival_index_++;
+  }
+  return RankAt(request_index, query, k, nullptr);
 }
 
 void ResilientRanker::PrepareForRun(const FaultProfile* profile,
@@ -250,7 +302,9 @@ void ResilientRanker::PrepareForRun(const FaultProfile* profile,
   clock_.Reset();
   breaker_.Reset();
   health_.Reset();
-  backoff_rng_ = core::Rng(config_.seed ^ seed);
+  next_arrival_index_ = 0;
+  next_resolve_index_ = 0;
+  run_seed_ = seed;
 }
 
 ServingHealth ResilientRanker::health() const {

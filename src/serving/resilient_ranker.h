@@ -16,10 +16,21 @@
 //                the encoder-side stand-in for the paper's BERT module;
 //   4. popularity — a static popularity prior; always answers.
 // Every request is served by some tier: Rank() never aborts.
+//
+// Concurrency & determinism (DESIGN.md §5f): Rank()/RankAt() may be called
+// from any number of threads. Each request carries an index; its fault and
+// backoff draws come from a private stream seeded by (profile seed, run
+// seed, index), and the shared mutable state — manual clock, circuit
+// breaker, health counters, injector — is advanced in ascending index
+// order by a condition-variable sequencer, while the expensive top-K scan
+// runs outside the lock. A fixed profile + seed therefore yields the same
+// per-request tier decision and ranked list for every thread count and
+// interleaving, and the breaker/health totals match a serial pass exactly.
 
 #ifndef GARCIA_SERVING_RESILIENT_RANKER_H_
 #define GARCIA_SERVING_RESILIENT_RANKER_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -69,7 +80,7 @@ struct ResilienceConfig {
   uint64_t deadline_micros = 50000; // per-request budget
   core::BackoffConfig backoff;
   BreakerConfig breaker;
-  uint64_t seed = 7;                // backoff-jitter stream
+  uint64_t seed = 7;                // base of the per-request jitter streams
   /// Simulated time between request arrivals (advanced at the top of each
   /// Rank call). Gives the breaker cooldown a chance to elapse even while
   /// lookups are being short-circuited: 100us ~= a 10k-QPS replica.
@@ -77,8 +88,11 @@ struct ResilienceConfig {
 };
 
 /// Wraps the EmbeddingRanker scoring path (inner-product top-K over the
-/// service matrix) with the fault-tolerance machinery above. Thread-safe;
-/// all mutable resilience state sits behind one mutex.
+/// service matrix) with the fault-tolerance machinery above. Thread-safe
+/// and deterministic under concurrency (see the header comment): the
+/// resolve phase — fault draws, retries, breaker, tier decision — runs
+/// under one mutex in ascending request-index order; scoring runs outside
+/// it.
 class ResilientRanker : public Ranker {
  public:
   ResilientRanker(EmbeddingStore fresh_queries, EmbeddingStore services,
@@ -103,11 +117,28 @@ class ResilientRanker : public Ranker {
 
   /// Never aborts: every request is answered by some tier (possibly the
   /// popularity prior). Unknown / cold-start ids degrade instead of
-  /// crashing.
+  /// crashing. Assigns the next arrival index and forwards to RankAt();
+  /// safe to call concurrently, but only explicit-index RankAt() calls are
+  /// reproducible across interleavings (arrival order is not).
   RankedList Rank(uint32_t query, size_t k) const override;
 
-  /// RunAbTest hook: resets breaker/health/injector/clock so runs with the
-  /// same profile and seed are bit-identical; installs `profile` when set.
+  /// Deterministic entry point used by BatchRanker and the stress tests.
+  /// Within one run (since construction or the last PrepareForRun) the
+  /// caller must cover a dense index range starting at 0 — every index is
+  /// resolved exactly once, in ascending order; a gap would block its
+  /// successors. Do not mix auto-indexed Rank() and explicit RankAt() in
+  /// the same run.
+  RankedList RankAt(uint64_t request_index, uint32_t query,
+                    size_t k) const override;
+
+  /// RankAt plus the tier that served the request (tests/telemetry).
+  RankedList RankAt(uint64_t request_index, uint32_t query, size_t k,
+                    ServingTier* served_tier) const;
+
+  /// RunAbTest hook: resets breaker/health/injector/clock and the request
+  /// index sequence so runs with the same profile and seed are
+  /// bit-identical; installs `profile` when set. Must not race in-flight
+  /// Rank calls.
   void PrepareForRun(const FaultProfile* profile,
                      uint64_t seed) const override;
 
@@ -123,8 +154,24 @@ class ResilientRanker : public Ranker {
   const ResilienceConfig& config() const { return config_; }
 
  private:
+  /// Outcome of the locked resolve phase: which tier answers and, for the
+  /// embedding tiers, a copy of the query-side vector (copied because the
+  /// injector's scratch row and the lock are both released before scoring).
+  struct Resolved {
+    ServingTier tier = ServingTier::kPopularity;
+    std::vector<float> embedding;  // non-empty iff an embedding tier serves
+  };
+
+  /// The sequenced resolve phase: waits until every earlier index has
+  /// resolved, then runs fault draws / retries / breaker / tier selection
+  /// under the mutex, advancing the shared clock exactly like a serial
+  /// pass.
+  Resolved ResolveRequest(uint64_t request_index, uint32_t query) const;
+
   /// One pass over tier 0 (retry loop). Returns the embedding or nullptr.
-  const float* FreshLookup(uint32_t query, DeadlineBudget* budget) const;
+  /// backoff_rng is the request's private jitter stream.
+  const float* FreshLookup(uint32_t query, DeadlineBudget* budget,
+                           core::Rng* backoff_rng) const;
   /// Raw lookup through the injector when set, else the plain store.
   LookupOutcome RawLookup(uint32_t id) const;
 
@@ -138,8 +185,11 @@ class ResilientRanker : public Ranker {
   std::shared_ptr<const Ranker> popularity_;
 
   mutable std::mutex mu_;
+  mutable std::condition_variable resolve_cv_;
+  mutable uint64_t next_arrival_index_ = 0;  // indices handed out by Rank()
+  mutable uint64_t next_resolve_index_ = 0;  // sequencer cursor
+  mutable uint64_t run_seed_ = 0;            // from PrepareForRun
   mutable core::ManualClock clock_;
-  mutable core::Rng backoff_rng_;
   mutable std::optional<FaultInjector> injector_;
   mutable CircuitBreaker breaker_;
   mutable ServingHealth health_;

@@ -248,6 +248,26 @@ TEST_F(KernelsBitIdentityTest, CrossEntropyForwardBackward) {
   }
 }
 
+TEST_F(KernelsBitIdentityTest, TopKDotMatchesSerial) {
+  // 5000 rows > the 1024-row block size, so the parallel path merges
+  // several partial heaps; k sweeps the degenerate cases (0, 1, = n, > n).
+  const size_t n = 5000, dim = 24;
+  Matrix cands = RandMatrix(n, dim, &rng_);
+  Matrix query = RandMatrix(1, dim, &rng_);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{10}, n, n + 7}) {
+    const auto serial =
+        kernels::TopKDot(SerialExecution(), query.row(0), dim, cands, k);
+    ASSERT_EQ(serial.size(), std::min(k, n));
+    const auto par =
+        kernels::TopKDot(k % 2 ? par3_ : par4_, query.row(0), dim, cands, k);
+    ASSERT_EQ(par.size(), serial.size()) << "k=" << k;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(par[i].first, serial[i].first) << "k=" << k << " rank " << i;
+      ASSERT_EQ(par[i].second, serial[i].second) << "k=" << k << " rank " << i;
+    }
+  }
+}
+
 TEST_F(KernelsBitIdentityTest, ScopedExecutionInstallsAndRestores) {
   EXPECT_FALSE(CurrentExecution().parallel());
   {

@@ -79,12 +79,62 @@ INSTANTIATE_TEST_SUITE_P(
                       RetrievalCase{100, 16, 10, 3},
                       RetrievalCase{100, 16, 100, 4},
                       RetrievalCase{57, 3, 200, 5},  // k > n
+                      RetrievalCase{100, 16, 0, 7},  // k = 0
                       RetrievalCase{1000, 32, 5, 6}),
     [](const auto& info) {
       const RetrievalCase& c = info.param;
       return "s" + std::to_string(c.services) + "d" + std::to_string(c.dim) +
              "k" + std::to_string(c.k);
     });
+
+// The partial-heap path sharded over an ExecutionContext must agree bit for
+// bit with the serial scan for any thread count (core/kernels.h contract).
+// 5000 rows exceed the kernel's block size, so the parallel path genuinely
+// merges multiple partial heaps.
+TEST(RetrievalParallelTest, ShardedContextBitIdenticalToSerial) {
+  core::Rng rng(17);
+  const size_t n = 5000, dim = 24;
+  core::Matrix cands = core::Matrix::Randn(n, dim, &rng);
+  core::Matrix q = core::Matrix::Randn(1, dim, &rng);
+  core::ExecutionContext par3(3), par4(4);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{10}, size_t{1500}, n, n + 9}) {
+    RankedList serial =
+        TopKInnerProduct(core::SerialExecution(), q.row(0), dim, cands, k);
+    EXPECT_EQ(serial.size(), std::min(k, n));
+    for (const core::ExecutionContext* ctx : {&par3, &par4}) {
+      RankedList par = TopKInnerProduct(*ctx, q.row(0), dim, cands, k);
+      ASSERT_EQ(par.size(), serial.size()) << "k=" << k;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(par[i].first, serial[i].first) << "k=" << k << " rank " << i;
+        EXPECT_EQ(par[i].second, serial[i].second);  // exact, not near
+      }
+    }
+  }
+}
+
+// Duplicate rows score identically; ties must break by ascending service id
+// in both the serial and the sharded path (total order => unique answer).
+TEST(RetrievalParallelTest, DuplicateRowTiesBreakByAscendingId) {
+  core::Rng rng(18);
+  const size_t dim = 8, copies = 400, distinct = 5;
+  core::Matrix base = core::Matrix::Randn(distinct, dim, &rng);
+  core::Matrix cands(copies * distinct, dim);
+  for (size_t i = 0; i < copies * distinct; ++i) {
+    cands.CopyRowFrom(base, i % distinct, i);
+  }
+  core::Matrix q = core::Matrix::Randn(1, dim, &rng);
+  core::ExecutionContext par4(4);
+  const size_t k = 3 * distinct;
+  RankedList serial =
+      TopKInnerProduct(core::SerialExecution(), q.row(0), dim, cands, k);
+  RankedList par = TopKInnerProduct(par4, q.row(0), dim, cands, k);
+  ASSERT_EQ(serial, par);
+  for (size_t i = 1; i < serial.size(); ++i) {
+    if (serial[i - 1].second == serial[i].second) {
+      EXPECT_LT(serial[i - 1].first, serial[i].first);
+    }
+  }
+}
 
 TEST(EmbeddingRankerPropertyTest, TopOneIsArgmax) {
   core::Rng rng(9);

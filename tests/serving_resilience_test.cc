@@ -4,18 +4,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/clock.h"
 #include "core/rng.h"
 #include "models/contrastive.h"
 #include "serving/ab_test.h"
+#include "serving/batch_ranker.h"
 #include "serving/embedding_store.h"
 #include "serving/fault_injector.h"
 #include "serving/resilience.h"
@@ -555,6 +558,74 @@ TEST_F(ChainTest, PrepareForRunGivesBitIdenticalReplay) {
   EXPECT_EQ(first, second);
   EXPECT_EQ(h1.ToString(), h2.ToString());
   EXPECT_GT(h1.transient_failures, 0u);  // the profile actually did inject
+}
+
+TEST_F(ChainTest, FaultSweepBatchedPathReplaysSerialTierSequence) {
+  // Sweep fault intensities; at each level, replay the same seed through
+  // the serial explicit-index path and through the 4-thread batched path.
+  // Per-request ranked lists, per-request tier decisions, and the health
+  // counter totals must be identical.
+  for (const double rate : {0.0, 0.15, 0.4}) {
+    std::shared_ptr<ResilientRanker> ranker(MakeRanker());
+    ranker->SetStaleSnapshot(EmbeddingStore(stale_));
+    std::vector<int32_t> anchors(10, -1);
+    anchors[7] = 0;
+    anchors[8] = 1;
+    ranker->SetHeadAnchors(std::move(anchors));
+    FaultProfile profile;
+    profile.seed = 55;
+    profile.lookup_failure_rate = rate;
+    profile.missing_id_rate = rate / 2;
+    profile.bit_flip_rate = rate / 4;
+    profile.latency_spike_rate = rate / 4;
+
+    const size_t kN = 300;
+    ranker->PrepareForRun(&profile, /*seed=*/9);
+    std::vector<RankedList> ref_lists(kN);
+    std::vector<ServingTier> ref_tiers(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      ref_lists[i] =
+          ranker->RankAt(i, static_cast<uint32_t>(i % 10), 3, &ref_tiers[i]);
+    }
+    const std::string ref_health = ranker->health().ToString();
+
+    // Batched replay of the same seed.
+    std::vector<ServeRequest> requests(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      requests[i] = {static_cast<uint32_t>(i % 10), 3};
+    }
+    ServeConfig serve;
+    serve.num_threads = 4;
+    BatchRanker batch(ranker, serve);
+    ranker->PrepareForRun(&profile, /*seed=*/9);
+    const std::vector<RankedList> lists = batch.RankBatch(requests);
+    ASSERT_EQ(lists.size(), kN);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(lists[i], ref_lists[i]) << "rate " << rate << " request " << i;
+    }
+    EXPECT_EQ(ranker->health().ToString(), ref_health) << "rate " << rate;
+
+    // Tier-selection sequence under concurrency: re-run with the tier out
+    // param from competing threads and compare against the serial tiers.
+    ranker->PrepareForRun(&profile, /*seed=*/9);
+    std::vector<ServingTier> tiers(kN);
+    std::atomic<size_t> counter{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const size_t i = counter.fetch_add(1);
+          if (i >= kN) return;
+          ranker->RankAt(i, static_cast<uint32_t>(i % 10), 3, &tiers[i]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(tiers[i], ref_tiers[i]) << "rate " << rate << " request " << i;
+    }
+    EXPECT_EQ(ranker->health().ToString(), ref_health) << "rate " << rate;
+  }
 }
 
 // ------------------------------------------------------- helper rankers
