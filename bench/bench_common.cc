@@ -32,6 +32,17 @@ models::TrainConfig DefaultTrainConfig() {
   return cfg;
 }
 
+models::TrainConfig PresetTrainConfig(data::DatasetId id) {
+  models::TrainConfig cfg = DefaultTrainConfig();
+  cfg.sample_fanout = id == data::DatasetId::kSoftware ? 0 : 8;
+  const char* env = std::getenv("GARCIA_BENCH_FANOUT");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v >= 0) cfg.sample_fanout = static_cast<size_t>(v);
+  }
+  return cfg;
+}
+
 void PrintBanner(const std::string& artifact, const std::string& what) {
   std::printf("=== %s ===\n%s\n(synthetic substrate, scale %.2f; shapes "
               "reproduce, absolute values do not — see EXPERIMENTS.md)\n\n",

@@ -35,6 +35,15 @@ double BenchScale();
 /// The shared hyper-parameter set (paper Sec. V-B3, scaled).
 models::TrainConfig DefaultTrainConfig();
 
+/// DefaultTrainConfig specialized to a dataset preset: the larger presets
+/// (the industrial Sep. windows, Video game, Music) train on sampled
+/// minibatch blocks (`sample_fanout = 8`, DESIGN.md §5e — bit-verified
+/// against full-graph training, so flipping it only trades exact gradients
+/// for per-step cost); the smallest preset (Software) keeps full-graph
+/// encoding. GARCIA_BENCH_FANOUT overrides for every preset (0 = full
+/// graph).
+models::TrainConfig PresetTrainConfig(data::DatasetId id);
+
 /// Prints the bench banner: artifact id, description, scale.
 void PrintBanner(const std::string& artifact, const std::string& what);
 

@@ -39,7 +39,7 @@ int main() {
       {"C: n-gram mining", true, false, true},
   };
   for (const V& v : variants) {
-    auto cfg = bench::DefaultTrainConfig();
+    auto cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
     cfg.use_attention = v.attention;
     cfg.inner_product_head = v.inner_product;
     cfg.ktcl_ngram_mining = v.ngram;

@@ -63,7 +63,7 @@ int main() {
 
   // Both arms use the inner-product head so exported embeddings match the
   // online scoring function.
-  auto base_cfg = bench::DefaultTrainConfig();
+  auto base_cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
   base_cfg.inner_product_head = true;
   auto baseline_model = models::CreateModel("KGAT", base_cfg);
   baseline_model->Fit(s);
@@ -71,7 +71,7 @@ int main() {
       serving::EmbeddingStore(baseline_model->ExportQueryEmbeddings(s)),
       serving::EmbeddingStore(baseline_model->ExportServiceEmbeddings(s)));
 
-  auto garcia_cfg = bench::DefaultTrainConfig();
+  auto garcia_cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
   garcia_cfg.inner_product_head = true;
   auto garcia_model = models::CreateModel("GARCIA", garcia_cfg);
   garcia_model->Fit(s);

@@ -20,7 +20,7 @@ int main() {
   data::Scenario s =
       data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
 
-  auto base_cfg = bench::DefaultTrainConfig();
+  auto base_cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
   base_cfg.inner_product_head = true;
   auto baseline_model = models::CreateModel("KGAT", base_cfg);
   baseline_model->Fit(s);
@@ -28,7 +28,7 @@ int main() {
       serving::EmbeddingStore(baseline_model->ExportQueryEmbeddings(s)),
       serving::EmbeddingStore(baseline_model->ExportServiceEmbeddings(s)));
 
-  auto garcia_cfg = bench::DefaultTrainConfig();
+  auto garcia_cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
   garcia_cfg.inner_product_head = true;
   auto garcia_model = models::CreateModel("GARCIA", garcia_cfg);
   garcia_model->Fit(s);

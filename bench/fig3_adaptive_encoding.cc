@@ -17,13 +17,13 @@ int main() {
   for (data::DatasetId id : data::IndustrialDatasets()) {
     data::Scenario s = data::GeneratePreset(id, bench::BenchScale());
     {
-      auto cfg = bench::DefaultTrainConfig();
+      auto cfg = bench::PresetTrainConfig(id);
       auto m = bench::RunModel("GARCIA", s, cfg);
       t.AddNumericRow(data::DatasetName(id) + " GARCIA",
                       {m.tail.auc, m.overall.auc}, 4);
     }
     {
-      auto cfg = bench::DefaultTrainConfig();
+      auto cfg = bench::PresetTrainConfig(id);
       cfg.share_encoders = true;
       auto model = models::CreateModel("GARCIA", cfg);
       model->Fit(s);

@@ -36,7 +36,7 @@ int main() {
     std::printf("--- %s ---\n", data::DatasetName(id).c_str());
     core::Table t({"Variant", "Tail AUC", "Overall AUC"});
     for (const Variant& v : variants) {
-      auto cfg = bench::DefaultTrainConfig();
+      auto cfg = bench::PresetTrainConfig(id);
       cfg.use_secl = v.secl;
       cfg.use_igcl = v.igcl;
       cfg.use_ktcl = v.ktcl;

@@ -17,7 +17,7 @@ int main() {
       data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
   core::Table t({"alpha", "Tail AUC", "Overall AUC"});
   for (float alpha : {0.0f, 0.1f, 0.2f, 0.3f, 0.4f, 0.5f}) {
-    auto cfg = bench::DefaultTrainConfig();
+    auto cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
     cfg.alpha = alpha;
     cfg.use_secl = alpha > 0.0f;
     models::GarciaModel model(cfg);

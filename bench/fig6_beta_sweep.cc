@@ -17,7 +17,7 @@ int main() {
       data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
   core::Table t({"beta", "Tail AUC", "Overall AUC"});
   for (float beta : {0.0f, 0.01f, 0.02f, 0.03f, 0.04f, 0.05f}) {
-    auto cfg = bench::DefaultTrainConfig();
+    auto cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
     cfg.beta = beta;
     cfg.use_igcl = beta > 0.0f;
     models::GarciaModel model(cfg);

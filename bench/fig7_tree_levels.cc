@@ -18,7 +18,7 @@ int main() {
       data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
   core::Table t({"H", "Tail AUC", "Overall AUC"});
   {
-    auto cfg = bench::DefaultTrainConfig();
+    auto cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
     cfg.use_intention = false;
     models::GarciaModel model(cfg);
     model.Fit(s);
@@ -27,7 +27,7 @@ int main() {
     std::fflush(stdout);
   }
   for (size_t h = 1; h <= 5; ++h) {
-    auto cfg = bench::DefaultTrainConfig();
+    auto cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
     cfg.tree_levels = h;
     models::GarciaModel model(cfg);
     model.Fit(s);

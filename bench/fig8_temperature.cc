@@ -16,7 +16,7 @@ int main() {
       data::GeneratePreset(data::DatasetId::kSepA, bench::BenchScale());
   core::Table t({"tau", "Tail AUC", "Overall AUC"});
   for (float tau : {0.05f, 0.1f, 0.3f, 0.5f, 0.7f, 1.0f}) {
-    auto cfg = bench::DefaultTrainConfig();
+    auto cfg = bench::PresetTrainConfig(data::DatasetId::kSepA);
     cfg.tau = tau;
     models::GarciaModel model(cfg);
     model.Fit(s);

@@ -4,10 +4,14 @@
 // the execution-layer kernels.
 //
 // `micro_kernels --speedup_json` skips google-benchmark and instead times
-// GEMM / segment kernels at 1, 2, 4 and hardware_concurrency threads,
-// emitting a JSON speedup table (serial wall-clock / threaded wall-clock)
-// to stdout. Speedups are hardware-dependent: on a multi-core box GEMM at
-// 512^3 should clear 2x at 4 threads; a single-core container reports ~1x.
+// GEMM (all four transpose variants, at GARCIA-shaped sizes) and the
+// segment kernels at 1, 2, 4 and hardware_concurrency threads, emitting a
+// JSON speedup table (serial wall-clock / threaded wall-clock) to stdout
+// AND to BENCH_kernels.json in the working directory. Speedups are
+// hardware-dependent: on a multi-core box GEMM at 512^3 should clear 2x at
+// 4 threads; a single-core container reports ~1x and the serial wall-clock
+// column is the meaningful axis. GARCIA_BENCH_REPEATS overrides the
+// median-of-5 repeat count (the ASan smoke in scripts/check.sh uses 1).
 //
 // `micro_kernels --sample_json` times one GARCIA finetune step on the full
 // graph against the block-sampled step (TrainConfig::sample_fanout,
@@ -19,10 +23,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/string_util.h"
 
 #include "core/kernels.h"
 #include "core/matrix.h"
@@ -235,6 +242,17 @@ BENCHMARK(BM_SegmentSoftmaxThreads)
 
 // ----- --speedup_json: chrono-timed speedup table -----
 
+/// Repeat count for the chrono sweeps (median-of-N). GARCIA_BENCH_REPEATS
+/// overrides the default 5; the ASan smoke lane sets it to 1.
+int BenchRepeats() {
+  const char* env = std::getenv("GARCIA_BENCH_REPEATS");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 5;
+}
+
 /// Median-of-repeats wall-clock seconds of fn() (one warmup call first).
 template <typename Fn>
 double TimeMedianSeconds(int repeats, Fn fn) {
@@ -257,41 +275,73 @@ struct SweepEntry {
   double seconds;
 };
 
-void PrintSweepJson(const char* kernel, const std::string& shape,
-                    const std::vector<SweepEntry>& entries, bool last) {
-  std::printf("    {\"kernel\": \"%s\", \"shape\": \"%s\", \"sweep\": [",
-              kernel, shape.c_str());
+std::string SweepJsonLine(const char* kernel, const std::string& shape,
+                          const std::vector<SweepEntry>& entries, bool last) {
+  std::string line = core::StrFormat(
+      "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"sweep\": [", kernel,
+      shape.c_str());
   const double serial_secs = entries.front().seconds;
   for (size_t i = 0; i < entries.size(); ++i) {
-    std::printf("%s{\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.2f}",
-                i == 0 ? "" : ", ", entries[i].threads, entries[i].seconds,
-                serial_secs / entries[i].seconds);
+    line += core::StrFormat(
+        "%s{\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.2f}",
+        i == 0 ? "" : ", ", entries[i].threads, entries[i].seconds,
+        serial_secs / entries[i].seconds);
   }
-  std::printf("]}%s\n", last ? "" : ",");
+  line += core::StrFormat("]}%s\n", last ? "" : ",");
+  return line;
+}
+
+/// Thread sweep of one GEMM variant: C(m x n) = op(A) @ op(B) with k as the
+/// contracted dimension. Operand matrices are allocated in their stored
+/// (pre-op) orientation.
+std::string GemmSweepLine(const char* kernel, size_t m, size_t k, size_t n,
+                          bool trans_a, bool trans_b,
+                          const std::vector<int64_t>& counts, int repeats,
+                          core::Rng* rng, bool last) {
+  core::Matrix a = trans_a ? core::Matrix::Randn(k, m, rng)
+                           : core::Matrix::Randn(m, k, rng);
+  core::Matrix b = trans_b ? core::Matrix::Randn(n, k, rng)
+                           : core::Matrix::Randn(k, n, rng);
+  core::Matrix c(m, n);
+  std::vector<SweepEntry> entries;
+  for (int64_t t : counts) {
+    core::ExecutionContext ctx(static_cast<size_t>(t));
+    entries.push_back({static_cast<size_t>(t), TimeMedianSeconds(repeats, [&] {
+                         core::kernels::Gemm(ctx, trans_a, trans_b, 1.0f, a,
+                                             b, 0.0f, &c);
+                       })});
+  }
+  const std::string shape = core::StrFormat("%zux%zux%zu", m, k, n);
+  return SweepJsonLine(kernel, shape, entries, last);
 }
 
 int RunSpeedupJson() {
   const std::vector<int64_t> counts = SweepThreadCounts();
+  const int repeats = BenchRepeats();
   core::Rng rng(12);
 
-  std::printf("{\n  \"hardware_concurrency\": %u,\n  \"results\": [\n",
-              std::thread::hardware_concurrency());
+  std::string json =
+      core::StrFormat("{\n  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+                      std::thread::hardware_concurrency());
 
-  {  // GEMM 512^3 — the acceptance target: >= 2x at 4 threads on multicore.
-    const size_t n = 512;
-    core::Matrix a = core::Matrix::Randn(n, n, &rng);
-    core::Matrix b = core::Matrix::Randn(n, n, &rng);
-    core::Matrix c(n, n);
-    std::vector<SweepEntry> entries;
-    for (int64_t t : counts) {
-      core::ExecutionContext ctx(static_cast<size_t>(t));
-      entries.push_back(
-          {static_cast<size_t>(t), TimeMedianSeconds(5, [&] {
-             core::kernels::Gemm(ctx, false, false, 1.0f, a, b, 0.0f, &c);
-           })});
-    }
-    PrintSweepJson("gemm", "512x512x512", entries, false);
-  }
+  // GEMM, all four transpose variants at GARCIA-shaped sizes:
+  //   gemm_nn  512^3            — square forward-pass reference point; the
+  //                               acceptance target (>= 2x at 4 threads on
+  //                               multicore).
+  //   gemm_nt  1024x64x1024     — InfoNCE logits A @ B^T (batch x batch from
+  //                               d-dim embeddings).
+  //   gemm_tn  64x32768x64      — backward dW = X^T @ dY: tiny output, huge
+  //                               contracted k; parallelizes only via the
+  //                               2-D tile grid.
+  //   gemm_tt  512^3            — square with both operands strided.
+  json += GemmSweepLine("gemm", 512, 512, 512, false, false, counts, repeats,
+                        &rng, false);
+  json += GemmSweepLine("gemm_nt", 1024, 64, 1024, false, true, counts,
+                        repeats, &rng, false);
+  json += GemmSweepLine("gemm_tn", 64, 32768, 64, true, false, counts,
+                        repeats, &rng, false);
+  json += GemmSweepLine("gemm_tt", 512, 512, 512, true, true, counts, repeats,
+                        &rng, false);
 
   const size_t edges = 200000, segments = edges / 8;
   std::vector<uint32_t> seg(edges);
@@ -305,12 +355,13 @@ int RunSpeedupJson() {
     std::vector<SweepEntry> entries;
     for (int64_t t : counts) {
       core::ExecutionContext ctx(static_cast<size_t>(t));
-      entries.push_back({static_cast<size_t>(t), TimeMedianSeconds(5, [&] {
+      entries.push_back({static_cast<size_t>(t),
+                         TimeMedianSeconds(repeats, [&] {
                            core::kernels::SegmentSum(ctx, x, seg, segments,
                                                      &out);
                          })});
     }
-    PrintSweepJson("segment_sum", "200000x32/25000", entries, false);
+    json += SweepJsonLine("segment_sum", "200000x32/25000", entries, false);
   }
 
   {  // SegmentSoftmax over the same segment structure.
@@ -319,15 +370,25 @@ int RunSpeedupJson() {
     std::vector<SweepEntry> entries;
     for (int64_t t : counts) {
       core::ExecutionContext ctx(static_cast<size_t>(t));
-      entries.push_back({static_cast<size_t>(t), TimeMedianSeconds(5, [&] {
+      entries.push_back({static_cast<size_t>(t),
+                         TimeMedianSeconds(repeats, [&] {
                            core::kernels::SegmentSoftmax(ctx, scores, seg,
                                                          segments, &out);
                          })});
     }
-    PrintSweepJson("segment_softmax", "200000/25000", entries, true);
+    json += SweepJsonLine("segment_softmax", "200000/25000", entries, true);
   }
 
-  std::printf("  ]\n}\n");
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_kernels.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "Wrote BENCH_kernels.json\n");
+  } else {
+    std::fprintf(stderr, "Could not write BENCH_kernels.json\n");
+  }
   return 0;
 }
 

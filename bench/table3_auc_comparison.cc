@@ -20,7 +20,7 @@ int main() {
     double best_head = 0.0, best_tail = 0.0, best_overall = 0.0;
     eval::SlicedMetrics garcia_metrics;
     for (const auto& name : models::AllModelNames()) {
-      auto m = bench::RunModel(name, s, bench::DefaultTrainConfig());
+      auto m = bench::RunModel(name, s, bench::PresetTrainConfig(id));
       if (name == "GARCIA") {
         garcia_metrics = m;
         t.AddRow({name,

@@ -23,14 +23,14 @@ int main() {
     double ref_gauc = 0.0, ref_ndcg = 0.0;
     core::Table t({"Model", "GAUC", "NDCG@10"});
     // First pass: LightGCN reference.
-    auto ref = bench::RunModel("LightGCN", s, bench::DefaultTrainConfig());
+    auto ref = bench::RunModel("LightGCN", s, bench::PresetTrainConfig(id));
     ref_gauc = ref.tail.gauc;
     ref_ndcg = ref.tail.ndcg_at_10;
     for (const auto& name : order) {
       eval::SlicedMetrics m =
           name == "LightGCN"
               ? ref
-              : bench::RunModel(name, s, bench::DefaultTrainConfig());
+              : bench::RunModel(name, s, bench::PresetTrainConfig(id));
       auto cell = [&](double v, double r) {
         if (name == "LightGCN") return core::FormatFixed(v, 4) + " (-)";
         return core::FormatFixed(v, 4) + " " + bench::Delta(v, r);

@@ -24,6 +24,13 @@ run_suite "$ROOT/build"
 echo "==> Sanitizer build (address;undefined)"
 run_suite "$ROOT/build-asan" -DGARCIA_SANITIZE="address;undefined"
 
+echo "==> ASan smoke: micro_kernels --speedup_json"
+# Exercises the packed GEMM (all four transpose variants) and the segment
+# kernels under ASan/UBSan at bench shapes the unit tests don't reach.
+# One repeat keeps it fast; output goes to the build tree.
+(cd "$ROOT/build-asan/bench" && \
+  GARCIA_BENCH_REPEATS=1 ./micro_kernels --speedup_json > /dev/null)
+
 echo "==> Sanitizer build (thread)"
 # TSan and ASan are mutually exclusive, so this is a third tree. Only the
 # threaded suites run here: they exercise every ShardedFor dispatch, the
@@ -33,9 +40,9 @@ echo "==> Sanitizer build (thread)"
 TSAN_DIR="$ROOT/build-tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target core_kernels_test core_threadpool_test nn_ops_test \
+  --target core_kernels_test core_gemm_test core_threadpool_test nn_ops_test \
   graph_sampler_test serving_concurrency_test serving_resilience_test
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -R '^(core_kernels_test|core_threadpool_test|nn_ops_test|graph_sampler_test|serving_concurrency_test|serving_resilience_test)$'
+  -R '^(core_kernels_test|core_gemm_test|core_threadpool_test|nn_ops_test|graph_sampler_test|serving_concurrency_test|serving_resilience_test)$'
 
 echo "==> All checks passed"

@@ -10,23 +10,18 @@ namespace garcia::core {
 
 namespace {
 
-// Shard-size floors: below these a range runs inline even on a parallel
-// context, keeping dispatch overhead off tiny problems. They never affect
-// results (the kernels are bit-identical across backends by construction).
-constexpr size_t kMinGemmRowsPerShard = 8;
-constexpr size_t kMinElemsPerShard = 1 << 14;
-constexpr size_t kMinRowsPerShard = 64;
-constexpr size_t kMinSegmentsPerShard = 64;
-// Scatter/segment kernels pay an O(R + E) index build on the parallel
-// path; below this many sources the serial loop is cheaper outright.
-constexpr size_t kMinScatterSources = 2048;
-
 thread_local const ExecutionContext* tls_execution = nullptr;
 
 }  // namespace
 
 ExecutionContext::ExecutionContext(size_t num_threads) {
   if (num_threads >= 2) pool_ = std::make_unique<ThreadPool>(num_threads);
+}
+
+ExecutionContext::ExecutionContext(size_t num_threads,
+                                   const KernelTuning& tuning)
+    : ExecutionContext(num_threads) {
+  tuning_ = tuning;
 }
 
 ExecutionContext::~ExecutionContext() = default;
@@ -65,28 +60,152 @@ ScopedExecution::~ScopedExecution() { tls_execution = prev_; }
 namespace kernels {
 namespace {
 
-// Inner GEMM kernel over a row range of C: c[i,:] += alpha * a[i,:] @ b for
-// i in [i_begin, i_end). Plain loops; -O2 vectorizes the innermost loop
-// well at the sizes we use.
-inline void GemmRowsNN(size_t i_begin, size_t i_end, size_t n, size_t k,
-                       float alpha, const float* a, size_t lda, const float* b,
-                       size_t ldb, float* c, size_t ldc) {
-  for (size_t i = i_begin; i < i_end; ++i) {
-    for (size_t l = 0; l < k; ++l) {
-      const float av = alpha * a[i * lda + l];
-      if (av == 0.0f) continue;
-      const float* brow = b + l * ldb;
-      float* crow = c + i * ldc;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+// ----- Packed GEMM -----
+//
+// C = beta*C + alpha*op(A)@op(B) as a BLIS-style packed kernel. The output
+// is tiled into (row block x column panel) cells; each cell walks the k
+// dimension in KC-deep panels, packing op(A) into MR-row panels and op(B)
+// into NR-column panels read STRIDED from their sources (so transposed
+// operands are packed in place, never materialized as whole matrices), and
+// a register-tiled MR x NR micro-kernel does the arithmetic.
+//
+// Bit-identity argument: the value of C[i,j] is
+//   fl(beta*C[i,j]) then += fl(fl(alpha*a_op[i,l]) * b_op[l,j]),
+//   l = 0..k-1 ascending,
+// for EVERY tiling. k is never split across tiles; k-panels run in
+// ascending order within a tile; between panels the partial sum round-trips
+// through C (or stays in the micro-kernel accumulator), and a float
+// store/load is exact. Tile shapes therefore cannot change the result, so
+// serial, any thread count, any KernelTuning and all four transpose flags
+// agree bit for bit — the same contract as every other kernel here.
+//
+// Zero operands are NOT skipped: a 0 in op(A) still contributes
+// fl(0 * b_op[l,j]), so IEEE non-finite values in B propagate (0*Inf = NaN)
+// exactly as in the naive reference.
+
+// Micro-kernel register tile. MR*NR accumulators fit the 16 SSE registers
+// of baseline x86-64 without spilling; the packed panel layouts below are
+// keyed to these.
+constexpr size_t kGemmMr = 4;
+constexpr size_t kGemmNr = 8;
+
+inline size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+// Per-thread packing scratch, reused across calls and k-panels. Workers
+// each see their own copy (thread_local), so packing is race-free without
+// synchronization.
+struct GemmPackBuffers {
+  std::vector<float> a;  // ceil(mb/MR) panels of kc x MR
+  std::vector<float> b;  // ceil(nb/NR) panels of kc x NR
+};
+
+GemmPackBuffers& TlsGemmBuffers() {
+  static thread_local GemmPackBuffers bufs;
+  return bufs;
+}
+
+// Packs op(A)[i0:i0+mb, l0:l0+kc), scaled by alpha, into MR-row panels:
+// packed[(p*kc + l)*MR + r] = fl(alpha * a_op(i0 + p*MR + r, l0 + l)),
+// zero-padded to a multiple of MR rows. Reads A directly at its source
+// stride for either transpose flag.
+void PackA(bool trans_a, float alpha, const float* a, size_t lda, size_t i0,
+           size_t mb, size_t l0, size_t kc, float* packed) {
+  const size_t panels = CeilDiv(mb, kGemmMr);
+  if (trans_a) {
+    // a_op(i, l) = a[l*lda + i]: row l of A is contiguous in i, so walk l
+    // outermost and copy row slices into each panel.
+    for (size_t p = 0; p < panels; ++p) {
+      const size_t r_valid = std::min(kGemmMr, mb - p * kGemmMr);
+      float* dst = packed + p * kc * kGemmMr;
+      for (size_t l = 0; l < kc; ++l) {
+        const float* src = a + (l0 + l) * lda + i0 + p * kGemmMr;
+        for (size_t r = 0; r < r_valid; ++r) dst[l * kGemmMr + r] = alpha * src[r];
+        for (size_t r = r_valid; r < kGemmMr; ++r) dst[l * kGemmMr + r] = 0.0f;
+      }
     }
+    return;
+  }
+  // a_op(i, l) = a[i*lda + l]: row i is contiguous in l, so walk rows and
+  // scatter each into its panel column.
+  for (size_t p = 0; p < panels; ++p) {
+    const size_t r_valid = std::min(kGemmMr, mb - p * kGemmMr);
+    float* dst = packed + p * kc * kGemmMr;
+    for (size_t r = 0; r < r_valid; ++r) {
+      const float* src = a + (i0 + p * kGemmMr + r) * lda + l0;
+      for (size_t l = 0; l < kc; ++l) dst[l * kGemmMr + r] = alpha * src[l];
+    }
+    for (size_t r = r_valid; r < kGemmMr; ++r) {
+      for (size_t l = 0; l < kc; ++l) dst[l * kGemmMr + r] = 0.0f;
+    }
+  }
+}
+
+// Packs op(B)[l0:l0+kc, j0:j0+nb) into NR-column panels:
+// packed[(p*kc + l)*NR + c] = b_op(l0 + l, j0 + p*NR + c), zero-padded to a
+// multiple of NR columns.
+void PackB(bool trans_b, const float* b, size_t ldb, size_t l0, size_t kc,
+           size_t j0, size_t nb, float* packed) {
+  const size_t panels = CeilDiv(nb, kGemmNr);
+  if (trans_b) {
+    // b_op(l, j) = b[j*ldb + l]: column j of op(B) is contiguous in l.
+    for (size_t p = 0; p < panels; ++p) {
+      const size_t c_valid = std::min(kGemmNr, nb - p * kGemmNr);
+      float* dst = packed + p * kc * kGemmNr;
+      for (size_t c = 0; c < c_valid; ++c) {
+        const float* src = b + (j0 + p * kGemmNr + c) * ldb + l0;
+        for (size_t l = 0; l < kc; ++l) dst[l * kGemmNr + c] = src[l];
+      }
+      for (size_t c = c_valid; c < kGemmNr; ++c) {
+        for (size_t l = 0; l < kc; ++l) dst[l * kGemmNr + c] = 0.0f;
+      }
+    }
+    return;
+  }
+  // b_op(l, j) = b[l*ldb + j]: row l is contiguous in j.
+  for (size_t p = 0; p < panels; ++p) {
+    const size_t c_valid = std::min(kGemmNr, nb - p * kGemmNr);
+    float* dst = packed + p * kc * kGemmNr;
+    for (size_t l = 0; l < kc; ++l) {
+      const float* src = b + (l0 + l) * ldb + j0 + p * kGemmNr;
+      for (size_t c = 0; c < c_valid; ++c) dst[l * kGemmNr + c] = src[c];
+      for (size_t c = c_valid; c < kGemmNr; ++c) dst[l * kGemmNr + c] = 0.0f;
+    }
+  }
+}
+
+// MR x NR register-tiled micro-kernel over one packed A panel and one
+// packed B panel: loads the valid C sub-tile into the accumulator (padded
+// lanes start at 0 and are never stored back), streams kc ascending
+// fl(alpha*a)*b terms, and stores the valid region. The j loop has fixed
+// trip count kGemmNr so -O2 keeps the accumulator in vector registers.
+inline void GemmMicroKernel(const float* ap, const float* bp, size_t kc,
+                            float* c, size_t ldc, size_t m_valid,
+                            size_t n_valid) {
+  float acc[kGemmMr][kGemmNr];
+  for (size_t r = 0; r < kGemmMr; ++r) {
+    for (size_t j = 0; j < kGemmNr; ++j) {
+      acc[r][j] = (r < m_valid && j < n_valid) ? c[r * ldc + j] : 0.0f;
+    }
+  }
+  for (size_t l = 0; l < kc; ++l) {
+    const float* arow = ap + l * kGemmMr;
+    const float* brow = bp + l * kGemmNr;
+    for (size_t r = 0; r < kGemmMr; ++r) {
+      const float av = arow[r];
+      for (size_t j = 0; j < kGemmNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (size_t r = 0; r < m_valid; ++r) {
+    for (size_t j = 0; j < n_valid; ++j) c[r * ldc + j] = acc[r][j];
   }
 }
 
 template <typename F>
 inline void ForEachElement(const ExecutionContext& ctx, size_t n, F&& f) {
-  ctx.ShardedFor(0, n, kMinElemsPerShard, [&f](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) f(i);
-  });
+  ctx.ShardedFor(0, n, ctx.tuning().min_elems_per_shard,
+                 [&f](size_t lo, size_t hi) {
+                   for (size_t i = lo; i < hi; ++i) f(i);
+                 });
 }
 
 template <typename F>
@@ -145,29 +264,70 @@ void Gemm(const ExecutionContext& ctx, bool trans_a, bool trans_b, float alpha,
   }
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
-  // Transposed operands are materialized once; the matrices in this
-  // codebase are small enough (parameters and activations) that the copy is
-  // cheaper than a strided kernel.
-  auto transpose = [](const Matrix& x) {
-    Matrix t(x.cols(), x.rows());
-    for (size_t i = 0; i < x.rows(); ++i) {
-      for (size_t j = 0; j < x.cols(); ++j) t.at(j, i) = x.at(i, j);
+  const KernelTuning& tune = ctx.tuning();
+  const size_t kc_max = std::max<size_t>(1, tune.gemm_kc);
+  size_t mb = std::min(m, std::max<size_t>(1, tune.gemm_mc));
+  size_t nb = std::min(n, std::max<size_t>(1, tune.gemm_nc));
+  if (ctx.parallel()) {
+    // Refine the tile grid until every worker has a couple of tiles, never
+    // below the tuning floors. Small-m trans_a GEMMs (dW = X^T dY: m = n =
+    // hidden dim, k = node count) split over columns and finer row blocks
+    // here instead of collapsing onto a handful of row shards. The chosen
+    // grid cannot change the result (see the bit-identity argument above).
+    const size_t target = 2 * ctx.num_threads();
+    const size_t mb_floor = std::max<size_t>(1, tune.gemm_min_rows_per_shard);
+    const size_t nb_floor = std::max<size_t>(1, tune.gemm_min_cols_per_shard);
+    while (CeilDiv(m, mb) * CeilDiv(n, nb) < target) {
+      const bool can_m = mb / 2 >= mb_floor;
+      const bool can_n = nb / 2 >= nb_floor;
+      if (!can_m && !can_n) break;
+      if (can_m && (mb >= nb || !can_n)) {
+        mb /= 2;
+      } else {
+        nb /= 2;
+      }
     }
-    return t;
-  };
-  const Matrix at = trans_a ? transpose(a) : Matrix();
-  const Matrix bt = trans_b ? transpose(b) : Matrix();
-  const Matrix& aa = trans_a ? at : a;
-  const Matrix& bb = trans_b ? bt : b;
+  }
+  const size_t row_blocks = CeilDiv(m, mb);
+  const size_t col_panels = CeilDiv(n, nb);
 
-  const float* ad = aa.data();
-  const float* bd = bb.data();
+  const float* ad = a.data();
+  const float* bd = b.data();
   float* cd = c->data();
-  const size_t lda = aa.cols(), ldb = bb.cols(), ldc = c->cols();
-  ctx.ShardedFor(0, m, kMinGemmRowsPerShard,
-                 [=](size_t lo, size_t hi) {
-                   GemmRowsNN(lo, hi, n, k, alpha, ad, lda, bd, ldb, cd, ldc);
-                 });
+  const size_t lda = a.cols(), ldb = b.cols(), ldc = c->cols();
+  const size_t a_pack_floats = CeilDiv(mb, kGemmMr) * kGemmMr * kc_max;
+  const size_t b_pack_floats = CeilDiv(nb, kGemmNr) * kGemmNr * kc_max;
+
+  // Shard the flattened 2-D tile grid. Tiles write disjoint C regions, so
+  // shards need no synchronization; each shard packs its own panels into
+  // thread-local scratch.
+  ctx.ShardedFor(
+      0, row_blocks * col_panels, /*min_shard=*/1,
+      [&](size_t t_begin, size_t t_end) {
+        GemmPackBuffers& bufs = TlsGemmBuffers();
+        if (bufs.a.size() < a_pack_floats) bufs.a.resize(a_pack_floats);
+        if (bufs.b.size() < b_pack_floats) bufs.b.resize(b_pack_floats);
+        for (size_t t = t_begin; t < t_end; ++t) {
+          const size_t i0 = (t / col_panels) * mb;
+          const size_t j0 = (t % col_panels) * nb;
+          const size_t mbt = std::min(mb, m - i0);
+          const size_t nbt = std::min(nb, n - j0);
+          for (size_t l0 = 0; l0 < k; l0 += kc_max) {
+            const size_t kct = std::min(kc_max, k - l0);
+            PackA(trans_a, alpha, ad, lda, i0, mbt, l0, kct, bufs.a.data());
+            PackB(trans_b, bd, ldb, l0, kct, j0, nbt, bufs.b.data());
+            for (size_t jr = 0; jr < nbt; jr += kGemmNr) {
+              const float* bp = bufs.b.data() + (jr / kGemmNr) * kct * kGemmNr;
+              for (size_t ir = 0; ir < mbt; ir += kGemmMr) {
+                GemmMicroKernel(
+                    bufs.a.data() + (ir / kGemmMr) * kct * kGemmMr, bp, kct,
+                    cd + (i0 + ir) * ldc + j0 + jr, ldc,
+                    std::min(kGemmMr, mbt - ir), std::min(kGemmNr, nbt - jr));
+              }
+            }
+          }
+        }
+      });
 }
 
 void UnaryForward(const ExecutionContext& ctx, UnaryOp op, float slope,
@@ -228,7 +388,7 @@ void GatherRows(const ExecutionContext& ctx, const Matrix& src,
   GARCIA_CHECK_EQ(out->rows(), idx.size());
   GARCIA_CHECK_EQ(out->cols(), src.cols());
   const size_t cols = src.cols();
-  ForEachRow(ctx, idx.size(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, idx.size(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     GARCIA_CHECK_LT(idx[i], src.rows());
     std::memcpy(out->row(i), src.row(idx[i]), cols * sizeof(float));
   });
@@ -239,7 +399,7 @@ void GatherAddRows(const ExecutionContext& ctx, const Matrix& src,
   GARCIA_CHECK_EQ(out->rows(), idx.size());
   GARCIA_CHECK_EQ(out->cols(), src.cols());
   const size_t cols = src.cols();
-  ForEachRow(ctx, idx.size(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, idx.size(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     GARCIA_CHECK_LT(idx[i], src.rows());
     AddRow(out->row(i), src.row(idx[i]), cols);
   });
@@ -250,7 +410,7 @@ void ScatterAddRows(const ExecutionContext& ctx, const Matrix& src,
   GARCIA_CHECK_EQ(src.rows(), idx.size());
   GARCIA_CHECK_EQ(src.cols(), accum->cols());
   const size_t cols = src.cols();
-  if (!ctx.parallel() || idx.size() < kMinScatterSources) {
+  if (!ctx.parallel() || idx.size() < ctx.tuning().min_scatter_sources) {
     for (size_t e = 0; e < idx.size(); ++e) {
       GARCIA_CHECK_LT(idx[e], accum->rows());
       AddRow(accum->row(idx[e]), src.row(e), cols);
@@ -258,7 +418,7 @@ void ScatterAddRows(const ExecutionContext& ctx, const Matrix& src,
     return;
   }
   const DestIndex di = BuildDestIndex(idx, accum->rows());
-  ctx.ShardedFor(0, accum->rows(), kMinSegmentsPerShard,
+  ctx.ShardedFor(0, accum->rows(), ctx.tuning().min_segments_per_shard,
                  [&](size_t lo, size_t hi) {
                    for (size_t d = lo; d < hi; ++d) {
                      float* dst = accum->row(d);
@@ -286,7 +446,7 @@ void SegmentSoftmax(const ExecutionContext& ctx, const Matrix& scores,
   GARCIA_CHECK_EQ(out->rows(), seg.size());
   GARCIA_CHECK_EQ(out->cols(), 1u);
   const size_t e_count = seg.size();
-  if (!ctx.parallel() || e_count < kMinScatterSources) {
+  if (!ctx.parallel() || e_count < ctx.tuning().min_scatter_sources) {
     std::vector<float> seg_max(num_segments, -1e30f);
     for (size_t e = 0; e < e_count; ++e) {
       GARCIA_CHECK_LT(seg[e], num_segments);
@@ -304,7 +464,7 @@ void SegmentSoftmax(const ExecutionContext& ctx, const Matrix& scores,
   }
   const DestIndex di = BuildDestIndex(seg, num_segments);
   ctx.ShardedFor(
-      0, num_segments, kMinSegmentsPerShard, [&](size_t lo, size_t hi) {
+      0, num_segments, ctx.tuning().min_segments_per_shard, [&](size_t lo, size_t hi) {
         for (size_t s = lo; s < hi; ++s) {
           const size_t p0 = di.offsets[s], p1 = di.offsets[s + 1];
           if (p0 == p1) continue;
@@ -334,7 +494,7 @@ void SegmentSoftmaxBackwardAdd(const ExecutionContext& ctx,
   GARCIA_CHECK_EQ(dalpha.rows(), seg.size());
   GARCIA_CHECK_EQ(dscores->rows(), seg.size());
   const size_t e_count = seg.size();
-  if (!ctx.parallel() || e_count < kMinScatterSources) {
+  if (!ctx.parallel() || e_count < ctx.tuning().min_scatter_sources) {
     std::vector<double> seg_dot(num_segments, 0.0);
     for (size_t e = 0; e < e_count; ++e) {
       GARCIA_CHECK_LT(seg[e], num_segments);
@@ -350,7 +510,7 @@ void SegmentSoftmaxBackwardAdd(const ExecutionContext& ctx,
   }
   const DestIndex di = BuildDestIndex(seg, num_segments);
   ctx.ShardedFor(
-      0, num_segments, kMinSegmentsPerShard, [&](size_t lo, size_t hi) {
+      0, num_segments, ctx.tuning().min_segments_per_shard, [&](size_t lo, size_t hi) {
         for (size_t s = lo; s < hi; ++s) {
           const size_t p0 = di.offsets[s], p1 = di.offsets[s + 1];
           double dot = 0.0;
@@ -373,7 +533,7 @@ void ScaleRowsInPlace(const ExecutionContext& ctx, Matrix* x,
   GARCIA_CHECK_EQ(w.cols(), 1u);
   GARCIA_CHECK_EQ(w.rows(), x->rows());
   const size_t cols = x->cols();
-  ForEachRow(ctx, x->rows(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, x->rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     const float wi = w.at(i, 0);
     float* r = x->row(i);
     for (size_t j = 0; j < cols; ++j) r[j] *= wi;
@@ -387,7 +547,7 @@ void RowDotAdd(const ExecutionContext& ctx, const Matrix& a, const Matrix& b,
   GARCIA_CHECK_EQ(out->rows(), a.rows());
   GARCIA_CHECK_EQ(out->cols(), 1u);
   const size_t cols = a.cols();
-  ForEachRow(ctx, a.rows(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, a.rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     double acc = 0.0;
     const float* ra = a.row(i);
     const float* rb = b.row(i);
@@ -404,7 +564,7 @@ void L2NormalizeRows(const ExecutionContext& ctx, const Matrix& x, float eps,
   GARCIA_CHECK_EQ(out->cols(), x.cols());
   const size_t d = x.cols();
   norms->resize(x.rows());
-  ForEachRow(ctx, x.rows(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, x.rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     const float* r = x.row(i);
     double s = 0.0;
     for (size_t j = 0; j < d; ++j) s += static_cast<double>(r[j]) * r[j];
@@ -424,7 +584,7 @@ void L2NormalizeRowsBackwardAdd(const ExecutionContext& ctx, const Matrix& y,
   GARCIA_CHECK_EQ(norms.size(), y.rows());
   GARCIA_CHECK_EQ(dx->rows(), y.rows());
   const size_t d = y.cols();
-  ForEachRow(ctx, y.rows(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, y.rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     if (norms[i] <= eps) return;  // zero row: zero gradient
     const float* yi = y.row(i);
     const float* dyi = dy.row(i);
@@ -446,7 +606,7 @@ double CrossEntropyForward(const ExecutionContext& ctx, Matrix* logits,
   GARCIA_CHECK_EQ(targets.size(), n);
   GARCIA_CHECK_GT(n, 0u);
   std::vector<double> row_loss(n);
-  ForEachRow(ctx, n, /*min_shard=*/32, [&](size_t i) {
+  ForEachRow(ctx, n, ctx.tuning().min_loss_rows_per_shard, [&](size_t i) {
     GARCIA_CHECK_LT(targets[i], m);
     float* r = logits->row(i);
     float mx = r[0];
@@ -475,7 +635,7 @@ void CrossEntropyBackwardAdd(const ExecutionContext& ctx,
   GARCIA_CHECK_EQ(dlogits->rows(), softmax.rows());
   GARCIA_CHECK_EQ(dlogits->cols(), softmax.cols());
   const size_t m = softmax.cols();
-  ForEachRow(ctx, softmax.rows(), kMinRowsPerShard, [&](size_t i) {
+  ForEachRow(ctx, softmax.rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
     const float* s = softmax.row(i);
     float* gr = dlogits->row(i);
     for (size_t j = 0; j < m; ++j) gr[j] += gout * s[j];

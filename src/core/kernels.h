@@ -1,13 +1,13 @@
 // Copyright (c) 2026 GARCIA reproduction authors.
 // Pluggable kernel execution layer.
 //
-// Every hot compute loop of the training/serving stack — blocked GEMM, the
-// elementwise activations, row gather and its scatter-add adjoint, the
-// segment reductions behind graph aggregation, and the softmax
-// cross-entropy inside InfoNCE — dispatches through the kernels in this
-// file. Each kernel has a serial reference implementation and a
+// Every hot compute loop of the training/serving stack — the packed
+// cache-blocked GEMM, the elementwise activations, row gather and its
+// scatter-add adjoint, the segment reductions behind graph aggregation, and
+// the softmax cross-entropy inside InfoNCE — dispatches through the kernels
+// in this file. Each kernel has a serial reference implementation and a
 // ParallelFor-sharded one; an ExecutionContext (thread pool handle +
-// shard-size policy) selects between them.
+// KernelTuning shard/panel policy) selects between them.
 //
 // Determinism contract: for ANY ExecutionContext the parallel path is
 // bit-identical to the serial reference, not merely close. Kernels shard
@@ -39,6 +39,44 @@
 
 namespace garcia::core {
 
+/// Per-context kernel tuning knobs: GEMM packing panel sizes and the
+/// shard-size floors of every sharded kernel. The defaults reproduce the
+/// historical hard-coded values; none of the knobs affects results (the
+/// kernels are bit-identical across backends and tunings by construction),
+/// only how work is blocked and split. Seed overrides from
+/// `bench/micro_kernels --speedup_json` measurements on the target machine
+/// (BENCH_kernels.json) and install them per context via
+/// ExecutionContext::set_tuning.
+struct KernelTuning {
+  // ----- Packed GEMM (see kernels.cc) -----
+  /// Row-block height MC of a packed A block (floats). An MC x KC A block
+  /// should fit L2 alongside the KC x NR B micro-panels streaming through
+  /// L1.
+  size_t gemm_mc = 64;
+  /// K-panel depth KC shared by the packed A block and B panel.
+  size_t gemm_kc = 256;
+  /// Column-panel width NC of a packed B panel.
+  size_t gemm_nc = 256;
+  /// Floors the 2-D shard grid refinement: when a parallel context splits
+  /// the output into (row block x column panel) tiles and the grid is too
+  /// coarse to feed every worker, blocks are halved but never below these.
+  size_t gemm_min_rows_per_shard = 8;
+  size_t gemm_min_cols_per_shard = 16;
+
+  // ----- Shard floors of the other kernels -----
+  /// Elementwise kernels: fewer elements than this run inline.
+  size_t min_elems_per_shard = size_t{1} << 14;
+  /// Row-sharded kernels (gather, normalize, row dot, ...).
+  size_t min_rows_per_shard = 64;
+  /// Destination-sharded reductions (scatter-add, segment sum/softmax).
+  size_t min_segments_per_shard = 64;
+  /// Scatter/segment kernels pay an O(R + E) index build on the parallel
+  /// path; below this many sources the serial loop is cheaper outright.
+  size_t min_scatter_sources = 2048;
+  /// Softmax cross-entropy rows (heavier per row than the generic floor).
+  size_t min_loss_rows_per_shard = 32;
+};
+
 /// Execution policy handed to the compute kernels: either serial (the
 /// reference backend) or sharded across a privately owned thread pool.
 class ExecutionContext {
@@ -47,6 +85,7 @@ class ExecutionContext {
   /// num_threads >= 2 creates a pool of that many workers. The default
   /// matches the historical single-threaded behavior by construction.
   explicit ExecutionContext(size_t num_threads = 0);
+  ExecutionContext(size_t num_threads, const KernelTuning& tuning);
   ~ExecutionContext();
 
   ExecutionContext(const ExecutionContext&) = delete;
@@ -55,6 +94,12 @@ class ExecutionContext {
   /// 1 for the serial backend, the worker count otherwise.
   size_t num_threads() const;
   bool parallel() const { return pool_ != nullptr; }
+
+  /// Shard floors and GEMM panel sizes the kernels dispatch with. Tunings
+  /// never change results, only wall-clock; set before sharing the context
+  /// across threads.
+  const KernelTuning& tuning() const { return tuning_; }
+  void set_tuning(const KernelTuning& tuning) { tuning_ = tuning; }
 
   /// Runs fn(lo, hi) over contiguous, non-overlapping shards covering
   /// [begin, end): one inline call on the serial backend, pool-sharded
@@ -65,6 +110,7 @@ class ExecutionContext {
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // null = serial backend
+  KernelTuning tuning_;
 };
 
 /// The process-default serial context.
@@ -95,9 +141,24 @@ namespace kernels {
 
 // ----- GEMM -----
 
-/// C = alpha * op(A) @ op(B) + beta * C (row-major, blocked). Parallel
-/// backend shards the rows of C; each row's accumulation order equals the
-/// serial kernel's.
+/// C = alpha * op(A) @ op(B) + beta * C (row-major, packed and
+/// cache-blocked). The output is tiled into MC-row x NC-column cells; each
+/// cell walks KC-deep k-panels in ascending order, packing op(A) and op(B)
+/// panels straight from their strided sources (transposed operands are
+/// never materialized whole) and running a register-tiled micro-kernel.
+/// Parallel contexts shard the 2-D tile grid — row blocks x column panels,
+/// refined down to KernelTuning's shard floors when the grid is too coarse
+/// for the pool — so trans_a GEMMs with small m (the dW = X^T dY backward
+/// shape) parallelize over columns too. Every tiling accumulates each
+/// output element in ascending-k order from fl(alpha * a) * b terms, so the
+/// result is bit-identical to the naive triple loop for every transpose
+/// flag, thread count and tuning (tests/core_gemm_test.cc). IEEE
+/// non-finite values propagate: zero operands are not special-cased, so a
+/// 0 * Inf term poisons its output element with NaN exactly as the naive
+/// reference does. (Exactly-NaN outputs match the reference as a class,
+/// not bit for bit — IEEE-754 leaves NaN sign/payload selection to the
+/// implementation, so separately compiled code may keep a different NaN;
+/// across this kernel's own backends and tunings even NaN bits agree.)
 void Gemm(const ExecutionContext& ctx, bool trans_a, bool trans_b,
           float alpha, const Matrix& a, const Matrix& b, float beta,
           Matrix* c);

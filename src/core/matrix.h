@@ -1,5 +1,5 @@
 // Copyright (c) 2026 GARCIA reproduction authors.
-// Dense row-major float matrix with a blocked GEMM.
+// Dense row-major float matrix with a packed, cache-blocked GEMM.
 //
 // This is the storage + BLAS-lite layer underneath the autograd engine in
 // src/nn. It deliberately stays small: storage, shape checks, GEMM (with
@@ -69,11 +69,14 @@ class Matrix {
     return data_.data() + i * cols_;
   }
 
-  /// C = alpha * op(A) @ op(B) + beta * C, blocked for cache friendliness.
-  /// op(X) is X or X^T according to the transpose flags. C must already have
-  /// the result shape. Dispatches through the kernel execution layer
-  /// (core/kernels.h), so it runs thread-parallel under a ScopedExecution
-  /// with a parallel context — bit-identical to the serial backend.
+  /// C = alpha * op(A) @ op(B) + beta * C. op(X) is X or X^T according to
+  /// the transpose flags; transposed operands are packed panel-by-panel
+  /// inside the kernel, never materialized whole. C must already have the
+  /// result shape. Dispatches through the packed, cache-blocked kernel in
+  /// the execution layer (core/kernels.h), so it runs thread-parallel
+  /// (2-D-sharded over row blocks x column panels) under a ScopedExecution
+  /// with a parallel context — bit-identical to the serial backend and to
+  /// the naive triple loop for every transpose flag.
   static void Gemm(bool trans_a, bool trans_b, float alpha, const Matrix& a,
                    const Matrix& b, float beta, Matrix* c);
 

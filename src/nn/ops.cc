@@ -38,7 +38,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                    &pa->EnsureGrad());
     }
     if (pb->requires_grad) {
-      // dB += A^T @ dC
+      // dB += A^T @ dC. m = A's column count (often a small hidden dim);
+      // the kernel's 2-D tile grid still parallelizes this over columns
+      // and refined row blocks rather than collapsing onto row shards.
       Matrix::Gemm(true, false, 1.0f, pa->value, n->grad, 1.0f,
                    &pb->EnsureGrad());
     }
