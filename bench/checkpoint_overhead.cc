@@ -1,0 +1,179 @@
+// Checkpoint overhead of crash-safe training (DESIGN.md §5h): trains
+// GARCIA on the Software preset with checkpoint_every_steps in {0, 10,
+// 100} and reports wall-clock, steps/sec, and the overhead relative to
+// the uncheckpointed run, plus the write/restore latency and on-disk size
+// of one generation. Checkpointing is observation-only — every swept run
+// follows the bit-identical trajectory — so the overhead is pure
+// snapshot+serialize+fsync cost.
+//
+// `checkpoint_overhead --json` additionally writes the sweep to
+// BENCH_checkpoint.json in the working directory.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/string_util.h"
+#include "core/table.h"
+#include "data/presets.h"
+#include "models/garcia_model.h"
+#include "train/checkpoint.h"
+
+using namespace garcia;
+
+namespace {
+
+constexpr const char* kDir = "/tmp/garcia_bench_checkpoint";
+constexpr int kLatencyReps = 20;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Completed optimizer steps of one GARCIA Fit under `cfg` on `s`.
+uint64_t TotalSteps(const models::TrainConfig& cfg, const data::Scenario& s) {
+  const uint64_t pretrain_per =
+      std::max<uint64_t>(1, cfg.max_batches_per_epoch / 2);
+  uint64_t finetune_per = (s.train.size() + cfg.batch_size - 1) /
+                          cfg.batch_size;
+  if (cfg.max_batches_per_epoch > 0) {
+    finetune_per = std::min<uint64_t>(finetune_per, cfg.max_batches_per_epoch);
+  }
+  return cfg.pretrain_epochs * pretrain_per +
+         cfg.finetune_epochs * finetune_per;
+}
+
+struct SweepPoint {
+  uint64_t every_steps = 0;
+  double wall_s = 0.0;
+  double steps_per_sec = 0.0;
+  double overhead_pct = 0.0;
+  uint64_t generations_written = 0;
+};
+
+SweepPoint RunPoint(models::TrainConfig cfg, const data::Scenario& s,
+                    uint64_t every) {
+  std::filesystem::remove_all(kDir);
+  cfg.checkpoint_dir = every > 0 ? kDir : "";
+  cfg.checkpoint_every_steps = every;
+  const auto t0 = std::chrono::steady_clock::now();
+  models::GarciaModel model(cfg);
+  model.Fit(s);
+  SweepPoint p;
+  p.every_steps = every;
+  p.wall_s = SecondsSince(t0);
+  const uint64_t steps = TotalSteps(cfg, s);
+  p.steps_per_sec = steps / p.wall_s;
+  p.generations_written = every > 0 ? steps / every : 0;
+  return p;
+}
+
+struct FileLatency {
+  uint64_t bytes = 0;
+  double save_ms = 0.0;
+  double load_ms = 0.0;
+};
+
+/// Save/load latency of the newest generation left by the last sweep run.
+FileLatency MeasureFileLatency() {
+  FileLatency out;
+  const auto steps = train::ListCheckpointSteps(kDir);
+  if (steps.empty()) return out;
+  const std::string path =
+      std::string(kDir) + "/" + train::CheckpointFileName(steps.back());
+  auto loaded = train::LoadCheckpoint(path);
+  if (!loaded.ok()) return out;
+  out.bytes = std::filesystem::file_size(path);
+
+  const std::string probe = std::string(kDir) + "/latency_probe.gck";
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kLatencyReps; ++i) {
+    (void)train::SaveCheckpoint(probe, *loaded);
+  }
+  out.save_ms = SecondsSince(t0) * 1000.0 / kLatencyReps;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kLatencyReps; ++i) {
+    (void)train::LoadCheckpoint(probe);
+  }
+  out.load_ms = SecondsSince(t0) * 1000.0 / kLatencyReps;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool emit_json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bench::PrintBanner("checkpoint_overhead",
+                     "Crash-safe training: steps/sec overhead of atomic "
+                     "checkpointing and per-generation write/restore cost");
+
+  const data::Scenario s = data::GeneratePreset(
+      data::DatasetId::kSoftware, bench::BenchScale());
+  models::TrainConfig cfg = bench::PresetTrainConfig(data::DatasetId::kSoftware);
+  std::printf("dataset: Software x%.2f (%zu train examples, %llu steps)\n\n",
+              bench::BenchScale(), s.train.size(),
+              static_cast<unsigned long long>(TotalSteps(cfg, s)));
+
+  // One untimed run so the baseline point doesn't absorb allocator and
+  // page-cache warm-up.
+  (void)RunPoint(cfg, s, 0);
+
+  std::vector<SweepPoint> sweep;
+  for (uint64_t every : {uint64_t{0}, uint64_t{100}, uint64_t{10}}) {
+    sweep.push_back(RunPoint(cfg, s, every));
+  }
+  // The every=10 run ran last, so its generations are on disk for the
+  // file-latency probe.
+  const FileLatency file = MeasureFileLatency();
+
+  const double base = sweep.front().steps_per_sec;
+  for (SweepPoint& p : sweep) {
+    p.overhead_pct = 100.0 * (base / p.steps_per_sec - 1.0);
+  }
+
+  core::Table t({"every_steps", "wall (s)", "steps/s", "overhead", "writes"});
+  for (const SweepPoint& p : sweep) {
+    t.AddRow({p.every_steps == 0 ? "off" : core::StrFormat("%llu",
+                  static_cast<unsigned long long>(p.every_steps)),
+              core::StrFormat("%.2f", p.wall_s),
+              core::StrFormat("%.1f", p.steps_per_sec),
+              core::StrFormat("%+.1f%%", p.overhead_pct),
+              core::StrFormat("%llu", static_cast<unsigned long long>(
+                                          p.generations_written))});
+  }
+  std::fputs(t.ToAscii().c_str(), stdout);
+  std::printf("\ngeneration file: %llu bytes, save %.2f ms, load %.2f ms "
+              "(avg of %d)\n",
+              static_cast<unsigned long long>(file.bytes), file.save_ms,
+              file.load_ms, kLatencyReps);
+
+  if (emit_json) {
+    std::string json = "{\n  \"bench\": \"checkpoint_overhead\",\n  \"sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      json += core::StrFormat(
+          "    {\"every_steps\": %llu, \"wall_s\": %.3f, "
+          "\"steps_per_sec\": %.2f, \"overhead_pct\": %.2f, \"writes\": "
+          "%llu}%s\n",
+          static_cast<unsigned long long>(p.every_steps), p.wall_s,
+          p.steps_per_sec, p.overhead_pct,
+          static_cast<unsigned long long>(p.generations_written),
+          i + 1 == sweep.size() ? "" : ",");
+    }
+    json += core::StrFormat(
+        "  ],\n  \"generation_file\": {\"bytes\": %llu, \"save_ms\": %.3f, "
+        "\"load_ms\": %.3f}\n}\n",
+        static_cast<unsigned long long>(file.bytes), file.save_ms,
+        file.load_ms);
+    std::ofstream("BENCH_checkpoint.json") << json;
+    std::printf("wrote BENCH_checkpoint.json\n");
+  }
+  std::filesystem::remove_all(kDir);
+  return 0;
+}

@@ -2,7 +2,11 @@
 # Full check: plain Release build + ctest, then an address+undefined
 # sanitizer build + ctest, then a thread-sanitizer build running the
 # concurrency-sensitive suites (kernel execution layer, thread pool, the
-# rewired tensor ops). Usage: scripts/check.sh [extra ctest args].
+# rewired tensor ops). The full-ctest lanes include the crash-safety
+# suites: train_checkpoint_test (kill-point sweep, checkpoint container
+# corruption matrix — the file-size/offset arithmetic there is exactly
+# what ASan/UBSan should see) and the torn-write EmbeddingStore tests in
+# serving_resilience_test. Usage: scripts/check.sh [extra ctest args].
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

@@ -117,6 +117,23 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xa0761d6478bd642fULL); }
 
+RngState Rng::ExportState() const {
+  RngState st;
+  for (size_t i = 0; i < 4; ++i) st.words[i] = state_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  GARCIA_CHECK((state.words[0] | state.words[1] | state.words[2] |
+                state.words[3]) != 0)
+      << "all-zero rng state (corrupt snapshot)";
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
   GARCIA_CHECK_GT(n, 0u);
   GARCIA_CHECK_GT(s, 0.0);

@@ -8,12 +8,23 @@
 #ifndef GARCIA_CORE_RNG_H_
 #define GARCIA_CORE_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace garcia::core {
+
+/// The complete state of an Rng stream: the four xoshiro256++ words plus
+/// the Box-Muller half-pair cache (without it a restored stream would skip
+/// or repeat one Normal() draw). Serialized into training checkpoints so a
+/// resumed run continues the stream bit for bit.
+struct RngState {
+  std::array<uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// xoshiro256++ generator seeded via SplitMix64.
 ///
@@ -62,6 +73,15 @@ class Rng {
 
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
+
+  /// Snapshot of the full stream position (checkpointing).
+  RngState ExportState() const;
+
+  /// Restores a snapshot taken by ExportState. The next draw after a
+  /// restore equals the next draw after the snapshot. Rejects the
+  /// degenerate all-zero xoshiro state (which only a corrupt snapshot can
+  /// carry — a seeded stream never reaches it).
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -75,9 +75,57 @@ void GnnBaseline::Fit(const data::Scenario& s) {
   // effect the ablations measure; see EXPERIMENTS.md notes.)
   const size_t epochs = cfg_.finetune_epochs + cfg_.pretrain_epochs;
   BatchIterator it(s.train.size(), cfg_.batch_size, &rng_);
-  for (size_t epoch = 0; epoch < epochs; ++epoch) {
-    it.Reset();
+
+  // Crash-safe checkpointing (DESIGN.md §5h): single phase, so the resume
+  // point is right here — after every construction-time rng draw (module
+  // init, iterator shuffle), which the snapshotted stream state postdates.
+  train::CheckpointManager ckpt(train::CheckpointOptions{
+      cfg_.checkpoint_dir, cfg_.checkpoint_every_steps, cfg_.checkpoint_keep,
+      TrainFingerprint(cfg_, name(), s), cfg_.checkpoint_fault});
+  std::optional<train::TrainCheckpoint> resume = ckpt.Resume();
+  uint64_t global_step = 0;
+  size_t start_epoch = 0;
+  size_t start_steps = 0;
+  bool mid_epoch_resume = false;
+  if (resume) {
+    GARCIA_CHECK_EQ(resume->rng_streams.size(), 2u);
+    GARCIA_CHECK(resume->has_iterator);
+    RestoreTrainState(*resume, params, &opt);
+    rng_.RestoreState(resume->rng_streams[0]);
+    sample_rng_.RestoreState(resume->rng_streams[1]);
+    it.Restore(resume->iterator_order, resume->iterator_cursor);
+    global_step = resume->global_step;
+    start_epoch = resume->epoch;
+    start_steps = resume->step_in_epoch;
+    mid_epoch_resume = true;
+  }
+  auto snapshot = [&](uint64_t epoch, uint64_t step_in_epoch) {
+    train::TrainCheckpoint ck;
+    ck.phase = 0;
+    ck.epoch = epoch;
+    ck.step_in_epoch = step_in_epoch;
+    ck.params = SnapshotParameterValues(params);
+    nn::AdamState adam = opt.ExportState();
+    ck.adam_t = adam.t;
+    ck.adam_m = std::move(adam.m);
+    ck.adam_v = std::move(adam.v);
+    ck.rng_streams = {rng_.ExportState(), sample_rng_.ExportState()};
+    ck.has_iterator = true;
+    ck.iterator_cursor = it.cursor();
+    ck.iterator_order = it.order();
+    return ck;
+  };
+
+  for (size_t epoch = start_epoch; epoch < epochs; ++epoch) {
     size_t steps = 0;
+    if (mid_epoch_resume) {
+      // Continue from the restored iterator position; a Reset here would
+      // burn a shuffle the uninterrupted run never drew.
+      mid_epoch_resume = false;
+      steps = start_steps;
+    } else {
+      it.Reset();
+    }
     double epoch_loss = 0.0;
     while (true) {
       if (cfg_.max_batches_per_epoch > 0 &&
@@ -116,6 +164,9 @@ void GnnBaseline::Fit(const data::Scenario& s) {
       opt.Step();
       epoch_loss += loss.scalar();
       ++steps;
+      ++global_step;
+      ckpt.AtStepEnd(global_step,
+                     [&] { return snapshot(epoch, steps); });
     }
     GARCIA_LOG(Debug) << name() << " epoch " << epoch
                       << " loss=" << (steps ? epoch_loss / steps : 0.0);

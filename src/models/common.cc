@@ -1,8 +1,104 @@
 #include "models/common.h"
 
+#include <cstring>
 #include <numeric>
 
 namespace garcia::models {
+
+namespace {
+
+// FNV-1a over raw bytes; each field is mixed with its full width so
+// distinct configs cannot alias through truncation.
+class Fingerprinter {
+ public:
+  template <typename T>
+  void Mix(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &value, sizeof(T));
+    for (unsigned char b : bytes) {
+      hash_ ^= b;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void Mix(const std::string& s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    for (char c : s) Mix(c);
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace
+
+uint64_t TrainFingerprint(const TrainConfig& cfg, const std::string& model_name,
+                          const data::Scenario& scenario) {
+  Fingerprinter fp;
+  fp.Mix(model_name);
+  fp.Mix(static_cast<uint64_t>(cfg.embedding_dim));
+  fp.Mix(static_cast<uint64_t>(cfg.num_layers));
+  fp.Mix(cfg.learning_rate);
+  fp.Mix(static_cast<uint64_t>(cfg.batch_size));
+  fp.Mix(static_cast<uint64_t>(cfg.finetune_epochs));
+  fp.Mix(static_cast<uint64_t>(cfg.pretrain_epochs));
+  fp.Mix(static_cast<uint64_t>(cfg.max_batches_per_epoch));
+  fp.Mix(cfg.seed);
+  fp.Mix(static_cast<uint64_t>(cfg.sample_fanout));
+  fp.Mix(cfg.sample_seed);
+  fp.Mix(cfg.tau);
+  fp.Mix(cfg.alpha);
+  fp.Mix(cfg.beta);
+  fp.Mix(static_cast<uint64_t>(cfg.cl_batch_size));
+  fp.Mix(static_cast<uint64_t>(cfg.tree_levels));
+  fp.Mix(cfg.use_ktcl);
+  fp.Mix(cfg.use_secl);
+  fp.Mix(cfg.use_igcl);
+  fp.Mix(cfg.use_intention);
+  fp.Mix(cfg.share_encoders);
+  fp.Mix(cfg.use_attention);
+  fp.Mix(cfg.ktcl_ngram_mining);
+  fp.Mix(cfg.ssl_weight);
+  fp.Mix(cfg.edge_dropout);
+  fp.Mix(cfg.simgcl_eps);
+  fp.Mix(cfg.inner_product_head);
+  fp.Mix(static_cast<uint64_t>(scenario.num_queries()));
+  fp.Mix(static_cast<uint64_t>(scenario.num_services()));
+  fp.Mix(static_cast<uint64_t>(scenario.train.size()));
+  return fp.hash();
+}
+
+std::vector<core::Matrix> SnapshotParameterValues(
+    const std::vector<nn::Tensor>& params) {
+  std::vector<core::Matrix> values;
+  values.reserve(params.size());
+  for (const nn::Tensor& p : params) values.push_back(p.value());
+  return values;
+}
+
+void RestoreParameterValues(const std::vector<nn::Tensor>& params,
+                            const std::vector<core::Matrix>& values) {
+  GARCIA_CHECK_EQ(values.size(), params.size())
+      << "checkpoint parameter count mismatch";
+  for (size_t i = 0; i < params.size(); ++i) {
+    GARCIA_CHECK_EQ(values[i].rows(), params[i].rows());
+    GARCIA_CHECK_EQ(values[i].cols(), params[i].cols());
+    const_cast<nn::Tensor&>(params[i]).mutable_value() = values[i];
+  }
+}
+
+void RestoreTrainState(const train::TrainCheckpoint& ck,
+                       const std::vector<nn::Tensor>& params, nn::Adam* opt) {
+  RestoreParameterValues(params, ck.params);
+  nn::AdamState state;
+  state.t = ck.adam_t;
+  state.m = ck.adam_m;
+  state.v = ck.adam_v;
+  opt->RestoreState(state);
+}
 
 eval::SlicedMetrics EvaluateModel(RankingModel* model,
                                   const data::Scenario& scenario,
@@ -42,6 +138,15 @@ void BatchIterator::Reset() {
 
 size_t BatchIterator::batches_per_epoch() const {
   return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void BatchIterator::Restore(const std::vector<uint32_t>& order,
+                            size_t cursor) {
+  GARCIA_CHECK_EQ(order.size(), order_.size())
+      << "checkpoint iterator built over a different example count";
+  GARCIA_CHECK_LE(cursor, order.size());
+  order_ = order;
+  cursor_ = cursor;
 }
 
 }  // namespace garcia::models

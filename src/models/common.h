@@ -18,6 +18,8 @@
 #include "core/rng.h"
 #include "data/scenario.h"
 #include "eval/metrics.h"
+#include "nn/optimizer.h"
+#include "train/checkpoint.h"
 
 namespace garcia::models {
 
@@ -79,7 +81,45 @@ struct TrainConfig {
   // Serving variant: score with inner product instead of the MLP head
   // (the paper's online deployment, Sec. V-F1).
   bool inner_product_head = false;
+
+  // Crash-safe checkpointing (train/checkpoint.h, DESIGN.md §5h).
+  /// Generation directory; empty (the default) disables checkpointing.
+  std::string checkpoint_dir;
+  /// Write a generation every N completed optimizer steps (counted across
+  /// all phases); 0 disables.
+  uint64_t checkpoint_every_steps = 0;
+  /// Generations kept on disk; older ones are pruned after each write.
+  uint64_t checkpoint_keep = 2;
+  /// Test-only simulated-crash plan; kNone in production. Like
+  /// num_threads, this never affects the training trajectory, so it is
+  /// excluded from TrainFingerprint.
+  train::CheckpointFaultPlan checkpoint_fault;
 };
+
+/// FNV-1a fingerprint of every TrainConfig field that shapes the training
+/// trajectory, plus the model name and the scenario dimensions. Stored in
+/// each checkpoint; resume under a different fingerprint is refused
+/// because the replayed trajectory would silently diverge. Excludes
+/// num_threads (parallel execution is bit-identical to serial) and the
+/// checkpoint/fault knobs themselves (cadence may change across restarts).
+uint64_t TrainFingerprint(const TrainConfig& cfg, const std::string& model_name,
+                          const data::Scenario& scenario);
+
+/// Copies the current parameter values, in order (checkpoint snapshot).
+std::vector<core::Matrix> SnapshotParameterValues(
+    const std::vector<nn::Tensor>& params);
+
+/// Writes snapshotted values back into the live parameter tensors; shapes
+/// must match (the checkpoint was validated against this config's
+/// fingerprint, so a mismatch is an internal error).
+void RestoreParameterValues(const std::vector<nn::Tensor>& params,
+                            const std::vector<core::Matrix>& values);
+
+/// Restores the model/optimizer half of a decoded checkpoint: parameter
+/// values and Adam state. Rng streams and iterator position are restored
+/// by the caller at its phase-specific resume point.
+void RestoreTrainState(const train::TrainCheckpoint& ck,
+                       const std::vector<nn::Tensor>& params, nn::Adam* opt);
 
 /// A trained ranking model.
 class RankingModel {
@@ -124,6 +164,13 @@ class BatchIterator {
   void Reset();
 
   size_t batches_per_epoch() const;
+
+  // Checkpoint hooks: the exact mid-epoch position, restorable later.
+  const std::vector<uint32_t>& order() const { return order_; }
+  size_t cursor() const { return cursor_; }
+  /// Restores a snapshotted position. `order` must be a permutation of the
+  /// same example count this iterator was built over.
+  void Restore(const std::vector<uint32_t>& order, size_t cursor);
 
  private:
   std::vector<uint32_t> order_;

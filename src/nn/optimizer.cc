@@ -83,6 +83,29 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+void Adam::RestoreState(const AdamState& state) {
+  GARCIA_CHECK_GE(state.t, 0);
+  GARCIA_CHECK_EQ(state.m.size(), params_.size());
+  GARCIA_CHECK_EQ(state.v.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    GARCIA_CHECK_EQ(state.m[i].rows(), params_[i].rows());
+    GARCIA_CHECK_EQ(state.m[i].cols(), params_[i].cols());
+    GARCIA_CHECK_EQ(state.v[i].rows(), params_[i].rows());
+    GARCIA_CHECK_EQ(state.v[i].cols(), params_[i].cols());
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+}
+
 double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
   double sq = 0.0;
   for (const Tensor& p : params) {

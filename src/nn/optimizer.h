@@ -41,6 +41,16 @@ class Sgd : public Optimizer {
   std::vector<core::Matrix> velocity_;
 };
 
+/// The complete mutable state of an Adam instance: the step count driving
+/// bias correction plus both moment estimates, in parameter order.
+/// Serialized into training checkpoints; restoring it makes the next
+/// Step() bit-identical to the one the snapshotted optimizer would take.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<core::Matrix> m;
+  std::vector<core::Matrix> v;
+};
+
 /// Adam (Kingma & Ba) with optional decoupled weight decay. The paper trains
 /// every model with Adam.
 class Adam : public Optimizer {
@@ -48,6 +58,14 @@ class Adam : public Optimizer {
   Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+
+  /// Snapshot of t and both moment vectors (checkpointing).
+  AdamState ExportState() const;
+
+  /// Restores a snapshot taken by ExportState. The moment shapes must
+  /// match this optimizer's parameters (callers validate checkpoints
+  /// against the live model before restoring).
+  void RestoreState(const AdamState& state);
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/crc32.h"
+#include "core/fileio.h"
 #include "core/logging.h"
 
 namespace garcia::serving {
@@ -35,21 +36,24 @@ const float* EmbeddingStore::Find(uint32_t id) const {
 }
 
 core::Status EmbeddingStore::Save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return core::Status::IoError("cannot open " + path);
+  // Serialize to a buffer, then publish atomically (temp + fsync +
+  // rename): a crash mid-save leaves either the previous dump intact or
+  // the new one complete, never a torn file a reloading server would
+  // reject at startup.
   const uint64_t rows = embeddings_.rows();
   const uint64_t cols = embeddings_.cols();
   const uint64_t payload_bytes = rows * cols * sizeof(float);
   const uint32_t crc = core::Crc32(embeddings_.data(), payload_bytes);
-  f.write(kMagicV2, 4);
-  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  f.write(reinterpret_cast<const char*>(embeddings_.data()),
-          static_cast<std::streamsize>(payload_bytes));
-  if (!f) return core::Status::IoError("write failed for " + path);
-  return core::Status::Ok();
+  std::string bytes;
+  bytes.reserve(24 + payload_bytes);
+  bytes.append(kMagicV2, 4);
+  bytes.append(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  bytes.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  bytes.append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.append(reinterpret_cast<const char*>(embeddings_.data()),
+               payload_bytes);
+  return core::WriteFileAtomic(path, bytes.data(), bytes.size());
 }
 
 core::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {

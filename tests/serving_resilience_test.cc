@@ -57,6 +57,55 @@ TEST(EmbeddingStoreHardeningTest, V2RoundTripWithChecksum) {
   std::remove(path.c_str());
 }
 
+TEST(EmbeddingStoreHardeningTest, AtomicSaveRepairsTornDumpAndLeavesNoTemp) {
+  // A torn dump under the final name (a legacy non-atomic writer killed
+  // mid-write) must be rejected on load, and a subsequent Save must
+  // atomically replace it without stranding its temp file.
+  core::Rng rng(17);
+  EmbeddingStore store(Matrix::Randn(9, 4, &rng));
+  const std::string path = TempPath("torn_dump");
+  ASSERT_TRUE(store.Save(path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(EmbeddingStore::Load(path).ok());
+
+  ASSERT_TRUE(store.Save(path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+      << "atomic save stranded its temp file";
+  auto reloaded = EmbeddingStore::Load(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded.value().matrix().AllClose(store.matrix()));
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreHardeningTest, AtomicSaveOverwritesStrayTempFile) {
+  core::Rng rng(19);
+  EmbeddingStore store(Matrix::Randn(3, 6, &rng));
+  const std::string path = TempPath("stray_tmp");
+  {
+    std::ofstream f(path + ".tmp", std::ios::binary);
+    f << "stranded by a crashed writer";
+  }
+  ASSERT_TRUE(store.Save(path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  auto loaded = EmbeddingStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreHardeningTest, SaveIntoMissingDirectoryFailsCleanly) {
+  EmbeddingStore store(Matrix({{1, 2}, {3, 4}}));
+  const auto st = store.Save("/tmp/garcia_no_such_dir_xq7/dump.bin");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::StatusCode::kIoError);
+}
+
 TEST(EmbeddingStoreHardeningTest, ChecksumRejectsFlippedPayloadByte) {
   core::Rng rng(4);
   EmbeddingStore store(Matrix::Randn(6, 4, &rng));

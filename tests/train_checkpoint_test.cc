@@ -1,0 +1,576 @@
+// Tests for crash-safe training (ISSUE 6): the GCK1 checkpoint container,
+// the corruption matrix (truncation, per-section bit flips, bad
+// magic/version, fingerprint mismatch, generation fallback), the
+// CheckpointManager cadence/pruning behavior, and the kill-point
+// crash-resume harness asserting bit-identical resumed training for
+// GARCIA (both phases, full-graph and sampled) and the baselines.
+
+#include "train/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "data/scenario.h"
+#include "models/common.h"
+#include "models/garcia_model.h"
+#include "models/lightgcn.h"
+#include "models/wide_deep.h"
+
+namespace garcia::train {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Matrix;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = "/tmp/garcia_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good());
+}
+
+bool SameMatrix(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// A small but fully populated checkpoint exercising every section.
+TrainCheckpoint MakeCheckpoint(uint64_t seed) {
+  core::Rng rng(seed);
+  TrainCheckpoint ck;
+  ck.config_fingerprint = 0xfeedfacecafef00dULL ^ seed;
+  ck.phase = 1;
+  ck.epoch = 3;
+  ck.step_in_epoch = 7;
+  ck.global_step = 42;
+  ck.diagnostics = {0.5f, 1.25f, -2.0f};
+  ck.params = {Matrix::Randn(4, 3, &rng), Matrix::Randn(2, 5, &rng)};
+  ck.adam_t = 42;
+  ck.adam_m = {Matrix::Randn(4, 3, &rng), Matrix::Randn(2, 5, &rng)};
+  ck.adam_v = {Matrix::Randn(4, 3, &rng), Matrix::Randn(2, 5, &rng)};
+  core::Rng s0(seed + 1), s1(seed + 2);
+  s0.NextU64();
+  s1.Normal();  // leaves a cached Box-Muller value in the state
+  ck.rng_streams = {s0.ExportState(), s1.ExportState()};
+  ck.has_iterator = true;
+  ck.iterator_cursor = 5;
+  ck.iterator_order = {4, 1, 0, 3, 2, 6, 5};
+  return ck;
+}
+
+void ExpectEqualCheckpoints(const TrainCheckpoint& a, const TrainCheckpoint& b) {
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.phase, b.phase);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.step_in_epoch, b.step_in_epoch);
+  EXPECT_EQ(a.global_step, b.global_step);
+  EXPECT_EQ(a.diagnostics, b.diagnostics);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t i = 0; i < a.params.size(); ++i) {
+    EXPECT_TRUE(SameMatrix(a.params[i], b.params[i]));
+    EXPECT_TRUE(SameMatrix(a.adam_m[i], b.adam_m[i]));
+    EXPECT_TRUE(SameMatrix(a.adam_v[i], b.adam_v[i]));
+  }
+  EXPECT_EQ(a.adam_t, b.adam_t);
+  ASSERT_EQ(a.rng_streams.size(), b.rng_streams.size());
+  for (size_t i = 0; i < a.rng_streams.size(); ++i) {
+    EXPECT_EQ(a.rng_streams[i].words, b.rng_streams[i].words);
+    EXPECT_EQ(a.rng_streams[i].has_cached_normal,
+              b.rng_streams[i].has_cached_normal);
+    EXPECT_EQ(a.rng_streams[i].cached_normal, b.rng_streams[i].cached_normal);
+  }
+  EXPECT_EQ(a.has_iterator, b.has_iterator);
+  EXPECT_EQ(a.iterator_cursor, b.iterator_cursor);
+  EXPECT_EQ(a.iterator_order, b.iterator_order);
+}
+
+// ----------------------------------------------------------- container
+
+TEST(CheckpointContainerTest, EncodeDecodeRoundTrip) {
+  TrainCheckpoint ck = MakeCheckpoint(11);
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(ck), "test");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectEqualCheckpoints(ck, *decoded);
+}
+
+TEST(CheckpointContainerTest, EncodingIsDeterministic) {
+  EXPECT_EQ(EncodeCheckpoint(MakeCheckpoint(5)),
+            EncodeCheckpoint(MakeCheckpoint(5)));
+}
+
+TEST(CheckpointContainerTest, ListsAllSixSectionsInOrder) {
+  auto spans = ListCheckpointSections(EncodeCheckpoint(MakeCheckpoint(1)));
+  ASSERT_TRUE(spans.ok());
+  ASSERT_EQ((*spans).size(), 6u);
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ((*spans)[i].id, i + 1);
+}
+
+TEST(CheckpointContainerTest, BadMagicRejected) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint(2));
+  bytes[0] = 'X';
+  auto decoded = DecodeCheckpoint(bytes, "test");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("not a GCK1"), std::string::npos);
+}
+
+TEST(CheckpointContainerTest, UnsupportedVersionRejected) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint(2));
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  auto decoded = DecodeCheckpoint(bytes, "test");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(CheckpointContainerTest, EveryTruncationPointRejected) {
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint(3));
+  // Cut inside the header, each section header, and each payload.
+  for (size_t cut : {size_t{2}, size_t{9}, size_t{14}, size_t{30},
+                     bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    auto decoded = DecodeCheckpoint(bytes.substr(0, cut), "test");
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut << " was accepted";
+  }
+}
+
+TEST(CheckpointContainerTest, BitFlipInEverySectionIsDetectedAndNamed) {
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint(4));
+  auto spans = ListCheckpointSections(bytes);
+  ASSERT_TRUE(spans.ok());
+  for (const CheckpointSectionSpan& span : *spans) {
+    std::string corrupt = bytes;
+    corrupt[span.payload_offset + span.payload_size / 2] ^= 0x01;
+    auto decoded = DecodeCheckpoint(corrupt, "test");
+    ASSERT_FALSE(decoded.ok())
+        << "flip in section " << span.id << " was accepted";
+    const char* name =
+        CheckpointSectionName(static_cast<CheckpointSectionId>(span.id));
+    EXPECT_NE(decoded.status().message().find(name), std::string::npos)
+        << "error does not name section " << name << ": "
+        << decoded.status().ToString();
+  }
+}
+
+TEST(CheckpointContainerTest, MomentCountMismatchRejected) {
+  TrainCheckpoint ck = MakeCheckpoint(6);
+  ck.adam_m.pop_back();
+  ck.adam_v.pop_back();
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(ck), "test");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("optimizer tracks"),
+            std::string::npos);
+}
+
+TEST(CheckpointContainerTest, IteratorCursorPastEndRejected) {
+  TrainCheckpoint ck = MakeCheckpoint(7);
+  ck.iterator_cursor = ck.iterator_order.size() + 1;
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(ck), "test");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("cursor"), std::string::npos);
+}
+
+TEST(CheckpointContainerTest, AllZeroRngStateRejected) {
+  TrainCheckpoint ck = MakeCheckpoint(8);
+  ck.rng_streams[0] = core::RngState{};  // all-zero words
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(ck), "test");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("all-zero"), std::string::npos);
+}
+
+// ---------------------------------------------------- files & generations
+
+TEST(CheckpointFileTest, SaveLoadRoundTripLeavesNoTempFile) {
+  const std::string dir = TempDir("file_roundtrip");
+  fs::create_directories(dir);
+  const std::string path = dir + "/" + CheckpointFileName(10);
+  TrainCheckpoint ck = MakeCheckpoint(9);
+  ASSERT_TRUE(SaveCheckpoint(path, ck).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualCheckpoints(ck, *loaded);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFileTest, ListStepsIgnoresForeignAndTempFiles) {
+  const std::string dir = TempDir("list_steps");
+  fs::create_directories(dir);
+  ASSERT_TRUE(SaveCheckpoint(dir + "/" + CheckpointFileName(30),
+                             MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(SaveCheckpoint(dir + "/" + CheckpointFileName(7),
+                             MakeCheckpoint(1)).ok());
+  WriteRaw(dir + "/checkpoint-00000012.gck.tmp", "torn");
+  WriteRaw(dir + "/notes.txt", "hello");
+  WriteRaw(dir + "/checkpoint-abc.gck", "bogus name");
+  EXPECT_EQ(ListCheckpointSteps(dir), (std::vector<uint64_t>{7, 30}));
+  EXPECT_TRUE(ListCheckpointSteps(dir + "/missing").empty());
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFileTest, LatestFallsBackPastCorruptGeneration) {
+  const std::string dir = TempDir("fallback");
+  fs::create_directories(dir);
+  TrainCheckpoint ck = MakeCheckpoint(12);
+  ck.global_step = 10;
+  ASSERT_TRUE(SaveCheckpoint(dir + "/" + CheckpointFileName(10), ck).ok());
+  // Newest generation is torn (as if a non-atomic writer died mid-write).
+  const std::string full = EncodeCheckpoint(ck);
+  WriteRaw(dir + "/" + CheckpointFileName(20), full.substr(0, full.size() / 2));
+
+  auto resumed = LoadLatestCheckpoint(dir, ck.config_fingerprint);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ((*resumed).loaded_step, 10u);
+  ASSERT_EQ((*resumed).skipped.size(), 1u);
+  EXPECT_NE((*resumed).skipped[0].find(CheckpointFileName(20)),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFileTest, AllGenerationsCorruptIsIoErrorListingEach) {
+  const std::string dir = TempDir("all_corrupt");
+  fs::create_directories(dir);
+  WriteRaw(dir + "/" + CheckpointFileName(1), "garbage");
+  WriteRaw(dir + "/" + CheckpointFileName(2), "more garbage");
+  auto resumed = LoadLatestCheckpoint(dir, 0);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), core::StatusCode::kIoError);
+  EXPECT_NE(resumed.status().message().find(CheckpointFileName(1)),
+            std::string::npos);
+  EXPECT_NE(resumed.status().message().find(CheckpointFileName(2)),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFileTest, EmptyDirectoryIsNotFound) {
+  const std::string dir = TempDir("empty");
+  fs::create_directories(dir);
+  EXPECT_EQ(LoadLatestCheckpoint(dir, 0).status().code(),
+            core::StatusCode::kNotFound);
+  EXPECT_EQ(LoadLatestCheckpoint(dir + "/never_created", 0).status().code(),
+            core::StatusCode::kNotFound);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointFileTest, FingerprintMismatchIsRefusedNotSkipped) {
+  const std::string dir = TempDir("fingerprint");
+  fs::create_directories(dir);
+  TrainCheckpoint ck = MakeCheckpoint(13);
+  ASSERT_TRUE(SaveCheckpoint(dir + "/" + CheckpointFileName(5), ck).ok());
+  auto resumed = LoadLatestCheckpoint(dir, ck.config_fingerprint + 1);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(resumed.status().message().find("refusing to resume"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------- manager
+
+TrainCheckpoint MinimalSnapshot(uint64_t step) {
+  TrainCheckpoint ck;
+  ck.global_step = step;
+  core::Rng rng(step + 1);
+  ck.rng_streams = {rng.ExportState()};
+  return ck;
+}
+
+TEST(CheckpointManagerTest, CadenceWritesAndKeepKPruning) {
+  const std::string dir = TempDir("manager_prune");
+  CheckpointManager mgr(
+      {dir, /*every_steps=*/1, /*keep=*/2, /*fingerprint=*/77, {}});
+  EXPECT_TRUE(mgr.enabled());
+  EXPECT_FALSE(mgr.Resume().has_value());  // fresh start
+  for (uint64_t step = 1; step <= 5; ++step) {
+    mgr.AtStepEnd(step, [&] { return MinimalSnapshot(step); });
+  }
+  EXPECT_EQ(mgr.writes(), 5u);
+  EXPECT_EQ(ListCheckpointSteps(dir), (std::vector<uint64_t>{4, 5}));
+  auto resumed = LoadLatestCheckpoint(dir, 77);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ((*resumed).loaded_step, 5u);
+  // The manager stamps the fingerprint and step into every generation.
+  EXPECT_EQ((*resumed).checkpoint.config_fingerprint, 77u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointManagerTest, DisabledManagerIsInert) {
+  CheckpointManager mgr({"", 0, 2, 0, {}});
+  EXPECT_FALSE(mgr.enabled());
+  EXPECT_FALSE(mgr.Resume().has_value());
+  mgr.AtStepEnd(1, [] {
+    ADD_FAILURE() << "snapshot materialized while disabled";
+    return TrainCheckpoint{};
+  });
+  EXPECT_EQ(mgr.writes(), 0u);
+}
+
+TEST(CheckpointManagerTest, NonCadenceStepsDoNotSnapshot) {
+  const std::string dir = TempDir("manager_cadence");
+  CheckpointManager mgr({dir, /*every_steps=*/10, 2, 0, {}});
+  int snapshots = 0;
+  for (uint64_t step = 1; step <= 25; ++step) {
+    mgr.AtStepEnd(step, [&] {
+      ++snapshots;
+      return MinimalSnapshot(step);
+    });
+  }
+  EXPECT_EQ(snapshots, 2);
+  EXPECT_EQ(ListCheckpointSteps(dir), (std::vector<uint64_t>{10, 20}));
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointManagerTest, ResumeSweepsStrayTempFiles) {
+  const std::string dir = TempDir("manager_tmp");
+  fs::create_directories(dir);
+  ASSERT_TRUE(SaveCheckpoint(dir + "/" + CheckpointFileName(3),
+                             MinimalSnapshot(3)).ok());
+  WriteRaw(dir + "/checkpoint-00000006.gck.tmp", "stranded");
+  CheckpointManager mgr({dir, 1, 2, 0, {}});
+  auto resumed = mgr.Resume();
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(resumed->global_step, 3u);
+  EXPECT_FALSE(fs::exists(dir + "/checkpoint-00000006.gck.tmp"));
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------- crash-resume harness
+
+data::ScenarioConfig TinyDataConfig() {
+  data::ScenarioConfig cfg;
+  cfg.num_queries = 150;
+  cfg.num_services = 60;
+  cfg.num_intentions = 30;
+  cfg.num_trees = 4;
+  cfg.num_impressions = 6000;
+  cfg.head_fraction = 0.06;
+  return cfg;
+}
+
+const data::Scenario& Tiny() {
+  static const data::Scenario* s =
+      new data::Scenario(data::GenerateScenario(TinyDataConfig()));
+  return *s;
+}
+
+models::TrainConfig FastTrainConfig() {
+  models::TrainConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.pretrain_epochs = 3;
+  cfg.finetune_epochs = 6;
+  cfg.max_batches_per_epoch = 10;
+  cfg.batch_size = 512;
+  cfg.cl_batch_size = 96;
+  return cfg;
+}
+// With this config GARCIA runs 3 epochs x 5 pretrain steps (global steps
+// 1..15), then 6 epochs x 10 finetune steps (16..75).
+
+struct RunResult {
+  Matrix queries;
+  Matrix services;
+};
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  EXPECT_TRUE(SameMatrix(a.queries, b.queries))
+      << "query embeddings diverged";
+  EXPECT_TRUE(SameMatrix(a.services, b.services))
+      << "service embeddings diverged";
+}
+
+template <typename ModelT>
+RunResult FitAndExport(const models::TrainConfig& cfg) {
+  ModelT model(cfg);
+  model.Fit(Tiny());
+  return {model.ExportQueryEmbeddings(Tiny()),
+          model.ExportServiceEmbeddings(Tiny())};
+}
+
+/// Trains with an armed kill-point, asserts the simulated crash fires,
+/// then restarts over the same checkpoint directory (a fresh model, as a
+/// process restart would construct) and runs to completion.
+template <typename ModelT>
+RunResult CrashThenResume(models::TrainConfig cfg, KillPoint point,
+                          uint64_t step) {
+  cfg.checkpoint_fault = {point, step};
+  bool killed = false;
+  try {
+    ModelT victim(cfg);
+    victim.Fit(Tiny());
+  } catch (const TrainingKilled& k) {
+    killed = true;
+    EXPECT_EQ(k.point, point);
+    EXPECT_EQ(k.step, step);
+  }
+  EXPECT_TRUE(killed) << "kill-point " << KillPointName(point)
+                      << " never fired at step " << step;
+  cfg.checkpoint_fault = {};
+  return FitAndExport<ModelT>(cfg);
+}
+
+models::TrainConfig CheckpointedConfig(const std::string& dir_name,
+                                       uint64_t every = 3) {
+  models::TrainConfig cfg = FastTrainConfig();
+  cfg.checkpoint_dir = TempDir(dir_name);
+  cfg.checkpoint_every_steps = every;
+  return cfg;
+}
+
+TEST(CrashResumeTest, CheckpointingItselfIsNonInvasive) {
+  // Same trajectory with and without checkpointing: the manager must
+  // observe training, never perturb it.
+  const RunResult plain = FitAndExport<models::GarciaModel>(FastTrainConfig());
+  models::TrainConfig cfg = CheckpointedConfig("noninvasive");
+  const RunResult checkpointed = FitAndExport<models::GarciaModel>(cfg);
+  ExpectBitIdentical(plain, checkpointed);
+  EXPECT_FALSE(ListCheckpointSteps(cfg.checkpoint_dir).empty());
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CrashResumeTest, GarciaEveryKillPointClassResumesBitIdentical) {
+  const RunResult reference =
+      FitAndExport<models::GarciaModel>(FastTrainConfig());
+  // One kill per class, spread over both phases (pretrain ends at 15):
+  // cadence steps are multiples of 3; 25 is deliberately off-cadence.
+  const struct {
+    KillPoint point;
+    uint64_t step;
+  } kills[] = {
+      {KillPoint::kBeforeWrite, 6},         // pretrain
+      {KillPoint::kMidWriteTruncate, 9},    // pretrain, torn newest gen
+      {KillPoint::kAfterWrite, 15},         // pretrain/finetune boundary
+      {KillPoint::kPostWriteBitFlip, 21},   // finetune, corrupt newest gen
+      {KillPoint::kBetweenCheckpoints, 25}, // finetune, mid-epoch replay
+  };
+  for (const auto& kill : kills) {
+    SCOPED_TRACE(KillPointName(kill.point));
+    models::TrainConfig cfg = CheckpointedConfig("garcia_kill");
+    const RunResult resumed = CrashThenResume<models::GarciaModel>(
+        cfg, kill.point, kill.step);
+    ExpectBitIdentical(reference, resumed);
+    fs::remove_all(cfg.checkpoint_dir);
+  }
+}
+
+TEST(CrashResumeTest, GarciaSampledFanoutResumesBitIdentical) {
+  models::TrainConfig base = FastTrainConfig();
+  base.sample_fanout = 8;
+  const RunResult reference = FitAndExport<models::GarciaModel>(base);
+  for (uint64_t step : {uint64_t{9}, uint64_t{24}}) {  // one per phase
+    SCOPED_TRACE(step);
+    models::TrainConfig cfg = base;
+    cfg.checkpoint_dir = TempDir("garcia_sampled");
+    cfg.checkpoint_every_steps = 3;
+    const RunResult resumed = CrashThenResume<models::GarciaModel>(
+        cfg, KillPoint::kAfterWrite, step);
+    ExpectBitIdentical(reference, resumed);
+    fs::remove_all(cfg.checkpoint_dir);
+  }
+}
+
+TEST(CrashResumeTest, LightGcnResumesBitIdentical) {
+  const RunResult reference = FitAndExport<models::LightGcn>(FastTrainConfig());
+  models::TrainConfig cfg = CheckpointedConfig("lightgcn");
+  const RunResult resumed = CrashThenResume<models::LightGcn>(
+      cfg, KillPoint::kPostWriteBitFlip, 12);
+  ExpectBitIdentical(reference, resumed);
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CrashResumeTest, WideDeepResumesBitIdentical) {
+  // WideDeep has no exported embeddings; compare predictions instead.
+  models::TrainConfig plain = FastTrainConfig();
+  models::WideDeep reference(plain);
+  reference.Fit(Tiny());
+  const std::vector<float> want = reference.Predict(Tiny(), Tiny().test);
+
+  models::TrainConfig cfg = CheckpointedConfig("wide_deep");
+  cfg.checkpoint_fault = {KillPoint::kBetweenCheckpoints, 14};
+  bool killed = false;
+  try {
+    models::WideDeep victim(cfg);
+    victim.Fit(Tiny());
+  } catch (const TrainingKilled&) {
+    killed = true;
+  }
+  ASSERT_TRUE(killed);
+  cfg.checkpoint_fault = {};
+  models::WideDeep resumed(cfg);
+  resumed.Fit(Tiny());
+  const std::vector<float> got = resumed.Predict(Tiny(), Tiny().test);
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "prediction " << i << " diverged";
+  }
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CrashResumeTest, RepeatedCrashesStillConverge) {
+  // Kill the run twice at different points; the second resume must pick
+  // up from the second run's newer generations.
+  const RunResult reference =
+      FitAndExport<models::GarciaModel>(FastTrainConfig());
+  models::TrainConfig cfg = CheckpointedConfig("garcia_twice");
+  cfg.checkpoint_fault = {KillPoint::kAfterWrite, 9};
+  try {
+    models::GarciaModel first(cfg);
+    first.Fit(Tiny());
+  } catch (const TrainingKilled&) {
+  }
+  cfg.checkpoint_fault = {KillPoint::kBetweenCheckpoints, 40};
+  try {
+    models::GarciaModel second(cfg);
+    second.Fit(Tiny());
+  } catch (const TrainingKilled&) {
+  }
+  cfg.checkpoint_fault = {};
+  const RunResult resumed = FitAndExport<models::GarciaModel>(cfg);
+  ExpectBitIdentical(reference, resumed);
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CrashResumeDeathTest, ChangedConfigRefusesResume) {
+  models::TrainConfig cfg = CheckpointedConfig("garcia_refuse");
+  cfg.checkpoint_fault = {KillPoint::kAfterWrite, 6};
+  try {
+    models::GarciaModel victim(cfg);
+    victim.Fit(Tiny());
+  } catch (const TrainingKilled&) {
+  }
+  cfg.checkpoint_fault = {};
+  cfg.learning_rate *= 2.0f;  // a trajectory-relevant change
+  models::GarciaModel restarted(cfg);
+  EXPECT_DEATH(restarted.Fit(Tiny()), "refusing to resume");
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CrashResumeTest, FingerprintSeparatesModelsAndConfigs) {
+  const models::TrainConfig cfg = FastTrainConfig();
+  const uint64_t garcia =
+      models::TrainFingerprint(cfg, "GARCIA", Tiny());
+  EXPECT_EQ(garcia, models::TrainFingerprint(cfg, "GARCIA", Tiny()));
+  EXPECT_NE(garcia, models::TrainFingerprint(cfg, "LightGCN", Tiny()));
+  models::TrainConfig other = cfg;
+  other.seed += 1;
+  EXPECT_NE(garcia, models::TrainFingerprint(other, "GARCIA", Tiny()));
+  // num_threads and the checkpoint knobs never change the trajectory, so
+  // they must not change the fingerprint (resume across them is legal).
+  models::TrainConfig threads = cfg;
+  threads.num_threads = 4;
+  threads.checkpoint_every_steps = 17;
+  threads.checkpoint_dir = "/elsewhere";
+  EXPECT_EQ(garcia, models::TrainFingerprint(threads, "GARCIA", Tiny()));
+}
+
+}  // namespace
+}  // namespace garcia::train
