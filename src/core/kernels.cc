@@ -97,6 +97,10 @@ inline size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
 struct GemmPackBuffers {
   std::vector<float> a;  // ceil(mb/MR) panels of kc x MR
   std::vector<float> b;  // ceil(nb/NR) panels of kc x NR
+  /// Shared pre-packed op(B): every (column panel x k panel) group packed
+  /// once, reused by all row blocks. Owned by the thread that called Gemm
+  /// (workers only write disjoint groups into it during the pack phase).
+  std::vector<float> b_shared;
 };
 
 GemmPackBuffers& TlsGemmBuffers() {
@@ -298,26 +302,71 @@ void Gemm(const ExecutionContext& ctx, bool trans_a, bool trans_b, float alpha,
   const size_t a_pack_floats = CeilDiv(mb, kGemmMr) * kGemmMr * kc_max;
   const size_t b_pack_floats = CeilDiv(nb, kGemmNr) * kGemmNr * kc_max;
 
+  // With more than one row block, every row block walks the same op(B)
+  // panels, so pack them ONCE into a shared buffer — one (column panel x
+  // k panel) group per slot, at a uniform stride — and let the tile loop
+  // read them instead of re-packing per row block. The pack phase shards
+  // over groups (disjoint writes); ShardedFor's completion barrier
+  // publishes the buffer to the compute phase. Each group's contents are
+  // byte-identical to what the per-tile PackB would produce, so sharing
+  // cannot change the result. Falls back to per-tile packing when the
+  // buffer would exceed the tuning cap.
+  const size_t kc_count = CeilDiv(k, kc_max);
+  const size_t b_group_stride = CeilDiv(nb, kGemmNr) * kGemmNr * kc_max;
+  const size_t b_shared_floats = b_group_stride * col_panels * kc_count;
+  const bool share_b =
+      row_blocks > 1 && b_shared_floats <= tune.gemm_shared_b_max_floats;
+  GemmPackBuffers& caller_bufs = TlsGemmBuffers();
+  if (share_b) {
+    if (caller_bufs.b_shared.size() < b_shared_floats) {
+      caller_bufs.b_shared.resize(b_shared_floats);
+    }
+    float* shared = caller_bufs.b_shared.data();
+    ctx.ShardedFor(0, col_panels * kc_count, /*min_shard=*/1,
+                   [&](size_t g_begin, size_t g_end) {
+                     for (size_t g = g_begin; g < g_end; ++g) {
+                       const size_t jp = g / kc_count;
+                       const size_t lp = g % kc_count;
+                       const size_t j0 = jp * nb;
+                       const size_t l0 = lp * kc_max;
+                       PackB(trans_b, bd, ldb, l0, std::min(kc_max, k - l0),
+                             j0, std::min(nb, n - j0),
+                             shared + g * b_group_stride);
+                     }
+                   });
+  }
+  const float* b_shared = share_b ? caller_bufs.b_shared.data() : nullptr;
+
   // Shard the flattened 2-D tile grid. Tiles write disjoint C regions, so
-  // shards need no synchronization; each shard packs its own panels into
-  // thread-local scratch.
+  // shards need no synchronization; each shard packs its own A panels (and,
+  // without sharing, B panels) into thread-local scratch.
   ctx.ShardedFor(
       0, row_blocks * col_panels, /*min_shard=*/1,
       [&](size_t t_begin, size_t t_end) {
         GemmPackBuffers& bufs = TlsGemmBuffers();
         if (bufs.a.size() < a_pack_floats) bufs.a.resize(a_pack_floats);
-        if (bufs.b.size() < b_pack_floats) bufs.b.resize(b_pack_floats);
+        if (!share_b && bufs.b.size() < b_pack_floats) {
+          bufs.b.resize(b_pack_floats);
+        }
         for (size_t t = t_begin; t < t_end; ++t) {
           const size_t i0 = (t / col_panels) * mb;
-          const size_t j0 = (t % col_panels) * nb;
+          const size_t jp = t % col_panels;
+          const size_t j0 = jp * nb;
           const size_t mbt = std::min(mb, m - i0);
           const size_t nbt = std::min(nb, n - j0);
           for (size_t l0 = 0; l0 < k; l0 += kc_max) {
             const size_t kct = std::min(kc_max, k - l0);
             PackA(trans_a, alpha, ad, lda, i0, mbt, l0, kct, bufs.a.data());
-            PackB(trans_b, bd, ldb, l0, kct, j0, nbt, bufs.b.data());
+            const float* b_panels;
+            if (share_b) {
+              b_panels = b_shared +
+                         (jp * kc_count + l0 / kc_max) * b_group_stride;
+            } else {
+              PackB(trans_b, bd, ldb, l0, kct, j0, nbt, bufs.b.data());
+              b_panels = bufs.b.data();
+            }
             for (size_t jr = 0; jr < nbt; jr += kGemmNr) {
-              const float* bp = bufs.b.data() + (jr / kGemmNr) * kct * kGemmNr;
+              const float* bp = b_panels + (jr / kGemmNr) * kct * kGemmNr;
               for (size_t ir = 0; ir < mbt; ir += kGemmMr) {
                 GemmMicroKernel(
                     bufs.a.data() + (ir / kGemmMr) * kct * kGemmMr, bp, kct,
@@ -600,6 +649,43 @@ void L2NormalizeRowsBackwardAdd(const ExecutionContext& ctx, const Matrix& y,
   });
 }
 
+void SoftmaxRows(const ExecutionContext& ctx, Matrix* x) {
+  const size_t cols = x->cols();
+  ForEachRow(ctx, x->rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
+    float* r = x->row(i);
+    float mx = r[0];
+    for (size_t j = 1; j < cols; ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t j = 0; j < cols; ++j) r[j] *= inv;
+  });
+}
+
+void SoftmaxRowsBackwardAdd(const ExecutionContext& ctx, const Matrix& y,
+                            const Matrix& dy, Matrix* dx) {
+  GARCIA_CHECK_EQ(dy.rows(), y.rows());
+  GARCIA_CHECK_EQ(dy.cols(), y.cols());
+  GARCIA_CHECK_EQ(dx->rows(), y.rows());
+  GARCIA_CHECK_EQ(dx->cols(), y.cols());
+  const size_t cols = y.cols();
+  ForEachRow(ctx, y.rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
+    const float* yi = y.row(i);
+    const float* dyi = dy.row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      dot += static_cast<double>(dyi[j]) * yi[j];
+    }
+    float* gi = dx->row(i);
+    for (size_t j = 0; j < cols; ++j) {
+      gi[j] += yi[j] * (dyi[j] - static_cast<float>(dot));
+    }
+  });
+}
+
 double CrossEntropyForward(const ExecutionContext& ctx, Matrix* logits,
                            const std::vector<uint32_t>& targets) {
   const size_t n = logits->rows(), m = logits->cols();
@@ -726,6 +812,326 @@ std::vector<ScoredId> TopKDot(const ExecutionContext& ctx, const float* query,
   result.resize(k);
   return result;
 }
+
+// ----- Fused elementwise→reduction chains -----
+
+namespace fused {
+namespace {
+
+/// Elements per block in the range evaluator: wide enough that each step's
+/// loop vectorizes and amortizes its dispatch, small enough that the whole
+/// block register file (kMaxProgramSteps rows) stays L1-resident.
+constexpr size_t kEvalBlock = 128;
+
+// Evaluates the straight-line program over elements [lo, hi) in blocks:
+// one tight per-step loop per block, so each op's loop vectorizes exactly
+// like its eager kernel would (a switch per element would defeat that).
+// Intermediates live in the block register file (never in memory unless a
+// step spills); every scalar expression is the one the eager kernel for
+// that op applies, so chain values are bit-identical to what the eager
+// path would round-trip through intermediate matrices. When dst is
+// non-null, dst[i - lo] receives element i's final chain value.
+inline void EvalRange(const Step* steps, size_t num_steps, size_t lo,
+                      size_t hi, float* dst) {
+  float regs[kMaxProgramSteps][kEvalBlock];
+  for (size_t b = lo; b < hi; b += kEvalBlock) {
+    const size_t m = std::min(kEvalBlock, hi - b);
+    for (size_t s = 0; s < num_steps; ++s) {
+      const Step& st = steps[s];
+      float* o = regs[s];
+      const float* va = regs[st.a];
+      const float* vb = regs[st.b];
+      switch (st.op) {
+        case EltOp::kInput: {
+          const float* in = st.in + b;
+          for (size_t j = 0; j < m; ++j) o[j] = in[j];
+          break;
+        }
+        case EltOp::kAdd:
+          for (size_t j = 0; j < m; ++j) o[j] = va[j] + vb[j];
+          break;
+        case EltOp::kSub:
+          for (size_t j = 0; j < m; ++j) o[j] = va[j] - vb[j];
+          break;
+        case EltOp::kMul:
+          for (size_t j = 0; j < m; ++j) o[j] = va[j] * vb[j];
+          break;
+        case EltOp::kScale:
+          for (size_t j = 0; j < m; ++j) o[j] = va[j] * st.attr;
+          break;
+        case EltOp::kAddScalar:
+          for (size_t j = 0; j < m; ++j) o[j] = va[j] + st.attr;
+          break;
+        case EltOp::kRelu:
+          for (size_t j = 0; j < m; ++j) {
+            o[j] = va[j] > 0.0f ? va[j] : 0.0f;
+          }
+          break;
+        case EltOp::kTanh:
+          for (size_t j = 0; j < m; ++j) o[j] = std::tanh(va[j]);
+          break;
+        case EltOp::kLeakyRelu:
+          for (size_t j = 0; j < m; ++j) {
+            o[j] = va[j] > 0.0f ? va[j] : st.attr * va[j];
+          }
+          break;
+        case EltOp::kSigmoid:
+          for (size_t j = 0; j < m; ++j) {
+            const float x = va[j];
+            o[j] = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                             : std::exp(x) / (1.0f + std::exp(x));
+          }
+          break;
+      }
+      if (st.spill != nullptr) {
+        float* sp = st.spill + b;
+        for (size_t j = 0; j < m; ++j) sp[j] = o[j];
+      }
+    }
+    if (dst != nullptr) {
+      const float* last = regs[num_steps - 1];
+      float* d = dst + (b - lo);
+      for (size_t j = 0; j < m; ++j) d[j] = last[j];
+    }
+  }
+}
+
+inline void CheckProgram(const Program& prog) {
+  GARCIA_CHECK(!prog.empty());
+  GARCIA_CHECK_LE(prog.size(), kMaxProgramSteps);
+}
+
+}  // namespace
+
+void EltwiseForward(const ExecutionContext& ctx, const Program& prog,
+                    size_t n) {
+  CheckProgram(prog);
+  GARCIA_CHECK(prog.back().spill != nullptr)
+      << "headless chain must materialize its output";
+  const Step* steps = prog.data();
+  const size_t num_steps = prog.size();
+  ctx.ShardedFor(0, n, ctx.tuning().min_elems_per_shard,
+                 [=](size_t lo, size_t hi) {
+                   EvalRange(steps, num_steps, lo, hi, nullptr);
+                 });
+}
+
+void L2NormalizeRowsForward(const ExecutionContext& ctx, const Program& prog,
+                            float eps, Matrix* out,
+                            std::vector<float>* norms) {
+  CheckProgram(prog);
+  const Step* steps = prog.data();
+  const size_t num_steps = prog.size();
+  const size_t d = out->cols();
+  norms->resize(out->rows());
+  ForEachRow(ctx, out->rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
+    // Chain values land in the output row, then the eager L2NormalizeRows
+    // body runs on them in place (o[j] holds exactly the eager r[j]).
+    float* o = out->row(i);
+    const size_t base = i * d;
+    EvalRange(steps, num_steps, base, base + d, o);
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) s += static_cast<double>(o[j]) * o[j];
+    const float norm = static_cast<float>(std::sqrt(s));
+    (*norms)[i] = std::max(norm, eps);
+    const float inv = norm > eps ? 1.0f / norm : 0.0f;
+    for (size_t j = 0; j < d; ++j) o[j] = o[j] * inv;
+  });
+}
+
+void SoftmaxRowsForward(const ExecutionContext& ctx, const Program& prog,
+                        Matrix* out) {
+  CheckProgram(prog);
+  const Step* steps = prog.data();
+  const size_t num_steps = prog.size();
+  const size_t cols = out->cols();
+  ForEachRow(ctx, out->rows(), ctx.tuning().min_rows_per_shard, [&](size_t i) {
+    float* r = out->row(i);
+    const size_t base = i * cols;
+    EvalRange(steps, num_steps, base, base + cols, r);
+    // The eager SoftmaxRows body (kernels::SoftmaxRows), in place.
+    float mx = r[0];
+    for (size_t j = 1; j < cols; ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t j = 0; j < cols; ++j) r[j] *= inv;
+  });
+}
+
+double CrossEntropyForward(const ExecutionContext& ctx, const Program& prog,
+                           const std::vector<uint32_t>& targets,
+                           Matrix* softmax) {
+  CheckProgram(prog);
+  const Step* steps = prog.data();
+  const size_t num_steps = prog.size();
+  const size_t n = softmax->rows(), m = softmax->cols();
+  GARCIA_CHECK_EQ(targets.size(), n);
+  GARCIA_CHECK_GT(n, 0u);
+  std::vector<double> row_loss(n);
+  ForEachRow(ctx, n, ctx.tuning().min_loss_rows_per_shard, [&](size_t i) {
+    GARCIA_CHECK_LT(targets[i], m);
+    float* r = softmax->row(i);
+    const size_t base = i * m;
+    EvalRange(steps, num_steps, base, base + m, r);
+    // The eager kernels::CrossEntropyForward row body, on chain values.
+    float mx = r[0];
+    for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      sum += std::exp(static_cast<double>(r[j]) - mx);
+    }
+    const double lse = mx + std::log(sum);
+    row_loss[i] = lse - r[targets[i]];
+    for (size_t j = 0; j < m; ++j) {
+      r[j] = static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
+    }
+  });
+  // Serial row-order total, as in the eager kernel: backend-independent.
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) loss += row_loss[i];
+  return loss;
+}
+
+void SegmentSoftmaxForward(const ExecutionContext& ctx, const Program& prog,
+                           const std::vector<uint32_t>& seg,
+                           size_t num_segments, Matrix* out) {
+  CheckProgram(prog);
+  GARCIA_CHECK_EQ(out->cols(), 1u);
+  GARCIA_CHECK_EQ(out->rows(), seg.size());
+  const Step* steps = prog.data();
+  const size_t num_steps = prog.size();
+  // Segment softmax needs every element's value in both its max and its exp
+  // pass, so the chain lands in an Ex1 scratch first (still one chain pass;
+  // the head then runs the unmodified destination-sharded kernel on it).
+  Matrix scores(seg.size(), 1);
+  float* sd = scores.data();
+  ctx.ShardedFor(0, seg.size(), ctx.tuning().min_elems_per_shard,
+                 [=](size_t lo, size_t hi) {
+                   EvalRange(steps, num_steps, lo, hi, sd + lo);
+                 });
+  SegmentSoftmax(ctx, scores, seg, num_segments, out);
+}
+
+void ChainBackward(const ExecutionContext& ctx, const BackwardStep* steps,
+                   size_t num_steps, const float* d_top, float* d_base,
+                   size_t n) {
+  GARCIA_CHECK_GT(num_steps, 0u);
+  // Block-vectorized like EvalRange: dv holds the running spine gradient d,
+  // cv this step's contribution c to its spine operand — each computed with
+  // the exact scalar expression of the eager backward closure.
+  ctx.ShardedFor(
+      0, n, ctx.tuning().min_elems_per_shard, [=](size_t lo, size_t hi) {
+        float dv[kEvalBlock], cv[kEvalBlock];
+        for (size_t b = lo; b < hi; b += kEvalBlock) {
+          const size_t m = std::min(kEvalBlock, hi - b);
+          for (size_t j = 0; j < m; ++j) dv[j] = d_top[b + j];
+          for (size_t s = 0; s < num_steps; ++s) {
+            const BackwardStep& st = steps[s];
+            bool relu = false;
+            switch (st.op) {
+              case EltOp::kAdd:
+                if (st.d_side != nullptr) {
+                  float* ds = st.d_side + b;
+                  for (size_t j = 0; j < m; ++j) ds[j] = dv[j];
+                }
+                for (size_t j = 0; j < m; ++j) cv[j] = dv[j];
+                break;
+              case EltOp::kSub:
+                if (st.spine_is_b) {
+                  if (st.d_side != nullptr) {
+                    float* ds = st.d_side + b;
+                    for (size_t j = 0; j < m; ++j) ds[j] = dv[j];
+                  }
+                  for (size_t j = 0; j < m; ++j) cv[j] = dv[j] * -1.0f;
+                } else {
+                  if (st.d_side != nullptr) {
+                    float* ds = st.d_side + b;
+                    for (size_t j = 0; j < m; ++j) ds[j] = dv[j] * -1.0f;
+                  }
+                  for (size_t j = 0; j < m; ++j) cv[j] = dv[j];
+                }
+                break;
+              case EltOp::kMul: {
+                const float* ot = st.other + b;
+                if (st.d_side != nullptr) {
+                  const float* sp = st.spine + b;
+                  float* ds = st.d_side + b;
+                  for (size_t j = 0; j < m; ++j) ds[j] = dv[j] * sp[j];
+                }
+                for (size_t j = 0; j < m; ++j) cv[j] = dv[j] * ot[j];
+                break;
+              }
+              case EltOp::kScale:
+                for (size_t j = 0; j < m; ++j) cv[j] = dv[j] * st.attr;
+                break;
+              case EltOp::kAddScalar:
+                for (size_t j = 0; j < m; ++j) cv[j] = dv[j];
+                break;
+              case EltOp::kRelu: {
+                // The eager closure adds nothing at all where x <= 0; the
+                // inter-step normalization below must replay that, not 0+c.
+                const float* x = st.x + b;
+                for (size_t j = 0; j < m; ++j) {
+                  cv[j] = x[j] > 0.0f ? dv[j] : 0.0f;
+                }
+                relu = true;
+                break;
+              }
+              case EltOp::kLeakyRelu: {
+                const float* x = st.x + b;
+                for (size_t j = 0; j < m; ++j) {
+                  cv[j] = dv[j] * (x[j] > 0.0f ? 1.0f : st.attr);
+                }
+                break;
+              }
+              case EltOp::kTanh: {
+                const float* y = st.y + b;
+                for (size_t j = 0; j < m; ++j) {
+                  cv[j] = dv[j] * (1.0f - y[j] * y[j]);
+                }
+                break;
+              }
+              case EltOp::kSigmoid: {
+                const float* y = st.y + b;
+                for (size_t j = 0; j < m; ++j) {
+                  cv[j] = dv[j] * (y[j] * (1.0f - y[j]));
+                }
+                break;
+              }
+              case EltOp::kInput:
+                GARCIA_CHECK(false) << "kInput in a backward chain";
+                break;
+            }
+            if (s + 1 == num_steps) {
+              if (d_base != nullptr) {
+                float* db = d_base + b;
+                for (size_t j = 0; j < m; ++j) db[j] = cv[j];
+              }
+            } else if (relu) {
+              // Where the eager kRelu closure skipped its add, the next
+              // node's scratch gradient stays exactly 0.0f.
+              const float* x = st.x + b;
+              for (size_t j = 0; j < m; ++j) {
+                dv[j] = x[j] > 0.0f ? 0.0f + cv[j] : 0.0f;
+              }
+            } else {
+              // In eager execution the next step's node receives this
+              // contribution as its FIRST accumulation into a zeroed
+              // scratch gradient: fl(0 + c). Replaying that addition keeps
+              // the register spine bit-identical (it normalizes -0 to +0
+              // exactly as the eager round-trip does).
+              for (size_t j = 0; j < m; ++j) dv[j] = 0.0f + cv[j];
+            }
+          }
+        }
+      });
+}
+
+}  // namespace fused
 
 }  // namespace kernels
 }  // namespace garcia::core

@@ -41,6 +41,15 @@ struct TrainConfig {
   /// through ExecutionContext. The parallel backend is bit-identical to
   /// serial, so this changes wall-clock only, never losses or embeddings.
   size_t num_threads = 0;
+  /// Lazy op-graph capture + elementwise→reduction fusion in the nn layer
+  /// (nn/op_graph.h, DESIGN.md §5i). When true (the default), models run
+  /// the forward/backward tape through linearized fused chains — one
+  /// sharded kernel pass per producer–consumer chain — instead of one
+  /// kernel dispatch per op. Fused execution is bit-identical to eager for
+  /// any thread count, so this knob, like num_threads, changes wall-clock
+  /// only, never losses or embeddings, and is excluded from
+  /// TrainFingerprint.
+  bool fuse_ops = true;
   /// Per-destination neighbor fanout for minibatch sampled-subgraph
   /// training (graph::NeighborSampler, DESIGN.md §5e). 0 = full-graph
   /// training (every step encodes the whole graph, the pre-sampling
@@ -100,8 +109,9 @@ struct TrainConfig {
 /// trajectory, plus the model name and the scenario dimensions. Stored in
 /// each checkpoint; resume under a different fingerprint is refused
 /// because the replayed trajectory would silently diverge. Excludes
-/// num_threads (parallel execution is bit-identical to serial) and the
-/// checkpoint/fault knobs themselves (cadence may change across restarts).
+/// num_threads and fuse_ops (parallel and fused execution are both
+/// bit-identical to the serial eager reference) and the checkpoint/fault
+/// knobs themselves (cadence may change across restarts).
 uint64_t TrainFingerprint(const TrainConfig& cfg, const std::string& model_name,
                           const data::Scenario& scenario);
 

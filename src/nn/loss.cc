@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/kernels.h"
+#include "nn/exec.h"
+#include "nn/op_graph.h"
 #include "nn/ops.h"
 
 namespace garcia::nn {
@@ -10,19 +12,20 @@ namespace garcia::nn {
 namespace kernels = core::kernels;
 
 using core::Matrix;
+using internal::CaptureEnabled;
+using internal::Exec;
 using internal::TensorNode;
-
-namespace {
-
-const core::ExecutionContext& Exec() { return core::CurrentExecution(); }
-
-}  // namespace
 
 Tensor CrossEntropyWithLogits(const Tensor& logits,
                               const std::vector<uint32_t>& targets) {
   const size_t n = logits.rows();
   GARCIA_CHECK_EQ(targets.size(), n);
   GARCIA_CHECK_GT(n, 0u);
+  // A pending captured logits chain (e.g. the Scale/Add producing InfoNCE
+  // similarities) fuses straight into the softmax cross-entropy pass.
+  if (CaptureEnabled() && internal::FusiblePending(logits)) {
+    return internal::FusedCrossEntropyWithLogits(logits, targets);
+  }
   // Forward: softmax rows in place (kernel), cached for the backward pass.
   Matrix softmax = logits.value();
   const double loss = kernels::CrossEntropyForward(Exec(), &softmax, targets);

@@ -5,6 +5,13 @@
 // flattens the tree for the optimizer. Parameter tensors persist across
 // training steps (the tape is rebuilt every forward pass but leaves are
 // shared).
+//
+// Modules are fusion-transparent (DESIGN.md §5i): their forwards are built
+// from nn::ops, so under a fusion-enabled ExecutionContext the elementwise
+// pieces (activations, residual adds, gates) are captured lazily, while
+// eager ops (MatMul, broadcasts, gathers) force any pending operands. No
+// module code changes with the fuse_ops knob, and parameters see
+// bit-identical gradients.
 
 #ifndef GARCIA_NN_MODULE_H_
 #define GARCIA_NN_MODULE_H_

@@ -1,0 +1,635 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Implementation of lazy op-graph capture and the fusion pass.
+//
+// Structure:
+//  - Record*: build pending nodes (no kernel dispatch).
+//  - BuildChain: the fusion pass. Claims the maximal single-consumer spine
+//    ending at a forced node, materializes everything the chain reads from
+//    (sides + base), linearizes into a kernels::fused::Program, decides
+//    spills from the backward's needs and wires the ChainPlan.
+//  - FlushEltwise / Fused* heads: run the program through the fused kernels
+//    and install the plan-driven backward closures.
+//  - EnsureMaterialized / Rematerialize: the forcing entry points.
+
+#include "nn/op_graph.h"
+
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "nn/exec.h"
+
+namespace garcia::nn {
+namespace internal {
+
+namespace fk = core::kernels::fused;
+namespace kernels = core::kernels;
+using core::Matrix;
+using fk::EltOp;
+
+namespace {
+
+/// Fusion-group counter for DumpDot coloring. Graphs are built and flushed
+/// on their owning model's thread, so a thread-local counter suffices.
+int NextChainId() {
+  static thread_local int next = 0;
+  return next++;
+}
+
+struct ChainPlan;
+
+/// One deferred gradient application: at a chain op's own tape position,
+/// add the contribution ChainBackward assigned into `buf` to the target
+/// operand's grad — exactly the eager closure's AccumulateGrad.
+struct Apply {
+  TensorNode* target = nullptr;
+  const std::vector<float>* buf = nullptr;  // into the plan; address stable
+  /// Replays the eager ReLU backward, which SKIPS (not adds zero) where the
+  /// input was non-positive.
+  bool relu_conditional = false;
+  const float* x = nullptr;  // base input values for the conditional
+};
+
+/// Shared backward state of one fused chain: the head (or headless tip)
+/// runs ChainBackward once, filling the side/base buffers; each chain
+/// node's closure then applies its own entry at its own tape position.
+struct ChainPlan {
+  size_t n = 0;
+  std::vector<fk::BackwardStep> bsteps;       // tip..bottom, = nodes[0..L-1]
+  std::vector<std::vector<float>> side_bufs;  // empty where no side grad
+  std::vector<float> base_buf;                // empty when base needs no grad
+  std::vector<std::vector<Apply>> applies;    // per step, (a, b) operand order
+  bool computed = false;                      // ChainBackward has run
+};
+
+float* BaseBufPtr(ChainPlan* p) {
+  return p->base_buf.empty() ? nullptr : p->base_buf.data();
+}
+
+/// Applies chain node k's recorded contributions. Ascending-i serial adds —
+/// the element order of Matrix::Add, which the eager closures accumulate
+/// through.
+void ApplyStep(ChainPlan* plan, size_t k) {
+  for (const Apply& ap : plan->applies[k]) {
+    float* gd = ap.target->EnsureGrad().data();
+    const float* buf = ap.buf->data();
+    if (ap.relu_conditional) {
+      for (size_t i = 0; i < plan->n; ++i) {
+        if (ap.x[i] > 0.0f) gd[i] += buf[i];
+      }
+    } else {
+      for (size_t i = 0; i < plan->n; ++i) gd[i] += buf[i];
+    }
+  }
+}
+
+/// Propagates gradient that OTHER consumers (outside the fused chain)
+/// accumulated into a chain node — the eager closure of the node's op,
+/// applied to nk->grad. Operand values this needs are guaranteed
+/// materialized by BuildChain's spill rules.
+void EagerPropagate(TensorNode* nk) {
+  OpRecord* r = nk->lazy.get();
+  switch (r->op) {
+    case EltOp::kAdd:
+      if (r->a->requires_grad) r->a->AccumulateGrad(nk->grad);
+      if (r->b->requires_grad) r->b->AccumulateGrad(nk->grad);
+      break;
+    case EltOp::kSub:
+      if (r->a->requires_grad) r->a->AccumulateGrad(nk->grad);
+      if (r->b->requires_grad) {
+        Matrix neg = nk->grad;
+        neg.Scale(-1.0f);
+        r->b->AccumulateGrad(neg);
+      }
+      break;
+    case EltOp::kMul:
+      if (r->a->requires_grad) {
+        Matrix g = nk->grad;
+        g.Hadamard(r->b->value);
+        r->a->AccumulateGrad(g);
+      }
+      if (r->b->requires_grad) {
+        Matrix g = nk->grad;
+        g.Hadamard(r->a->value);
+        r->b->AccumulateGrad(g);
+      }
+      break;
+    case EltOp::kScale:
+      if (r->a->requires_grad) {
+        Matrix g = nk->grad;
+        g.Scale(r->attr);
+        r->a->AccumulateGrad(g);
+      }
+      break;
+    case EltOp::kAddScalar:
+      if (r->a->requires_grad) r->a->AccumulateGrad(nk->grad);
+      break;
+    case EltOp::kRelu:
+    case EltOp::kLeakyRelu: {
+      if (!r->a->requires_grad) break;
+      Matrix& g = r->a->EnsureGrad();
+      kernels::UnaryBackwardAdd(Exec(),
+                                r->op == EltOp::kRelu
+                                    ? kernels::UnaryOp::kRelu
+                                    : kernels::UnaryOp::kLeakyRelu,
+                                r->attr, r->a->value.data(), nullptr,
+                                nk->grad.data(), g.data(), g.size());
+      break;
+    }
+    case EltOp::kTanh:
+    case EltOp::kSigmoid: {
+      if (!r->a->requires_grad) break;
+      Matrix& g = r->a->EnsureGrad();
+      kernels::UnaryBackwardAdd(Exec(),
+                                r->op == EltOp::kTanh
+                                    ? kernels::UnaryOp::kTanh
+                                    : kernels::UnaryOp::kSigmoid,
+                                r->attr, nullptr, nk->value.data(),
+                                nk->grad.data(), g.data(), g.size());
+      break;
+    }
+    case EltOp::kInput:
+      GARCIA_CHECK(false) << "kInput is not a recordable op";
+  }
+}
+
+/// A linearized, claimed chain ready to execute.
+struct BuiltChain {
+  std::vector<TensorNode*> nodes;  // tip first, bottom last
+  TensorNode* base = nullptr;      // the materialized spine input
+  fk::Program prog;                // base..tip order
+  std::vector<int> step_of;        // program index of nodes[k]
+  std::vector<TensorNode*> spilled;
+  size_t rows = 0;
+  size_t cols = 0;
+  size_t n = 0;
+  std::shared_ptr<ChainPlan> plan;  // null when the tip needs no grad
+};
+
+void FinishSpills(const BuiltChain& bc) {
+  for (TensorNode* nd : bc.spilled) nd->materialized = true;
+}
+
+/// The fusion pass: claims the maximal fusible chain ending at `tip`
+/// (pending, unclaimed), linearizes it and prepares the backward plan.
+/// Does not run the program — the caller picks the fused kernel (headless
+/// elementwise flush or one of the reduction heads). The caller must call
+/// FinishSpills after running it.
+BuiltChain BuildChain(TensorNode* tip, bool tip_spills) {
+  GARCIA_CHECK(tip->lazy != nullptr && !tip->materialized &&
+               !tip->lazy->claimed);
+  BuiltChain bc;
+  bc.rows = tip->lazy_rows;
+  bc.cols = tip->lazy_cols;
+  bc.n = bc.rows * bc.cols;
+  const int chain_id = NextChainId();
+
+  // Walk the spine from the tip: extend through a pending operand consumed
+  // by this chain alone, preferring operand a. Claiming happens during the
+  // walk so the side materializations below cannot steal chain interiors.
+  // The cap keeps the program inside the fused register file: L ops plus at
+  // most L side inputs plus the base input.
+  constexpr size_t kMaxChain = (fk::kMaxProgramSteps - 1) / 2;
+  tip->lazy->claimed = true;
+  tip->lazy->chain_id = chain_id;
+  bc.nodes.push_back(tip);
+  TensorNode* cur = tip;
+  const auto claimable = [](TensorNode* p) {
+    return p != nullptr && p->lazy != nullptr && !p->materialized &&
+           !p->lazy->claimed && p->lazy->consumers == 1;
+  };
+  while (bc.nodes.size() < kMaxChain) {
+    OpRecord* r = cur->lazy.get();
+    TensorNode* next = nullptr;
+    if (r->a == r->b) {
+      // Self-op (Mul(x, x)): the operand is consumed twice by one op, so it
+      // is a chain boundary; it materializes below as base AND side.
+    } else if (claimable(r->a)) {
+      next = r->a;
+    } else if (claimable(r->b)) {
+      next = r->b;
+      r->spine_is_b = true;
+    }
+    if (next == nullptr) break;
+    next->lazy->claimed = true;
+    next->lazy->chain_id = chain_id;
+    bc.nodes.push_back(next);
+    cur = next;
+  }
+  const size_t L = bc.nodes.size();
+
+  // Everything the chain reads materializes first (recursively — a side may
+  // flush its own chain). The bottom node's spine operand is the base; the
+  // walk never set spine_is_b on the bottom, so its spine is operand a.
+  for (size_t k = 0; k < L; ++k) {
+    OpRecord* r = bc.nodes[k]->lazy.get();
+    TensorNode* side =
+        r->b == nullptr ? nullptr : (r->spine_is_b ? r->a : r->b);
+    if (side != nullptr && !side->materialized) EnsureMaterialized(side);
+  }
+  bc.base = bc.nodes[L - 1]->lazy->a;
+  if (!bc.base->materialized) EnsureMaterialized(bc.base);
+
+  // Linearize, base..tip. Repeated input buffers load once.
+  std::unordered_map<const float*, int> input_idx;
+  const auto add_input = [&](TensorNode* nd) -> int {
+    const float* buf = nd->value.data();
+    auto it = input_idx.find(buf);
+    if (it != input_idx.end()) return it->second;
+    fk::Step st;
+    st.op = EltOp::kInput;
+    st.in = buf;
+    bc.prog.push_back(st);
+    const int idx = static_cast<int>(bc.prog.size()) - 1;
+    input_idx.emplace(buf, idx);
+    return idx;
+  };
+  bc.step_of.assign(L, -1);
+  int spine_idx = add_input(bc.base);
+  for (size_t k = L; k-- > 0;) {
+    OpRecord* r = bc.nodes[k]->lazy.get();
+    fk::Step st;
+    st.op = r->op;
+    st.attr = r->attr;
+    if (r->b == nullptr) {
+      st.a = spine_idx;
+    } else {
+      const int side_idx = add_input(r->spine_is_b ? r->a : r->b);
+      st.a = r->spine_is_b ? side_idx : spine_idx;
+      st.b = r->spine_is_b ? spine_idx : side_idx;
+    }
+    bc.prog.push_back(st);
+    spine_idx = static_cast<int>(bc.prog.size()) - 1;
+    bc.step_of[k] = spine_idx;
+  }
+
+  // Spills: what the backward needs materialized. Mul reads its spine
+  // factor, ReLU-family its input (= the spine operand's value, which for
+  // the bottom is the already-materialized base); Tanh/Sigmoid read their
+  // own output. These same rules guarantee EagerPropagate's operand reads.
+  const auto spill = [&](size_t k) {
+    fk::Step& st = bc.prog[bc.step_of[k]];
+    if (st.spill != nullptr) return;
+    TensorNode* nd = bc.nodes[k];
+    nd->value = Matrix(bc.rows, bc.cols);
+    st.spill = nd->value.data();
+    bc.spilled.push_back(nd);
+  };
+  if (tip_spills) spill(0);
+  if (tip->requires_grad) {
+    for (size_t k = 0; k < L; ++k) {
+      switch (bc.nodes[k]->lazy->op) {
+        case EltOp::kMul:
+        case EltOp::kRelu:
+        case EltOp::kLeakyRelu:
+          if (k + 1 < L) spill(k + 1);
+          break;
+        case EltOp::kTanh:
+        case EltOp::kSigmoid:
+          spill(k);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Backward plan. bsteps[k] consumes the gradient of nodes[k]'s output;
+  // contributions to operands are applied later at node k's own tape
+  // position, in (a, b) order — the eager closure's accumulation order.
+  if (tip->requires_grad) {
+    auto plan = std::make_shared<ChainPlan>();
+    plan->n = bc.n;
+    plan->bsteps.resize(L);
+    plan->side_bufs.resize(L);
+    plan->applies.resize(L);
+    for (size_t k = 0; k < L; ++k) {
+      TensorNode* nd = bc.nodes[k];
+      OpRecord* r = nd->lazy.get();
+      TensorNode* spine = k + 1 < L ? bc.nodes[k + 1] : bc.base;
+      TensorNode* side =
+          r->b == nullptr ? nullptr : (r->spine_is_b ? r->a : r->b);
+      fk::BackwardStep& bs = plan->bsteps[k];
+      bs.op = r->op;
+      bs.attr = r->attr;
+      bs.spine_is_b = r->spine_is_b;
+      switch (r->op) {
+        case EltOp::kRelu:
+        case EltOp::kLeakyRelu:
+          bs.x = spine->value.data();
+          break;
+        case EltOp::kTanh:
+        case EltOp::kSigmoid:
+          bs.y = nd->value.data();
+          break;
+        case EltOp::kMul:
+          bs.spine = spine->value.data();
+          bs.other = side->value.data();
+          break;
+        default:
+          break;
+      }
+      if (side != nullptr && side->requires_grad) {
+        plan->side_bufs[k].assign(bc.n, 0.0f);
+        bs.d_side = plan->side_bufs[k].data();
+      }
+      const auto add_apply = [&](TensorNode* operand, bool is_spine) {
+        if (operand == nullptr || !operand->requires_grad) return;
+        Apply ap;
+        ap.target = operand;
+        if (is_spine) {
+          // In-chain spine gradient travels in registers; only the bottom's
+          // spine (the base) surfaces as a buffer.
+          if (k + 1 < L) return;
+          ap.buf = &plan->base_buf;
+          ap.relu_conditional = r->op == EltOp::kRelu;
+          ap.x = bc.base->value.data();
+        } else {
+          ap.buf = &plan->side_bufs[k];
+        }
+        plan->applies[k].push_back(ap);
+      };
+      add_apply(r->a, /*is_spine=*/!r->spine_is_b);
+      if (r->b != nullptr) add_apply(r->b, /*is_spine=*/r->spine_is_b);
+    }
+    if (bc.base->requires_grad) plan->base_buf.assign(bc.n, 0.0f);
+
+    // Chain-node closures: apply this op's plan contributions, then
+    // propagate whatever gradient consumers outside the chain accumulated
+    // into the node itself (equal by linearity to the eager single pass;
+    // bit-identical whenever no such outside consumer exists).
+    for (size_t k = 0; k < L; ++k) {
+      TensorNode* nd = bc.nodes[k];
+      if (!nd->requires_grad) continue;
+      nd->fused_backward = true;
+      nd->backward_fn = [plan, k](TensorNode* nk) {
+        if (plan->computed) ApplyStep(plan.get(), k);
+        if (nk->has_grad()) EagerPropagate(nk);
+      };
+    }
+    bc.plan = std::move(plan);
+  }
+  return bc;
+}
+
+/// Headless flush: runs the chain with the tip spilled into its own value
+/// and makes the tip's closure drive ChainBackward from its accumulated
+/// gradient (the eager dy, bit for bit).
+void FlushEltwise(TensorNode* tip) {
+  BuiltChain bc = BuildChain(tip, /*tip_spills=*/true);
+  fk::EltwiseForward(Exec(), bc.prog, bc.n);
+  FinishSpills(bc);
+  if (bc.plan != nullptr) {
+    auto plan = bc.plan;
+    tip->backward_fn = [plan](TensorNode* nt) {
+      if (nt->has_grad()) {
+        fk::ChainBackward(Exec(), plan->bsteps.data(), plan->bsteps.size(),
+                          nt->grad.data(), BaseBufPtr(plan.get()), plan->n);
+        plan->computed = true;
+      }
+      if (plan->computed) ApplyStep(plan.get(), 0);
+    };
+  }
+}
+
+/// Recomputes one claimed chain interior that a consumer outside the chain
+/// reads after the flush: a 1-op program over its (recursively
+/// materialized) operands — the same scalar expression the chain evaluated
+/// in registers, so the value is bit-identical.
+void Rematerialize(TensorNode* node) {
+  OpRecord* r = node->lazy.get();
+  if (!r->a->materialized) EnsureMaterialized(r->a);
+  if (r->b != nullptr && !r->b->materialized) EnsureMaterialized(r->b);
+  node->value = Matrix(node->lazy_rows, node->lazy_cols);
+  fk::Program prog;
+  fk::Step in_a;
+  in_a.in = r->a->value.data();
+  prog.push_back(in_a);
+  int ib = 0;
+  if (r->b != nullptr && r->b != r->a) {
+    fk::Step in_b;
+    in_b.in = r->b->value.data();
+    prog.push_back(in_b);
+    ib = 1;
+  }
+  fk::Step st;
+  st.op = r->op;
+  st.attr = r->attr;
+  st.a = 0;
+  if (r->b != nullptr) st.b = ib;
+  st.spill = node->value.data();
+  prog.push_back(st);
+  fk::EltwiseForward(Exec(), prog, node->value.size());
+  node->materialized = true;
+}
+
+}  // namespace
+
+void EnsureMaterialized(TensorNode* node) {
+  if (node->materialized) return;
+  GARCIA_CHECK(node->lazy != nullptr) << "unmaterialized node without record";
+  if (node->lazy->claimed) {
+    Rematerialize(node);
+  } else {
+    FlushEltwise(node);
+  }
+}
+
+namespace {
+
+Tensor MakeRecord(EltOp op, const char* name, const Tensor& a, const Tensor* b,
+                  float attr) {
+  auto node = std::make_shared<TensorNode>();
+  node->materialized = false;
+  node->lazy_rows = a.rows();
+  node->lazy_cols = a.cols();
+  node->op_name = name;
+  node->parents.push_back(a.shared_node());
+  bool req = a.node()->requires_grad;
+  auto rec = std::make_unique<OpRecord>();
+  rec->op = op;
+  rec->attr = attr;
+  rec->a = a.node();
+  if (b != nullptr) {
+    node->parents.push_back(b->shared_node());
+    req = req || b->node()->requires_grad;
+    rec->b = b->node();
+  }
+  node->requires_grad = req;
+  if (rec->a->lazy && !rec->a->materialized) rec->a->lazy->consumers++;
+  if (rec->b != nullptr && rec->b != rec->a && rec->b->lazy &&
+      !rec->b->materialized) {
+    rec->b->lazy->consumers++;
+  }
+  node->lazy = std::move(rec);
+  return Tensor::FromNode(std::move(node));
+}
+
+}  // namespace
+
+Tensor RecordBinary(EltOp op, const char* name, const Tensor& a,
+                    const Tensor& b, float attr) {
+  return MakeRecord(op, name, a, &b, attr);
+}
+
+Tensor RecordUnary(EltOp op, const char* name, const Tensor& x, float attr) {
+  return MakeRecord(op, name, x, nullptr, attr);
+}
+
+bool FusiblePending(const Tensor& x) {
+  TensorNode* n = x.node();
+  return n->lazy != nullptr && !n->materialized && !n->lazy->claimed &&
+         n->lazy->consumers == 0;
+}
+
+Tensor FusedL2NormalizeRows(const Tensor& x, float eps) {
+  BuiltChain bc = BuildChain(x.node(), /*tip_spills=*/false);
+  Matrix out(bc.rows, bc.cols);
+  std::vector<float> norms;
+  fk::L2NormalizeRowsForward(Exec(), bc.prog, eps, &out, &norms);
+  FinishSpills(bc);
+  auto plan = bc.plan;
+  Tensor t = Tensor::FromOp(
+      std::move(out), {x},
+      [plan, norms = std::move(norms), eps](TensorNode* n) {
+        // Eager head gradient into zeroed scratch — picking up the fl(0 + g)
+        // of a first accumulation, as the eager tape would — then one
+        // backward pass down the chain.
+        Matrix d_top(n->value.rows(), n->value.cols());
+        kernels::L2NormalizeRowsBackwardAdd(Exec(), n->value, n->grad, norms,
+                                            eps, &d_top);
+        fk::ChainBackward(Exec(), plan->bsteps.data(), plan->bsteps.size(),
+                          d_top.data(), BaseBufPtr(plan.get()), plan->n);
+        plan->computed = true;
+      });
+  t.node()->op_name = "l2normalize*";
+  return t;
+}
+
+Tensor FusedSoftmaxRows(const Tensor& x) {
+  BuiltChain bc = BuildChain(x.node(), /*tip_spills=*/false);
+  Matrix out(bc.rows, bc.cols);
+  fk::SoftmaxRowsForward(Exec(), bc.prog, &out);
+  FinishSpills(bc);
+  auto plan = bc.plan;
+  Tensor t = Tensor::FromOp(std::move(out), {x}, [plan](TensorNode* n) {
+    Matrix d_top(n->value.rows(), n->value.cols());
+    kernels::SoftmaxRowsBackwardAdd(Exec(), n->value, n->grad, &d_top);
+    fk::ChainBackward(Exec(), plan->bsteps.data(), plan->bsteps.size(),
+                      d_top.data(), BaseBufPtr(plan.get()), plan->n);
+    plan->computed = true;
+  });
+  t.node()->op_name = "softmax*";
+  return t;
+}
+
+Tensor FusedSegmentSoftmax(const Tensor& scores, std::vector<uint32_t> seg,
+                           size_t num_segments) {
+  BuiltChain bc = BuildChain(scores.node(), /*tip_spills=*/false);
+  Matrix out(bc.rows, 1);
+  fk::SegmentSoftmaxForward(Exec(), bc.prog, seg, num_segments, &out);
+  FinishSpills(bc);
+  auto plan = bc.plan;
+  Tensor t = Tensor::FromOp(
+      std::move(out), {scores},
+      [plan, seg = std::move(seg), num_segments](TensorNode* n) {
+        Matrix d_top(n->value.rows(), n->value.cols());
+        kernels::SegmentSoftmaxBackwardAdd(Exec(), n->value, n->grad, seg,
+                                           num_segments, &d_top);
+        fk::ChainBackward(Exec(), plan->bsteps.data(), plan->bsteps.size(),
+                          d_top.data(), BaseBufPtr(plan.get()), plan->n);
+        plan->computed = true;
+      });
+  t.node()->op_name = "segment_softmax*";
+  return t;
+}
+
+Tensor FusedCrossEntropyWithLogits(const Tensor& logits,
+                                   std::vector<uint32_t> targets) {
+  BuiltChain bc = BuildChain(logits.node(), /*tip_spills=*/false);
+  Matrix softmax(bc.rows, bc.cols);
+  const double loss = fk::CrossEntropyForward(Exec(), bc.prog, targets,
+                                              &softmax);
+  FinishSpills(bc);
+  Matrix out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / bc.rows);
+  const float inv_n = 1.0f / static_cast<float>(bc.rows);
+  auto plan = bc.plan;
+  Tensor t = Tensor::FromOp(
+      std::move(out), {logits},
+      [plan, softmax = std::move(softmax), targets = std::move(targets),
+       inv_n](TensorNode* node) {
+        const float gout = node->grad.at(0, 0) * inv_n;
+        Matrix d_top(softmax.rows(), softmax.cols());
+        kernels::CrossEntropyBackwardAdd(Exec(), softmax, targets, gout,
+                                         &d_top);
+        fk::ChainBackward(Exec(), plan->bsteps.data(), plan->bsteps.size(),
+                          d_top.data(), BaseBufPtr(plan.get()), plan->n);
+        plan->computed = true;
+      });
+  t.node()->op_name = "cross_entropy*";
+  return t;
+}
+
+}  // namespace internal
+
+std::string OpGraph::DumpDot(const std::vector<Tensor>& roots) {
+  using internal::TensorNode;
+  std::ostringstream os;
+  os << "digraph op_graph {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+  std::unordered_set<const TensorNode*> visited;
+  std::vector<const TensorNode*> order;
+  std::vector<const TensorNode*> stack;
+  for (const Tensor& r : roots) {
+    if (r.defined() && visited.insert(r.node()).second) {
+      stack.push_back(r.node());
+    }
+  }
+  while (!stack.empty()) {
+    const TensorNode* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (const auto& p : n->parents) {
+      if (visited.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+  static const char* const kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99",
+                                         "#fdbf6f", "#cab2d6", "#ffff99",
+                                         "#fccde5", "#ccebc5"};
+  constexpr int kPaletteSize = 8;
+  for (const TensorNode* n : order) {
+    os << "  n" << n << " [label=\"";
+    if (n->op_name != nullptr) {
+      os << n->op_name;
+    } else if (n->parents.empty()) {
+      os << (n->requires_grad ? "param" : "const");
+    } else {
+      os << "eager op";
+    }
+    os << "\\n" << n->logical_rows() << "x" << n->logical_cols();
+    if (n->lazy != nullptr) {
+      os << (n->materialized ? "\\nmaterialized" : "\\npending");
+      if (n->lazy->claimed) os << "\\nchain " << n->lazy->chain_id;
+    }
+    os << "\"";
+    if (n->lazy != nullptr && n->lazy->chain_id >= 0) {
+      os << ", style=filled, fillcolor=\""
+         << kPalette[n->lazy->chain_id % kPaletteSize] << "\"";
+    }
+    os << "];\n";
+  }
+  for (const TensorNode* n : order) {
+    for (const auto& p : n->parents) {
+      os << "  n" << p.get() << " -> n" << n << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace garcia::nn

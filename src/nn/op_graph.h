@@ -1,0 +1,100 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Lazy op-graph capture and the elementwise→reduction fusion pass.
+//
+// When the current ExecutionContext has fusion enabled, nn::ops and nn::loss
+// record elementwise ops as pending OpRecord nodes instead of dispatching a
+// kernel per op. A pending node materializes when something needs its value:
+// a non-elementwise consumer, an explicit Tensor::value() read, Backward(),
+// or one of the reduction heads below. At that point the fusion pass walks
+// the producer chain ending at the forced node, claims every interior node
+// with exactly one captured consumer, linearizes the chain into a
+// kernels::fused::Program and runs ONE sharded pass — optionally fused with
+// the reduction head (L2 row normalize, row softmax, segment softmax,
+// softmax cross-entropy) so the chain values never round-trip through an
+// intermediate matrix.
+//
+// Backward: the flush installs closures driven by a shared ChainPlan. The
+// head (or the chain tip, for a headless flush) computes the eager head
+// gradient into zeroed scratch, runs kernels::fused::ChainBackward once, and
+// records the per-op side contributions; each chain node's closure then
+// applies its own contributions at its own tape position — exactly where the
+// eager closure would have accumulated them — and, if other consumers also
+// deposited gradient into the node, propagates that part eagerly. Fused
+// execution is bit-identical to eager execution for any thread count (see
+// DESIGN.md §5i for the argument; asserted by tests/nn_fusion_test.cc).
+
+#ifndef GARCIA_NN_OP_GRAPH_H_
+#define GARCIA_NN_OP_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/kernels.h"
+#include "nn/tensor.h"
+
+namespace garcia::nn {
+
+namespace internal {
+
+/// Capture record of a pending elementwise op. Owned by its TensorNode;
+/// operand pointers alias the node's `parents` (which keep them alive).
+struct OpRecord {
+  core::kernels::fused::EltOp op = core::kernels::fused::EltOp::kInput;
+  float attr = 0.0f;
+  TensorNode* a = nullptr;  // == parents[0].get()
+  TensorNode* b = nullptr;  // == parents[1].get(); null for unary ops
+  /// Captured consumptions recorded so far (how many pending ops read this
+  /// node). A chain may claim an interior node only when this is exactly 1:
+  /// with a second captured consumer the node must materialize so both see
+  /// the same buffer, exactly as eager execution would.
+  int consumers = 0;
+  /// True once a flush owns this node (as chain tip or interior).
+  bool claimed = false;
+  /// Set during the chain walk: the chain continues through operand b.
+  bool spine_is_b = false;
+  /// Fusion group for OpGraph::DumpDot; -1 until a flush claims the node.
+  int chain_id = -1;
+};
+
+/// Records a pending binary elementwise op (value computed at flush).
+/// Shapes must already have been checked by the caller.
+Tensor RecordBinary(core::kernels::fused::EltOp op, const char* name,
+                    const Tensor& a, const Tensor& b, float attr = 0.0f);
+
+/// Records a pending unary elementwise op.
+Tensor RecordUnary(core::kernels::fused::EltOp op, const char* name,
+                   const Tensor& x, float attr = 0.0f);
+
+/// True when x is a pending captured node a reduction head may fuse with:
+/// unmaterialized, unclaimed, and consumed by nothing else. Heads fall back
+/// to the eager kernel (after materializing x) otherwise.
+bool FusiblePending(const Tensor& x);
+
+// Fused reduction heads. Preconditions: FusiblePending(x). Each claims and
+// linearizes x's chain, runs the fused head kernel, and returns a
+// materialized head tensor whose backward drives the chain plan.
+Tensor FusedL2NormalizeRows(const Tensor& x, float eps);
+Tensor FusedSoftmaxRows(const Tensor& x);
+Tensor FusedSegmentSoftmax(const Tensor& scores, std::vector<uint32_t> seg,
+                           size_t num_segments);
+/// Returns the 1x1 mean cross-entropy loss (the nn::loss contract).
+Tensor FusedCrossEntropyWithLogits(const Tensor& logits,
+                                   std::vector<uint32_t> targets);
+
+}  // namespace internal
+
+/// Introspection facade over the captured graph.
+class OpGraph {
+ public:
+  /// Graphviz dump of the graph reachable from `roots` through parent
+  /// links. Captured nodes are labeled with their opcode and colored by
+  /// fusion chain once flushed; eager ops and leaves are plain boxes. Call
+  /// before Backward() (pre-flush) to see the pending capture, or after a
+  /// forward pass to see what fused into which chain.
+  static std::string DumpDot(const std::vector<Tensor>& roots);
+};
+
+}  // namespace garcia::nn
+
+#endif  // GARCIA_NN_OP_GRAPH_H_

@@ -230,6 +230,34 @@ TEST_F(GemmPackedTest, CustomTuningIsBitIdentical) {
   }
 }
 
+TEST_F(GemmPackedTest, SharedBPanelCapIsBitIdentical) {
+  // The shared packed-B path pre-packs all B panels once when the parallel
+  // grid has more than one row block and packed B fits under
+  // gemm_shared_b_max_floats; over the cap each shard packs its own
+  // panels. Both regimes must agree with the naive reference bit for bit —
+  // the cap only trades memory for repacking work. Shapes are chosen so a
+  // 4-thread grid has several row blocks (m >> n), making the shared path
+  // actually engage below the cap.
+  const size_t m = 96, k = 40, n = 24;
+  for (bool tb : {false, true}) {
+    const Matrix a = RandMatrix(m, k, &rng_);
+    const Matrix b = RandMatrix(tb ? n : k, tb ? k : n, &rng_);
+    const Matrix c_init = RandMatrix(m, n, &rng_);
+    Matrix want = c_init;
+    NaiveGemm(false, tb, 1.0f, a, b, 0.0f, &want);
+    for (size_t cap : {size_t{0}, size_t{1}, k * n, size_t{1} << 24}) {
+      KernelTuning tune;
+      tune.gemm_shared_b_max_floats = cap;
+      tune.gemm_min_rows_per_shard = 8;
+      ExecutionContext ctx(4, tune);
+      Matrix got = c_init;
+      kernels::Gemm(ctx, false, tb, 1.0f, a, b, 0.0f, &got);
+      SCOPED_TRACE(::testing::Message() << "cap=" << cap << " tb=" << tb);
+      ExpectBitEqual(want, got, "shared-b-cap");
+    }
+  }
+}
+
 TEST_F(GemmPackedTest, TuningDefaultsAndSetters) {
   const KernelTuning defaults;
   EXPECT_EQ(defaults.gemm_mc, 64u);

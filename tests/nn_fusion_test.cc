@@ -1,0 +1,354 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Fused-vs-eager bit-parity suite for the lazy op-graph fusion pass
+// (nn/op_graph.h, DESIGN.md §5i).
+//
+// The contract under test: with ExecutionContext::set_fusion(true), every
+// forward value, loss, and leaf gradient is BIT-IDENTICAL (memcmp, so even
+// -0.0 vs +0.0 counts) to the eager tape, for any thread count. Each test
+// builds the same computation twice from identical leaf values — once
+// eager/serial, once fused at several thread counts — and compares raw
+// bytes. The only exception is the hybrid path (a consumer outside the
+// chain reads a claimed interior after the flush), which is equal by
+// linearity but reassociates one gradient sum; it is checked to float
+// accuracy instead.
+
+#include "nn/op_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/kernels.h"
+#include "core/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+
+namespace garcia::nn {
+namespace {
+
+using core::Matrix;
+using core::Rng;
+
+using Builder = std::function<Tensor(const std::vector<Tensor>&)>;
+
+struct TapeRun {
+  float loss = 0.0f;
+  std::vector<Matrix> grads;
+};
+
+/// Builds the loss from fresh leaves holding `leaf_values`, runs Backward,
+/// returns loss + leaf gradients — under the given execution mode.
+TapeRun RunTape(bool fuse, size_t threads, const std::vector<Matrix>& leaf_values,
+            const Builder& build) {
+  core::ExecutionContext ctx(threads);
+  ctx.set_fusion(fuse);
+  core::ScopedExecution scoped(&ctx);
+  std::vector<Tensor> leaves;
+  leaves.reserve(leaf_values.size());
+  for (const Matrix& v : leaf_values) leaves.push_back(Tensor::Leaf(v, true));
+  Tensor loss = build(leaves);
+  loss.Backward();
+  TapeRun r;
+  r.loss = loss.scalar();
+  for (const Tensor& l : leaves) r.grads.push_back(l.grad());
+  return r;
+}
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": gradient bytes differ";
+}
+
+/// The parity harness: eager/serial is the reference; fused must match it
+/// bit for bit at every thread count.
+void CheckParity(const std::vector<Matrix>& leaves, const Builder& build) {
+  const TapeRun eager = RunTape(/*fuse=*/false, /*threads=*/0, leaves, build);
+  for (size_t threads : {0, 2, 4}) {
+    const TapeRun fused = RunTape(/*fuse=*/true, threads, leaves, build);
+    EXPECT_EQ(std::memcmp(&eager.loss, &fused.loss, sizeof(float)), 0)
+        << "loss differs at threads=" << threads << " (eager " << eager.loss
+        << " vs fused " << fused.loss << ")";
+    ASSERT_EQ(eager.grads.size(), fused.grads.size());
+    for (size_t i = 0; i < eager.grads.size(); ++i) {
+      ExpectBitEqual(eager.grads[i], fused.grads[i],
+                     "leaf " + std::to_string(i) + " at threads=" +
+                         std::to_string(threads));
+    }
+  }
+}
+
+std::vector<Matrix> RandLeaves(std::initializer_list<std::pair<size_t, size_t>>
+                                   shapes,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> out;
+  for (const auto& [r, c] : shapes) {
+    out.push_back(Matrix::Randn(r, c, &rng, 0.0f, 1.0f));
+  }
+  return out;
+}
+
+// ----- capture mechanics -----
+
+TEST(FusionCaptureTest, DefaultContextStaysEager) {
+  // No fusion opt-in → ops materialize at construction, as always.
+  Tensor a = Tensor::Constant(Matrix({{1, 2}}));
+  Tensor b = Tensor::Constant(Matrix({{3, 4}}));
+  Tensor s = Add(a, b);
+  EXPECT_TRUE(s.node()->materialized);
+  EXPECT_TRUE(s.value().AllClose(Matrix({{4, 6}})));
+}
+
+TEST(FusionCaptureTest, CaptureDefersUntilValueRead) {
+  core::ExecutionContext ctx(0);
+  ctx.set_fusion(true);
+  core::ScopedExecution scoped(&ctx);
+  Tensor a = Tensor::Constant(Matrix({{1, 2}}));
+  Tensor b = Tensor::Constant(Matrix({{3, 4}}));
+  Tensor s = Scale(Add(a, b), 0.5f);
+  EXPECT_FALSE(s.node()->materialized);
+  EXPECT_EQ(s.rows(), 1u);  // logical shape works while pending
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_TRUE(s.value().AllClose(Matrix({{2, 3}})));  // forces the chain
+  EXPECT_TRUE(s.node()->materialized);
+}
+
+TEST(FusionCaptureTest, DeadPendingNodesAreDropped) {
+  core::ExecutionContext ctx(0);
+  ctx.set_fusion(true);
+  core::ScopedExecution scoped(&ctx);
+  Tensor a = Tensor::Leaf(Matrix({{1, 2}}), true);
+  { Tensor unused = Tanh(Scale(a, 2.0f)); }  // recorded, never forced
+  // The capture must not leak into later work on the same leaf.
+  Tensor z = Scale(a, 3.0f);
+  EXPECT_TRUE(z.value().AllClose(Matrix({{3, 6}})));
+}
+
+// ----- headless chain flushes -----
+
+TEST(FusionParityTest, HeadlessSigmoidChain) {
+  CheckParity(RandLeaves({{7, 5}, {7, 5}}, 11), [](const auto& l) {
+    return SumAll(Sigmoid(Scale(Add(l[0], l[1]), 0.5f)));
+  });
+}
+
+TEST(FusionParityTest, ReluChainCrossingZero) {
+  // ReLU's backward SKIPS the add where x <= 0 (it does not add 0.0), and
+  // Sub produces negative zeros; memcmp parity proves the fused backward
+  // replays both exactly.
+  CheckParity(RandLeaves({{9, 6}, {9, 6}}, 13), [](const auto& l) {
+    Tensor z = Relu(Sub(l[0], l[1]));
+    return SumAll(Mul(z, z));
+  });
+}
+
+TEST(FusionParityTest, SelfMulChain) {
+  CheckParity(RandLeaves({{5, 4}}, 17), [](const auto& l) {
+    return SumAll(Mul(l[0], l[0]));  // self-op: operand is base AND side
+  });
+}
+
+TEST(FusionParityTest, FanOutInteriorMaterializes) {
+  // t feeds two captured consumers, so it is a chain boundary: both chains
+  // must see one shared materialized buffer, exactly like eager.
+  CheckParity(RandLeaves({{6, 6}, {6, 6}}, 19), [](const auto& l) {
+    Tensor t = Add(l[0], l[1]);
+    Tensor u = Scale(t, 2.0f);
+    Tensor v = Tanh(t);
+    return SumAll(Add(u, v));
+  });
+}
+
+TEST(FusionParityTest, LongChainSplitsAtRegisterCap) {
+  // 20 stacked ops exceed the 15-op chain cap, forcing a split into two
+  // fused programs; the split must be invisible in the numbers.
+  CheckParity(RandLeaves({{4, 8}}, 23), [](const auto& l) {
+    Tensor z = l[0];
+    for (int i = 0; i < 10; ++i) {
+      z = AddScalar(Scale(z, 1.01f), -0.005f);
+    }
+    return SumAll(Tanh(z));
+  });
+}
+
+TEST(FusionParityTest, MixedBinaryChainWithSides) {
+  CheckParity(RandLeaves({{8, 3}, {8, 3}, {8, 3}, {8, 3}}, 29),
+              [](const auto& l) {
+                // Chain with a grad-requiring side at every binary step.
+                Tensor z = Mul(Sub(Add(l[0], l[1]), l[2]), l[3]);
+                return SumAll(LeakyRelu(z, 0.2f));
+              });
+}
+
+// ----- fused reduction heads -----
+
+TEST(FusionParityTest, L2NormalizeHead) {
+  CheckParity(RandLeaves({{10, 8}, {10, 8}}, 31), [](const auto& l) {
+    Tensor y = L2NormalizeRows(Tanh(Add(l[0], l[1])));
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(FusionParityTest, SoftmaxRowsHead) {
+  CheckParity(RandLeaves({{6, 9}, {6, 9}, {6, 9}}, 37), [](const auto& l) {
+    Tensor sm = SoftmaxRows(Scale(Sub(l[0], l[1]), 1.3f));
+    return SumAll(Mul(sm, l[2]));
+  });
+}
+
+TEST(FusionParityTest, SegmentSoftmaxHead) {
+  std::vector<uint32_t> seg = {0, 0, 1, 1, 1, 2, 4, 4};  // segment 3 empty
+  CheckParity(RandLeaves({{8, 1}, {8, 1}, {8, 1}}, 41),
+              [seg](const auto& l) {
+                Tensor s = LeakyRelu(Add(l[0], l[1]), 0.2f);
+                Tensor alpha = SegmentSoftmax(s, seg, 5);
+                return SumAll(Mul(alpha, l[2]));
+              });
+}
+
+TEST(FusionParityTest, CrossEntropyHead) {
+  std::vector<uint32_t> targets = {3, 0, 7, 2, 5, 1};
+  CheckParity(RandLeaves({{6, 8}, {6, 8}}, 43), [targets](const auto& l) {
+    Tensor logits = Scale(Add(l[0], l[1]), 0.7f);
+    return CrossEntropyWithLogits(logits, targets);
+  });
+}
+
+TEST(FusionParityTest, InfoNceLoss) {
+  // The production InfoNCE path: L2 heads on both towers, then the
+  // Scale(MatMulNT)→cross-entropy chain fuses into the loss.
+  std::vector<uint32_t> targets = {0, 1, 2, 3};
+  CheckParity(RandLeaves({{4, 12}, {4, 12}}, 47), [targets](const auto& l) {
+    return InfoNce(l[0], l[1], targets, 0.1f);
+  });
+}
+
+TEST(FusionParityTest, MaskedInfoNceLoss) {
+  // Scale→Add(constant penalty)→cross-entropy: a length-2 chain into the
+  // fused head, with a no-grad side.
+  std::vector<uint32_t> targets = {0, 1, 2, 3};
+  Matrix mask(4, 4, 1.0f);
+  mask.at(0, 2) = 0.0f;
+  mask.at(3, 1) = 0.0f;
+  CheckParity(RandLeaves({{4, 12}, {4, 12}}, 53),
+              [targets, mask](const auto& l) {
+                return MaskedInfoNce(l[0], l[1], targets, mask, 0.1f);
+              });
+}
+
+TEST(FusionParityTest, AttentionPatternLeakyReluIntoSegmentSoftmax) {
+  // The GNN attention shape: LeakyRelu(scores) feeding segment softmax.
+  std::vector<uint32_t> seg = {0, 0, 0, 1, 2, 2, 3, 3, 3, 3};
+  CheckParity(RandLeaves({{10, 1}, {10, 1}}, 59), [seg](const auto& l) {
+    Tensor scores = LeakyRelu(Add(l[0], l[1]), 0.2f);
+    Tensor alpha = SegmentSoftmax(scores, seg, 4);
+    return SumAll(Mul(alpha, alpha));
+  });
+}
+
+// ----- post-flush reads of claimed interiors (hybrid backward) -----
+
+TEST(FusionHybridTest, PostFlushReadRematerializesBitExactly) {
+  core::ExecutionContext ctx(0);
+  ctx.set_fusion(true);
+  core::ScopedExecution scoped(&ctx);
+  Rng rng(61);
+  Matrix av = Matrix::Randn(5, 6, &rng, 0.0f, 1.0f);
+  Tensor a = Tensor::Leaf(av, true);
+  Tensor t = Scale(a, 2.0f);
+  Tensor head = SoftmaxRows(t);  // claims t without materializing it
+  (void)head.value();
+  EXPECT_FALSE(t.node()->materialized);
+  const Matrix& tv = t.value();  // forces the claimed-interior recompute
+  Matrix expect = av;
+  expect.Scale(2.0f);
+  EXPECT_EQ(std::memcmp(tv.data(), expect.data(), tv.size() * sizeof(float)),
+            0);
+}
+
+TEST(FusionHybridTest, ExternalConsumerGradientMatchesEagerClosely) {
+  // A consumer outside the chain deposits gradient into the claimed tip;
+  // fused execution propagates the chain part via the plan and the outside
+  // part eagerly. That reassociates one sum, so this checks float
+  // accuracy, not bits.
+  auto build = [](const std::vector<Tensor>& l) {
+    Tensor t = Scale(l[0], 2.0f);
+    Tensor head = SoftmaxRows(t);
+    Tensor outside = SumAll(t);  // second consumer, after the head claimed t
+    return Add(SumAll(Mul(head, head)), outside);
+  };
+  const auto leaves = RandLeaves({{5, 7}}, 67);
+  const TapeRun eager = RunTape(false, 0, leaves, build);
+  const TapeRun fused = RunTape(true, 0, leaves, build);
+  EXPECT_NEAR(eager.loss, fused.loss, 1e-6f);
+  ASSERT_EQ(eager.grads.size(), fused.grads.size());
+  EXPECT_TRUE(eager.grads[0].AllClose(fused.grads[0], 1e-5f));
+}
+
+// ----- gradcheck through fused chains -----
+
+TEST(FusionGradCheckTest, FusedChainsAgainstFiniteDifferences) {
+  core::ExecutionContext ctx(0);
+  ctx.set_fusion(true);
+  core::ScopedExecution scoped(&ctx);
+  Rng rng(71);
+  Tensor a = Tensor::Leaf(Matrix::Randn(4, 5, &rng, 0.0f, 0.5f), true);
+  Tensor b = Tensor::Leaf(Matrix::Randn(4, 5, &rng, 0.0f, 0.5f), true);
+  std::vector<uint32_t> targets = {1, 3, 0, 2};
+  auto loss_fn = [&]() {
+    Tensor z = Tanh(Mul(Add(a, b), b));
+    Tensor logits = Scale(z, 1.7f);
+    return CrossEntropyWithLogits(logits, targets);
+  };
+  const GradCheckResult res = CheckGradients(loss_fn, {a, b});
+  EXPECT_LT(res.max_rel_error, 2e-2) << "abs " << res.max_abs_error;
+  EXPECT_GT(res.checked_entries, 0u);
+}
+
+TEST(FusionGradCheckTest, FusedSegmentSoftmaxAgainstFiniteDifferences) {
+  core::ExecutionContext ctx(0);
+  ctx.set_fusion(true);
+  core::ScopedExecution scoped(&ctx);
+  Rng rng(73);
+  Tensor s = Tensor::Leaf(Matrix::Randn(8, 1, &rng, 0.0f, 0.5f), true);
+  Tensor w = Tensor::Leaf(Matrix::Randn(8, 1, &rng, 0.0f, 0.5f), true);
+  std::vector<uint32_t> seg = {0, 0, 1, 1, 1, 2, 2, 2};
+  auto loss_fn = [&]() {
+    Tensor alpha = SegmentSoftmax(LeakyRelu(s, 0.2f), seg, 3);
+    return SumAll(Mul(alpha, w));
+  };
+  const GradCheckResult res = CheckGradients(loss_fn, {s, w});
+  EXPECT_LT(res.max_rel_error, 2e-2) << "abs " << res.max_abs_error;
+}
+
+// ----- graph introspection -----
+
+TEST(FusionDumpDotTest, PendingAndFlushedGraphsRender) {
+  core::ExecutionContext ctx(0);
+  ctx.set_fusion(true);
+  core::ScopedExecution scoped(&ctx);
+  Rng rng(79);
+  Tensor a = Tensor::Leaf(Matrix::Randn(3, 4, &rng, 0.0f, 1.0f), true);
+  Tensor b = Tensor::Leaf(Matrix::Randn(3, 4, &rng, 0.0f, 1.0f), true);
+  Tensor y = L2NormalizeRows(Tanh(Add(a, b)));
+  // L2NormalizeRows fused the pending chain already; its interiors are
+  // claimed and chain-colored.
+  const std::string dot = OpGraph::DumpDot({y});
+  EXPECT_NE(dot.find("digraph op_graph"), std::string::npos);
+  EXPECT_NE(dot.find("l2normalize*"), std::string::npos);
+  EXPECT_NE(dot.find("chain"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+
+  // A still-pending chain renders as pending.
+  Tensor z = Scale(Add(a, b), 0.5f);
+  const std::string dot2 = OpGraph::DumpDot({z});
+  EXPECT_NE(dot2.find("pending"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace garcia::nn
