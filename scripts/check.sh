@@ -42,6 +42,13 @@ echo "==> ASan smoke: micro_kernels --fusion_json"
 (cd "$ROOT/build-asan/bench" && \
   GARCIA_BENCH_REPEATS=1 ./micro_kernels --fusion_json > /dev/null)
 
+echo "==> ASan smoke: micro_kernels --pipeline_json"
+# One barriered-vs-pipelined GARCIA Fit sweep under ASan/UBSan; exits
+# nonzero if any pipelined run's scores diverge from the serial barriered
+# reference (the DESIGN.md §5j bit-identity gate).
+(cd "$ROOT/build-asan/bench" && \
+  GARCIA_BENCH_REPEATS=1 ./micro_kernels --pipeline_json > /dev/null)
+
 echo "==> ASan smoke: micro_kernels --dump_dot"
 # OpGraph::DumpDot over a fusion-enabled GARCIA encoder step must emit a
 # well-formed digraph with at least one fused chain.
@@ -56,15 +63,17 @@ echo "==> Sanitizer build (thread)"
 # threaded suites run here: they exercise every ShardedFor dispatch, the
 # destination-sharded reduction kernels, the fused-chain kernels and their
 # thread-count bit-parity contract, the block sampler's
-# thread-count-invariance contract, and the concurrent batched serving
-# path (BatchRanker + ResilientRanker's sequenced resolve phase).
+# thread-count-invariance contract, the task-graph countdown/release races
+# (core_taskgraph_test), the pipelined training loops' lookahead handoff
+# (models_pipeline_test), and the concurrent batched serving path
+# (BatchRanker + ResilientRanker's sequenced resolve phase).
 TSAN_DIR="$ROOT/build-tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target core_kernels_test core_gemm_test core_threadpool_test nn_ops_test \
-  nn_fusion_test graph_sampler_test serving_concurrency_test \
-  serving_resilience_test
+  nn_fusion_test graph_sampler_test core_taskgraph_test models_pipeline_test \
+  serving_concurrency_test serving_resilience_test
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -R '^(core_kernels_test|core_gemm_test|core_threadpool_test|nn_ops_test|nn_fusion_test|graph_sampler_test|serving_concurrency_test|serving_resilience_test)$'
+  -R '^(core_kernels_test|core_gemm_test|core_threadpool_test|nn_ops_test|nn_fusion_test|graph_sampler_test|core_taskgraph_test|models_pipeline_test|serving_concurrency_test|serving_resilience_test)$'
 
 echo "==> All checks passed"

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/macros.h"
+#include "core/taskgraph.h"
 
 namespace garcia::core {
 
@@ -245,11 +246,115 @@ DestIndex BuildDestIndex(const std::vector<uint32_t>& idx, size_t num_dests) {
   return di;
 }
 
+// Shared skeleton of the destination-sharded reductions (scatter-add,
+// segment softmax forward/backward): run the serial source-order loop when
+// the context is serial or the source list is below the index-build
+// break-even, otherwise build the destination-major index once and shard
+// destinations, replaying each destination's sources in ascending order —
+// the serial loop's accumulation order, hence bit-identical to it.
+template <typename Serial, typename PerDest>
+void DestShardedReduce(const ExecutionContext& ctx,
+                       const std::vector<uint32_t>& idx, size_t num_dests,
+                       Serial&& serial, PerDest&& per_dest) {
+  if (!ctx.parallel() || idx.size() < ctx.tuning().min_scatter_sources) {
+    serial();
+    return;
+  }
+  const DestIndex di = BuildDestIndex(idx, num_dests);
+  const size_t* offsets = di.offsets.data();
+  const uint32_t* order = di.order.data();
+  ctx.ShardedFor(0, num_dests, ctx.tuning().min_segments_per_shard,
+                 [&](size_t lo, size_t hi) {
+                   for (size_t d = lo; d < hi; ++d) {
+                     per_dest(d, offsets[d], offsets[d + 1], order);
+                   }
+                 });
+}
+
+// The contiguous shard boundaries ShardedFor would pick for [0, n): used
+// when a pass is laid out as explicit TaskGraph nodes instead of one
+// blocking sharded call. Boundaries never affect results (the kernels are
+// sharding-invariant by construction); they only set node granularity.
+std::vector<std::pair<size_t, size_t>> ShardRanges(size_t n, size_t threads,
+                                                   size_t min_shard) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0) return ranges;
+  if (threads <= 1 || n < min_shard * 2) {
+    ranges.emplace_back(0, n);
+    return ranges;
+  }
+  const size_t want = std::min(threads, CeilDiv(n, min_shard));
+  const size_t per = CeilDiv(n, want);
+  const size_t shards = CeilDiv(n, per);
+  ranges.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t lo = s * per;
+    ranges.emplace_back(lo, std::min(n, lo + per));
+  }
+  return ranges;
+}
+
 inline void AddRow(float* dst, const float* src, size_t cols) {
   for (size_t j = 0; j < cols; ++j) dst[j] += src[j];
 }
 
+// One segment's max-stabilized softmax over positions [p0, p1) of a
+// destination-major order list — the per-destination body shared by the
+// sharded SegmentSoftmax kernel and the fused-chain per-shard head release.
+inline void SegmentSoftmaxOneSegment(const Matrix& scores,
+                                     const uint32_t* order, size_t p0,
+                                     size_t p1, Matrix* out) {
+  if (p0 == p1) return;
+  float mx = -1e30f;
+  for (size_t p = p0; p < p1; ++p) {
+    mx = std::max(mx, scores.at(order[p], 0));
+  }
+  double sum = 0.0;
+  for (size_t p = p0; p < p1; ++p) {
+    const uint32_t e = order[p];
+    out->at(e, 0) = std::exp(scores.at(e, 0) - mx);
+    sum += out->at(e, 0);
+  }
+  for (size_t p = p0; p < p1; ++p) {
+    const uint32_t e = order[p];
+    out->at(e, 0) = static_cast<float>(out->at(e, 0) / sum);
+  }
+}
+
 }  // namespace
+
+void OrderedShardMerge(const ExecutionContext& ctx, size_t num_items,
+                       size_t min_shard,
+                       const std::function<void(size_t, size_t)>& compute,
+                       const std::function<void(size_t, size_t)>& merge) {
+  if (num_items == 0) return;
+  const auto ranges = ShardRanges(num_items, ctx.num_threads(), min_shard);
+  if (!ctx.parallel() || ranges.size() <= 1) {
+    // Serial reference: interleave compute and merge per shard, ascending.
+    // The parallel schedule below reproduces exactly this merge order.
+    for (const auto& r : ranges) {
+      compute(r.first, r.second);
+      merge(r.first, r.second);
+    }
+    return;
+  }
+  // merge(s) waits on {compute(s), merge(s-1)}: a dependency chain through
+  // the merges, with all computes free to run concurrently. No barrier —
+  // shard 0's merge can fire while the last shard is still computing.
+  TaskGraph graph(ctx.pool());
+  TaskGraph::NodeId prev_merge = 0;
+  bool has_prev = false;
+  for (const auto& r : ranges) {
+    const size_t lo = r.first, hi = r.second;
+    const TaskGraph::NodeId c =
+        graph.Add([&compute, lo, hi] { compute(lo, hi); });
+    std::vector<TaskGraph::NodeId> deps{c};
+    if (has_prev) deps.push_back(prev_merge);
+    prev_merge = graph.Add([&merge, lo, hi] { merge(lo, hi); }, deps);
+    has_prev = true;
+  }
+  graph.WaitAll();
+}
 
 void Gemm(const ExecutionContext& ctx, bool trans_a, bool trans_b, float alpha,
           const Matrix& a, const Matrix& b, float beta, Matrix* c) {
@@ -459,24 +564,20 @@ void ScatterAddRows(const ExecutionContext& ctx, const Matrix& src,
   GARCIA_CHECK_EQ(src.rows(), idx.size());
   GARCIA_CHECK_EQ(src.cols(), accum->cols());
   const size_t cols = src.cols();
-  if (!ctx.parallel() || idx.size() < ctx.tuning().min_scatter_sources) {
-    for (size_t e = 0; e < idx.size(); ++e) {
-      GARCIA_CHECK_LT(idx[e], accum->rows());
-      AddRow(accum->row(idx[e]), src.row(e), cols);
-    }
-    return;
-  }
-  const DestIndex di = BuildDestIndex(idx, accum->rows());
-  ctx.ShardedFor(0, accum->rows(), ctx.tuning().min_segments_per_shard,
-                 [&](size_t lo, size_t hi) {
-                   for (size_t d = lo; d < hi; ++d) {
-                     float* dst = accum->row(d);
-                     for (size_t p = di.offsets[d]; p < di.offsets[d + 1];
-                          ++p) {
-                       AddRow(dst, src.row(di.order[p]), cols);
-                     }
-                   }
-                 });
+  DestShardedReduce(
+      ctx, idx, accum->rows(),
+      [&] {
+        for (size_t e = 0; e < idx.size(); ++e) {
+          GARCIA_CHECK_LT(idx[e], accum->rows());
+          AddRow(accum->row(idx[e]), src.row(e), cols);
+        }
+      },
+      [&](size_t d, size_t p0, size_t p1, const uint32_t* order) {
+        float* dst = accum->row(d);
+        for (size_t p = p0; p < p1; ++p) {
+          AddRow(dst, src.row(order[p]), cols);
+        }
+      });
 }
 
 void SegmentSum(const ExecutionContext& ctx, const Matrix& x,
@@ -495,43 +596,25 @@ void SegmentSoftmax(const ExecutionContext& ctx, const Matrix& scores,
   GARCIA_CHECK_EQ(out->rows(), seg.size());
   GARCIA_CHECK_EQ(out->cols(), 1u);
   const size_t e_count = seg.size();
-  if (!ctx.parallel() || e_count < ctx.tuning().min_scatter_sources) {
-    std::vector<float> seg_max(num_segments, -1e30f);
-    for (size_t e = 0; e < e_count; ++e) {
-      GARCIA_CHECK_LT(seg[e], num_segments);
-      seg_max[seg[e]] = std::max(seg_max[seg[e]], scores.at(e, 0));
-    }
-    std::vector<double> seg_sum(num_segments, 0.0);
-    for (size_t e = 0; e < e_count; ++e) {
-      out->at(e, 0) = std::exp(scores.at(e, 0) - seg_max[seg[e]]);
-      seg_sum[seg[e]] += out->at(e, 0);
-    }
-    for (size_t e = 0; e < e_count; ++e) {
-      out->at(e, 0) = static_cast<float>(out->at(e, 0) / seg_sum[seg[e]]);
-    }
-    return;
-  }
-  const DestIndex di = BuildDestIndex(seg, num_segments);
-  ctx.ShardedFor(
-      0, num_segments, ctx.tuning().min_segments_per_shard, [&](size_t lo, size_t hi) {
-        for (size_t s = lo; s < hi; ++s) {
-          const size_t p0 = di.offsets[s], p1 = di.offsets[s + 1];
-          if (p0 == p1) continue;
-          float mx = -1e30f;
-          for (size_t p = p0; p < p1; ++p) {
-            mx = std::max(mx, scores.at(di.order[p], 0));
-          }
-          double sum = 0.0;
-          for (size_t p = p0; p < p1; ++p) {
-            const uint32_t e = di.order[p];
-            out->at(e, 0) = std::exp(scores.at(e, 0) - mx);
-            sum += out->at(e, 0);
-          }
-          for (size_t p = p0; p < p1; ++p) {
-            const uint32_t e = di.order[p];
-            out->at(e, 0) = static_cast<float>(out->at(e, 0) / sum);
-          }
+  DestShardedReduce(
+      ctx, seg, num_segments,
+      [&] {
+        std::vector<float> seg_max(num_segments, -1e30f);
+        for (size_t e = 0; e < e_count; ++e) {
+          GARCIA_CHECK_LT(seg[e], num_segments);
+          seg_max[seg[e]] = std::max(seg_max[seg[e]], scores.at(e, 0));
         }
+        std::vector<double> seg_sum(num_segments, 0.0);
+        for (size_t e = 0; e < e_count; ++e) {
+          out->at(e, 0) = std::exp(scores.at(e, 0) - seg_max[seg[e]]);
+          seg_sum[seg[e]] += out->at(e, 0);
+        }
+        for (size_t e = 0; e < e_count; ++e) {
+          out->at(e, 0) = static_cast<float>(out->at(e, 0) / seg_sum[seg[e]]);
+        }
+      },
+      [&](size_t /*s*/, size_t p0, size_t p1, const uint32_t* order) {
+        SegmentSoftmaxOneSegment(scores, order, p0, p1, out);
       });
 }
 
@@ -543,36 +626,31 @@ void SegmentSoftmaxBackwardAdd(const ExecutionContext& ctx,
   GARCIA_CHECK_EQ(dalpha.rows(), seg.size());
   GARCIA_CHECK_EQ(dscores->rows(), seg.size());
   const size_t e_count = seg.size();
-  if (!ctx.parallel() || e_count < ctx.tuning().min_scatter_sources) {
-    std::vector<double> seg_dot(num_segments, 0.0);
-    for (size_t e = 0; e < e_count; ++e) {
-      GARCIA_CHECK_LT(seg[e], num_segments);
-      seg_dot[seg[e]] +=
-          static_cast<double>(dalpha.at(e, 0)) * alpha.at(e, 0);
-    }
-    for (size_t e = 0; e < e_count; ++e) {
-      dscores->at(e, 0) +=
-          alpha.at(e, 0) *
-          (dalpha.at(e, 0) - static_cast<float>(seg_dot[seg[e]]));
-    }
-    return;
-  }
-  const DestIndex di = BuildDestIndex(seg, num_segments);
-  ctx.ShardedFor(
-      0, num_segments, ctx.tuning().min_segments_per_shard, [&](size_t lo, size_t hi) {
-        for (size_t s = lo; s < hi; ++s) {
-          const size_t p0 = di.offsets[s], p1 = di.offsets[s + 1];
-          double dot = 0.0;
-          for (size_t p = p0; p < p1; ++p) {
-            const uint32_t e = di.order[p];
-            dot += static_cast<double>(dalpha.at(e, 0)) * alpha.at(e, 0);
-          }
-          for (size_t p = p0; p < p1; ++p) {
-            const uint32_t e = di.order[p];
-            dscores->at(e, 0) +=
-                alpha.at(e, 0) *
-                (dalpha.at(e, 0) - static_cast<float>(dot));
-          }
+  DestShardedReduce(
+      ctx, seg, num_segments,
+      [&] {
+        std::vector<double> seg_dot(num_segments, 0.0);
+        for (size_t e = 0; e < e_count; ++e) {
+          GARCIA_CHECK_LT(seg[e], num_segments);
+          seg_dot[seg[e]] +=
+              static_cast<double>(dalpha.at(e, 0)) * alpha.at(e, 0);
+        }
+        for (size_t e = 0; e < e_count; ++e) {
+          dscores->at(e, 0) +=
+              alpha.at(e, 0) *
+              (dalpha.at(e, 0) - static_cast<float>(seg_dot[seg[e]]));
+        }
+      },
+      [&](size_t /*s*/, size_t p0, size_t p1, const uint32_t* order) {
+        double dot = 0.0;
+        for (size_t p = p0; p < p1; ++p) {
+          const uint32_t e = order[p];
+          dot += static_cast<double>(dalpha.at(e, 0)) * alpha.at(e, 0);
+        }
+        for (size_t p = p0; p < p1; ++p) {
+          const uint32_t e = order[p];
+          dscores->at(e, 0) +=
+              alpha.at(e, 0) * (dalpha.at(e, 0) - static_cast<float>(dot));
         }
       });
 }
@@ -692,25 +770,34 @@ double CrossEntropyForward(const ExecutionContext& ctx, Matrix* logits,
   GARCIA_CHECK_EQ(targets.size(), n);
   GARCIA_CHECK_GT(n, 0u);
   std::vector<double> row_loss(n);
-  ForEachRow(ctx, n, ctx.tuning().min_loss_rows_per_shard, [&](size_t i) {
-    GARCIA_CHECK_LT(targets[i], m);
-    float* r = logits->row(i);
-    float mx = r[0];
-    for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
-    double sum = 0.0;
-    for (size_t j = 0; j < m; ++j) {
-      sum += std::exp(static_cast<double>(r[j]) - mx);
-    }
-    const double lse = mx + std::log(sum);
-    row_loss[i] = lse - r[targets[i]];
-    for (size_t j = 0; j < m; ++j) {
-      r[j] = static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
-    }
-  });
-  // The total is summed serially in row order regardless of backend so the
-  // scalar loss is backend-independent.
+  // The total is summed in ascending row order regardless of backend so
+  // the scalar loss is backend-independent; OrderedShardMerge lets each
+  // row shard fold into the total as soon as it (and every earlier shard)
+  // is done, instead of joining the whole pass first.
   double loss = 0.0;
-  for (size_t i = 0; i < n; ++i) loss += row_loss[i];
+  OrderedShardMerge(
+      ctx, n, ctx.tuning().min_loss_rows_per_shard,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          GARCIA_CHECK_LT(targets[i], m);
+          float* r = logits->row(i);
+          float mx = r[0];
+          for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
+          double sum = 0.0;
+          for (size_t j = 0; j < m; ++j) {
+            sum += std::exp(static_cast<double>(r[j]) - mx);
+          }
+          const double lse = mx + std::log(sum);
+          row_loss[i] = lse - r[targets[i]];
+          for (size_t j = 0; j < m; ++j) {
+            r[j] =
+                static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
+          }
+        }
+      },
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) loss += row_loss[i];
+      });
   return loss;
 }
 
@@ -794,19 +881,25 @@ std::vector<ScoredId> TopKDot(const ExecutionContext& ctx, const float* query,
   }
   const size_t num_blocks = (n + kTopKBlockRows - 1) / kTopKBlockRows;
   std::vector<std::vector<ScoredId>> partial(num_blocks);
-  ctx.ShardedFor(0, num_blocks, /*min_shard=*/1, [&](size_t blo, size_t bhi) {
-    for (size_t b = blo; b < bhi; ++b) {
-      const size_t lo = b * kTopKBlockRows;
-      PartialTopKRows(query, dim, candidates, lo,
-                      std::min(n, lo + kTopKBlockRows), k, &partial[b]);
-    }
-  });
   // Merge the per-block winners in ascending block order. The k best of
   // the union of block top-k lists are exactly the global top-k, and the
-  // total order makes that selection (and its sort) unique.
-  for (const auto& block : partial) {
-    result.insert(result.end(), block.begin(), block.end());
-  }
+  // total order makes that selection (and its sort) unique. The ordered
+  // merge releases per block shard: early blocks append to the result
+  // while later blocks are still scanning.
+  OrderedShardMerge(
+      ctx, num_blocks, /*min_shard=*/1,
+      [&](size_t blo, size_t bhi) {
+        for (size_t b = blo; b < bhi; ++b) {
+          const size_t lo = b * kTopKBlockRows;
+          PartialTopKRows(query, dim, candidates, lo,
+                          std::min(n, lo + kTopKBlockRows), k, &partial[b]);
+        }
+      },
+      [&](size_t blo, size_t bhi) {
+        for (size_t b = blo; b < bhi; ++b) {
+          result.insert(result.end(), partial[b].begin(), partial[b].end());
+        }
+      });
   std::partial_sort(result.begin(), result.begin() + k, result.end(),
                     RanksBefore);
   result.resize(k);
@@ -972,27 +1065,37 @@ double CrossEntropyForward(const ExecutionContext& ctx, const Program& prog,
   GARCIA_CHECK_EQ(targets.size(), n);
   GARCIA_CHECK_GT(n, 0u);
   std::vector<double> row_loss(n);
-  ForEachRow(ctx, n, ctx.tuning().min_loss_rows_per_shard, [&](size_t i) {
-    GARCIA_CHECK_LT(targets[i], m);
-    float* r = softmax->row(i);
-    const size_t base = i * m;
-    EvalRange(steps, num_steps, base, base + m, r);
-    // The eager kernels::CrossEntropyForward row body, on chain values.
-    float mx = r[0];
-    for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
-    double sum = 0.0;
-    for (size_t j = 0; j < m; ++j) {
-      sum += std::exp(static_cast<double>(r[j]) - mx);
-    }
-    const double lse = mx + std::log(sum);
-    row_loss[i] = lse - r[targets[i]];
-    for (size_t j = 0; j < m; ++j) {
-      r[j] = static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
-    }
-  });
-  // Serial row-order total, as in the eager kernel: backend-independent.
+  // Ascending-row-order total via the ordered merge, exactly as in the
+  // eager kernel: backend-independent, and each row shard folds into the
+  // total without waiting for the whole pass.
   double loss = 0.0;
-  for (size_t i = 0; i < n; ++i) loss += row_loss[i];
+  OrderedShardMerge(
+      ctx, n, ctx.tuning().min_loss_rows_per_shard,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          GARCIA_CHECK_LT(targets[i], m);
+          float* r = softmax->row(i);
+          const size_t base = i * m;
+          EvalRange(steps, num_steps, base, base + m, r);
+          // The eager kernels::CrossEntropyForward row body, on chain
+          // values.
+          float mx = r[0];
+          for (size_t j = 1; j < m; ++j) mx = std::max(mx, r[j]);
+          double sum = 0.0;
+          for (size_t j = 0; j < m; ++j) {
+            sum += std::exp(static_cast<double>(r[j]) - mx);
+          }
+          const double lse = mx + std::log(sum);
+          row_loss[i] = lse - r[targets[i]];
+          for (size_t j = 0; j < m; ++j) {
+            r[j] =
+                static_cast<float>(std::exp(static_cast<double>(r[j]) - lse));
+          }
+        }
+      },
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) loss += row_loss[i];
+      });
   return loss;
 }
 
@@ -1006,10 +1109,61 @@ void SegmentSoftmaxForward(const ExecutionContext& ctx, const Program& prog,
   const size_t num_steps = prog.size();
   // Segment softmax needs every element's value in both its max and its exp
   // pass, so the chain lands in an Ex1 scratch first (still one chain pass;
-  // the head then runs the unmodified destination-sharded kernel on it).
-  Matrix scores(seg.size(), 1);
+  // the head consumes the scratch per destination segment).
+  const size_t e_count = seg.size();
+  Matrix scores(e_count, 1);
   float* sd = scores.data();
-  ctx.ShardedFor(0, seg.size(), ctx.tuning().min_elems_per_shard,
+  // Fast path: segment ids ascending (block layers emit destination-sorted
+  // edges), a parallel context, and enough sources to beat the index
+  // build. Then each destination shard's sources occupy one contiguous
+  // element range, so the reduction head can be released PER DESTINATION
+  // SHARD: a TaskGraph where head node h depends only on the chain-eval
+  // nodes covering its element range, instead of the whole chain pass
+  // joining before any head work starts. Chain values and the per-segment
+  // head arithmetic are unchanged, and segments never straddle a head
+  // node, so the result is bit-identical to the barriered path.
+  if (ctx.parallel() && e_count >= ctx.tuning().min_scatter_sources &&
+      std::is_sorted(seg.begin(), seg.end())) {
+    const DestIndex di = BuildDestIndex(seg, num_segments);
+    const auto eval_shards =
+        ShardRanges(e_count, ctx.num_threads(), ctx.tuning().min_elems_per_shard);
+    const auto head_shards = ShardRanges(num_segments, ctx.num_threads(),
+                                         ctx.tuning().min_segments_per_shard);
+    TaskGraph graph(ctx.pool());
+    std::vector<TaskGraph::NodeId> eval_ids;
+    eval_ids.reserve(eval_shards.size());
+    for (const auto& r : eval_shards) {
+      const size_t lo = r.first, hi = r.second;
+      eval_ids.push_back(graph.Add(
+          [=] { EvalRange(steps, num_steps, lo, hi, sd + lo); }));
+    }
+    const uint32_t* order = di.order.data();
+    const size_t* offsets = di.offsets.data();
+    const Matrix& scores_ref = scores;
+    for (const auto& r : head_shards) {
+      const size_t s0 = r.first, s1 = r.second;
+      // Ascending seg: the sources of segments [s0, s1) are exactly the
+      // contiguous elements [offsets[s0], offsets[s1]).
+      const size_t elo = offsets[s0], ehi = offsets[s1];
+      std::vector<TaskGraph::NodeId> deps;
+      for (size_t e = 0; e < eval_shards.size(); ++e) {
+        if (eval_shards[e].first < ehi && eval_shards[e].second > elo) {
+          deps.push_back(eval_ids[e]);
+        }
+      }
+      graph.Add(
+          [&scores_ref, order, offsets, s0, s1, out] {
+            for (size_t s = s0; s < s1; ++s) {
+              SegmentSoftmaxOneSegment(scores_ref, order, offsets[s],
+                                       offsets[s + 1], out);
+            }
+          },
+          deps);
+    }
+    graph.WaitAll();
+    return;
+  }
+  ctx.ShardedFor(0, e_count, ctx.tuning().min_elems_per_shard,
                  [=](size_t lo, size_t hi) {
                    EvalRange(steps, num_steps, lo, hi, sd + lo);
                  });

@@ -1,0 +1,121 @@
+#include "core/taskgraph.h"
+
+#include <utility>
+
+namespace garcia::core {
+
+TaskGraph::~TaskGraph() {
+  // A graph abandoned with nodes in flight would let workers touch freed
+  // memory; drain instead of crashing later.
+  WaitAll();
+}
+
+TaskGraph::NodeId TaskGraph::Add(std::function<void()> fn,
+                                 const std::vector<NodeId>& deps) {
+  if (pool_ == nullptr) {
+    // Serial reference semantics: dependencies were added earlier, hence
+    // already ran inline; the new node runs now, in program order.
+    NodeId id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      id = nodes_.size();
+      nodes_.emplace_back();
+      nodes_.back().fn = std::move(fn);
+      nodes_.back().done = true;
+    }
+    for (NodeId dep : deps) GARCIA_CHECK_LT(dep, id);
+    nodes_[id].fn();
+    return id;
+  }
+
+  NodeId id;
+  size_t satisfied = 0;
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = nodes_.size();
+    nodes_.emplace_back();
+    node = &nodes_.back();
+    node->fn = std::move(fn);
+    // +1 registration guard: the node cannot fire until we finish wiring
+    // consumer edges below, even if every dependency completes meanwhile.
+    node->pending.store(deps.size() + 1, std::memory_order_relaxed);
+    for (NodeId dep : deps) {
+      GARCIA_CHECK_LT(dep, id);
+      if (nodes_[dep].done) {
+        ++satisfied;
+      } else {
+        nodes_[dep].consumers.push_back(node);
+      }
+    }
+    ++outstanding_;
+  }
+  // Drop the guard plus any dependencies that had already completed.
+  const size_t drop = satisfied + 1;
+  if (node->pending.fetch_sub(drop, std::memory_order_acq_rel) == drop) {
+    Dispatch(node);
+  }
+  return id;
+}
+
+void TaskGraph::Dispatch(Node* node) {
+  pool_->Submit([this, node] { RunNode(node); });
+}
+
+void TaskGraph::RunNode(Node* node) {
+  node->fn();
+  std::vector<Node*> consumers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    node->done = true;
+    consumers.swap(node->consumers);
+    --outstanding_;
+    if (outstanding_ == 0) drained_.notify_all();
+  }
+  for (Node* c : consumers) {
+    if (c->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Dispatch(c);
+    }
+  }
+}
+
+void TaskGraph::WaitAll() {
+  if (pool_ == nullptr) return;  // everything ran inline at Add() time
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+TicketGate::TicketGate(size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+void TicketGate::WaitTurn(uint64_t ticket) {
+  // A ticket below the published turn was already finished: an index was
+  // issued twice, which would silently corrupt the ordered section.
+  GARCIA_CHECK_GE(ticket, turn_.load(std::memory_order_acquire));
+  if (turn_.load(std::memory_order_acquire) == ticket) return;
+  Slot& slot = slots_[ticket % slots_.size()];
+  std::unique_lock<std::mutex> lock(slot.m);
+  slot.cv.wait(lock, [&] {
+    return turn_.load(std::memory_order_acquire) >= ticket;
+  });
+  GARCIA_CHECK_EQ(turn_.load(std::memory_order_acquire), ticket);
+}
+
+void TicketGate::FinishTurn(uint64_t ticket) {
+  GARCIA_CHECK_EQ(turn_.load(std::memory_order_acquire), ticket);
+  turn_.store(ticket + 1, std::memory_order_release);
+  Slot& slot = slots_[(ticket + 1) % slots_.size()];
+  {
+    // Empty critical section: a waiter is either before its predicate
+    // check (and will observe the new turn) or parked in wait (and will
+    // receive the notify). Without the lock the store/notify pair could
+    // slip between the two and the wakeup would be lost.
+    std::lock_guard<std::mutex> lock(slot.m);
+  }
+  slot.cv.notify_all();
+}
+
+void TicketGate::Reset(uint64_t next) {
+  turn_.store(next, std::memory_order_release);
+}
+
+}  // namespace garcia::core

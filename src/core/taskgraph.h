@@ -1,0 +1,174 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Dependency-tracked task scheduling on top of ThreadPool.
+//
+// The execution layer historically ran bulk-synchronous: every phase
+// (sample, pack, encode, reduce, resolve) submitted its shards and then
+// drained the pool to idle before the next phase started. TaskGraph
+// replaces those phase barriers with point-to-point dependency release:
+// each node carries an atomic in-degree countdown, and the completion of
+// a producer decrements its consumers, submitting any that reach zero
+// directly onto the pool. No condition variable is involved per phase
+// edge; the only cv is the one WaitAll() blocks on.
+//
+// Determinism contract: TaskGraph schedules *when* work runs, never what
+// it computes. Callers keep results bit-identical to the barriered code
+// by merging at join points in ascending shard / request order (see
+// kernels::OrderedShardMerge), exactly as the barriered kernels did.
+
+#ifndef GARCIA_CORE_TASKGRAPH_H_
+#define GARCIA_CORE_TASKGRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/threadpool.h"
+
+namespace garcia::core {
+
+/// A one-shot dependency graph of void() tasks executed on a ThreadPool.
+///
+/// Usage: Add() nodes (dependencies must refer to already-added nodes),
+/// then WaitAll(). Nodes with no unmet dependencies are submitted
+/// immediately, so execution overlaps graph construction. With a null
+/// pool every node runs inline at Add() time in program order — the
+/// serial reference semantics that the parallel schedule must reproduce
+/// bit for bit.
+///
+/// Thread safety: Add() and WaitAll() may be called from the owning
+/// thread while node bodies run on pool workers. Node bodies may not
+/// call Add() on their own graph.
+class TaskGraph {
+ public:
+  using NodeId = size_t;
+
+  /// pool == nullptr runs every node inline at Add() time.
+  explicit TaskGraph(ThreadPool* pool) : pool_(pool) {}
+
+  /// Destruction requires the graph to be drained (WaitAll or no nodes).
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node depending on `deps` (each id must come from an earlier
+  /// Add on this graph). Returns the node's id.
+  NodeId Add(std::function<void()> fn, const std::vector<NodeId>& deps = {});
+
+  /// Blocks until every added node has finished.
+  void WaitAll();
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    /// Unsatisfied dependency count + 1 registration guard. The guard is
+    /// released at the end of Add(), so a node can never fire while its
+    /// consumer edges are still being wired.
+    std::atomic<size_t> pending{0};
+    std::vector<Node*> consumers;  // guarded by mu_
+    bool done = false;             // guarded by mu_
+  };
+
+  void Dispatch(Node* node);
+  void RunNode(Node* node);
+
+  ThreadPool* pool_;
+  std::deque<Node> nodes_;  // deque: stable addresses across Add()
+  std::mutex mu_;
+  std::condition_variable drained_;
+  size_t outstanding_ = 0;  // guarded by mu_
+};
+
+/// Single-assignment cell for cross-stage handoff: a producer task Sets
+/// the value exactly once; consumers block in Take()/Peek() until it is
+/// available. This is the point-to-point replacement for "wait for the
+/// whole phase, then read the buffer".
+template <typename T>
+class Promise {
+ public:
+  Promise() = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  /// Fulfils the promise. Must be called exactly once.
+  void Set(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      GARCIA_CHECK(!ready_);
+      value_ = std::move(value);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until Set, then moves the value out. Single consumer.
+  T Take() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ready_; });
+    ready_ = false;
+    return std::move(value_);
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ready_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  T value_{};
+  bool ready_ = false;
+};
+
+/// Ascending-ticket sequencer: thread t calls WaitTurn(t), performs its
+/// ordered critical section, then FinishTurn(t) hands the turn to t+1.
+/// This is the per-request countdown handoff used by the serving resolve
+/// phase — a ring of slot cvs so each FinishTurn wakes only the slot the
+/// next ticket waits on, instead of a single cv broadcast to every
+/// blocked request.
+class TicketGate {
+ public:
+  explicit TicketGate(size_t slots = 16);
+
+  TicketGate(const TicketGate&) = delete;
+  TicketGate& operator=(const TicketGate&) = delete;
+
+  /// Blocks until `ticket` holds the turn. Each ticket value must be
+  /// used at most once; a ticket below the current turn means the caller
+  /// reused an index and is a checked bug.
+  void WaitTurn(uint64_t ticket);
+
+  /// Releases the turn held by `ticket` to ticket + 1.
+  void FinishTurn(uint64_t ticket);
+
+  /// Restarts the sequence at `next`. Callers must ensure no thread is
+  /// waiting when they reset (run boundaries in the serving harness).
+  void Reset(uint64_t next = 0);
+
+  uint64_t current_turn() const {
+    return turn_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
+  std::deque<Slot> slots_;  // deque: Slot is not movable
+  std::atomic<uint64_t> turn_{0};
+};
+
+}  // namespace garcia::core
+
+#endif  // GARCIA_CORE_TASKGRAPH_H_

@@ -15,7 +15,13 @@
 namespace garcia::core {
 
 /// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until
-/// every submitted task has finished. Not reentrant (tasks must not submit).
+/// every submitted task has finished. Tasks may Submit further tasks
+/// (TaskGraph continuations release consumers from worker threads), and
+/// ParallelFor/ParallelForShards may be called from inside a pool task:
+/// each call joins on its own completion latch — not on pool idleness —
+/// and the calling thread helps drain the queue while it waits, so nested
+/// sharded calls cannot deadlock and never block on unrelated in-flight
+/// work (e.g. a pipelined training step's lookahead node).
 class ThreadPool {
  public:
   /// num_threads == 0 picks hardware_concurrency (at least 1).
@@ -44,7 +50,9 @@ class ThreadPool {
   /// [begin, end); blocks until done. Shards never overlap and cover the
   /// range exactly, so callers writing disjoint output ranges need no
   /// synchronization. Executes fn(begin, end) inline when the range is
-  /// small or the pool has a single thread.
+  /// small or the pool has a single thread. The caller runs the first
+  /// shard itself and then joins on a per-call latch, helping with queued
+  /// tasks while any of its shards are still pending.
   void ParallelForShards(size_t begin, size_t end,
                          const std::function<void(size_t, size_t)>& fn,
                          size_t min_shard = 256);
@@ -54,6 +62,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Pops and runs one queued task if any; returns false when the queue
+  /// was empty. Used by waiting ParallelForShards callers to help.
+  bool RunOneTask();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

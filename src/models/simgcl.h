@@ -20,6 +20,7 @@ class SimGcl : public LightGcn {
 
  protected:
   nn::Tensor AuxiliaryLoss(core::Rng* rng) override;
+  bool AuxiliaryLossDrawsRng() const override { return true; }
 
  private:
   /// One noisy propagation pass.

@@ -28,6 +28,72 @@ BatchRanker::BatchRanker(std::shared_ptr<const Ranker> ranker,
   }
 }
 
+BatchRanker::~BatchRanker() {
+  // Drain, then destroy the pool while every other member is still alive.
+  // ThreadPool's shutdown path runs queued tasks to completion; without
+  // this ordering those stragglers — and any latency-sink callback they
+  // fire — could observe members the default reverse-declaration-order
+  // destruction had already torn down.
+  Drain();
+  pool_.reset();
+}
+
+void BatchRanker::Drain() {
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+void BatchRanker::RankBatchAsync(const std::vector<ServeRequest>& requests,
+                                 std::vector<RankedList>* results,
+                                 LatencySink sink) {
+  GARCIA_CHECK(results != nullptr);
+  results->resize(requests.size());
+  const uint64_t base = next_index_;
+  next_index_ += requests.size();
+  // The batch control block is shared by the worker tasks, never the
+  // facade itself: a task holds everything it touches (ranker handle,
+  // request copies, output pointer, sink) through this one shared_ptr, so
+  // the only facade state a straggler can reach is the pool it runs on —
+  // which the destructor keeps alive until Drain() completes.
+  struct AsyncBatch {
+    std::shared_ptr<const Ranker> ranker;
+    std::vector<ServeRequest> requests;
+    std::vector<RankedList>* results;
+    LatencySink sink;
+    uint64_t base = 0;
+    std::atomic<size_t> cursor{0};
+  };
+  auto batch = std::make_shared<AsyncBatch>();
+  batch->ranker = ranker_;
+  batch->requests = requests;
+  batch->results = results;
+  batch->sink = std::move(sink);
+  batch->base = base;
+  const auto serve_one = [](AsyncBatch* b, size_t i) {
+    const double start = b->sink != nullptr ? NowMicros() : 0.0;
+    (*b->results)[i] =
+        b->ranker->RankAt(b->base + i, b->requests[i].query, b->requests[i].k);
+    if (b->sink != nullptr) b->sink(i, NowMicros() - start);
+  };
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < requests.size(); ++i) serve_one(batch.get(), i);
+    return;
+  }
+  // Same ascending atomic-cursor claim discipline as the synchronous path,
+  // so ResilientRanker's index-ordered resolve never waits behind a
+  // contiguous shard.
+  const size_t workers = std::min(pool_->num_threads(), requests.size());
+  for (size_t w = 0; w < workers; ++w) {
+    pool_->Submit([batch, serve_one] {
+      for (;;) {
+        const size_t i =
+            batch->cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch->requests.size()) return;
+        serve_one(batch.get(), i);
+      }
+    });
+  }
+}
+
 std::vector<RankedList> BatchRanker::RankBatch(
     const std::vector<ServeRequest>& requests) {
   return RankBatch(requests, nullptr);

@@ -20,6 +20,7 @@
 #define GARCIA_SERVING_BATCH_RANKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,18 @@ class BatchRanker {
   explicit BatchRanker(std::shared_ptr<const Ranker> ranker,
                        ServeConfig config = {});
 
+  /// Drains any in-flight asynchronous work and tears the owned pool down
+  /// BEFORE any other member. The default member-destruction order would
+  /// destroy state declared after the pool while stragglers (and their
+  /// latency-sink / completion callbacks) can still be executing queued
+  /// tasks inside the pool's shutdown path — a use-after-destruction the
+  /// explicit ordering here closes (regression-tested by destroying the
+  /// facade mid-flight under ASan).
+  ~BatchRanker();
+
+  BatchRanker(const BatchRanker&) = delete;
+  BatchRanker& operator=(const BatchRanker&) = delete;
+
   /// Ranks every request; result i corresponds to requests[i]. Request
   /// indices continue the facade's stream: the j-th request ever submitted
   /// (since construction or Reset()) gets index j, matching what a serial
@@ -67,8 +80,29 @@ class BatchRanker {
   std::vector<RankedList> RankBatch(const std::vector<ServeRequest>& requests,
                                     std::vector<double>* latency_micros);
 
+  /// Per-request completion callback of the asynchronous path. Runs on the
+  /// worker that served the request; must be thread-safe. `i` is the
+  /// position in the submitted batch.
+  using LatencySink = std::function<void(size_t i, double micros)>;
+
+  /// Asynchronous batch: dispatches and returns immediately (serial
+  /// configurations serve inline before returning). results->at(i) is
+  /// written by the worker serving request i; `sink`, when set, fires per
+  /// completed request. The caller keeps `results` (and anything `sink`
+  /// touches) alive until Drain() or destruction; the batch claims its
+  /// request indices from the facade's stream at call time, so results are
+  /// bit-identical to the synchronous path over the same requests.
+  void RankBatchAsync(const std::vector<ServeRequest>& requests,
+                      std::vector<RankedList>* results,
+                      LatencySink sink = nullptr);
+
+  /// Blocks until every request dispatched so far (sync or async) has been
+  /// served and its callbacks have returned.
+  void Drain();
+
   /// Rewinds the request-index stream to 0. Pair with the wrapped ranker's
-  /// PrepareForRun() when replaying a run.
+  /// PrepareForRun() when replaying a run. Do not call with async work in
+  /// flight (Drain() first).
   void Reset();
 
   /// Next index the facade will assign.

@@ -170,13 +170,15 @@ const float* ResilientRanker::FreshLookup(uint32_t query,
 
 ResilientRanker::Resolved ResilientRanker::ResolveRequest(
     uint64_t request_index, uint32_t query) const {
+  // Wait for the turn, not for a lock: request t-1's FinishTurn releases
+  // exactly this request. (WaitTurn checks that a request index below the
+  // gate's turn — a reused index, or Rank() mixed with explicit RankAt()
+  // — fails loudly instead of deadlocking the sequence.) The gate makes
+  // this resolve the only one in flight, so the mutex below is held only
+  // for accessor visibility of the shared counters, never contended by
+  // other resolves.
+  resolve_gate_.WaitTurn(request_index);
   std::unique_lock<std::mutex> lock(mu_);
-  // A request index below the sequencer cursor was already resolved: the
-  // caller reused an index (or mixed Rank() with explicit RankAt()), which
-  // would otherwise deadlock the wait below. Fail loudly instead.
-  GARCIA_CHECK_GE(request_index, next_resolve_index_);
-  resolve_cv_.wait(lock,
-                   [&] { return next_resolve_index_ == request_index; });
 
   clock_.AdvanceMicros(config_.inter_request_micros);
   ++health_.requests;
@@ -240,8 +242,8 @@ ResilientRanker::Resolved ResilientRanker::ResolveRequest(
     out.tier =
         text_ != nullptr ? ServingTier::kText : ServingTier::kPopularity;
   }
-  ++next_resolve_index_;
-  resolve_cv_.notify_all();
+  lock.unlock();
+  resolve_gate_.FinishTurn(request_index);
   return out;
 }
 
@@ -283,11 +285,8 @@ RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
 }
 
 RankedList ResilientRanker::Rank(uint32_t query, size_t k) const {
-  uint64_t request_index;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    request_index = next_arrival_index_++;
-  }
+  const uint64_t request_index =
+      next_arrival_index_.fetch_add(1, std::memory_order_relaxed);
   return RankAt(request_index, query, k, nullptr);
 }
 
@@ -302,8 +301,8 @@ void ResilientRanker::PrepareForRun(const FaultProfile* profile,
   clock_.Reset();
   breaker_.Reset();
   health_.Reset();
-  next_arrival_index_ = 0;
-  next_resolve_index_ = 0;
+  next_arrival_index_.store(0, std::memory_order_relaxed);
+  resolve_gate_.Reset(0);
   run_seed_ = seed;
 }
 

@@ -17,20 +17,22 @@
 //   4. popularity — a static popularity prior; always answers.
 // Every request is served by some tier: Rank() never aborts.
 //
-// Concurrency & determinism (DESIGN.md §5f): Rank()/RankAt() may be called
-// from any number of threads. Each request carries an index; its fault and
-// backoff draws come from a private stream seeded by (profile seed, run
-// seed, index), and the shared mutable state — manual clock, circuit
-// breaker, health counters, injector — is advanced in ascending index
-// order by a condition-variable sequencer, while the expensive top-K scan
-// runs outside the lock. A fixed profile + seed therefore yields the same
-// per-request tier decision and ranked list for every thread count and
-// interleaving, and the breaker/health totals match a serial pass exactly.
+// Concurrency & determinism (DESIGN.md §5f, §5j): Rank()/RankAt() may be
+// called from any number of threads. Each request carries an index; its
+// fault and backoff draws come from a private stream seeded by (profile
+// seed, run seed, index), and the shared mutable state — manual clock,
+// circuit breaker, health counters, injector — is advanced in ascending
+// index order by a core::TicketGate (per-request countdown handoff:
+// request t releases exactly request t+1, no broadcast cv), while the
+// expensive top-K scan runs fully concurrent outside both the gate and
+// the mutex. A fixed profile + seed therefore yields the same per-request
+// tier decision and ranked list for every thread count and interleaving,
+// and the breaker/health totals match a serial pass exactly.
 
 #ifndef GARCIA_SERVING_RESILIENT_RANKER_H_
 #define GARCIA_SERVING_RESILIENT_RANKER_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -40,6 +42,7 @@
 #include "core/backoff.h"
 #include "core/clock.h"
 #include "core/rng.h"
+#include "core/taskgraph.h"
 #include "models/text_encoder.h"
 #include "serving/fault_injector.h"
 #include "serving/ranking_service.h"
@@ -162,10 +165,12 @@ class ResilientRanker : public Ranker {
     std::vector<float> embedding;  // non-empty iff an embedding tier serves
   };
 
-  /// The sequenced resolve phase: waits until every earlier index has
-  /// resolved, then runs fault draws / retries / breaker / tier selection
-  /// under the mutex, advancing the shared clock exactly like a serial
-  /// pass.
+  /// The sequenced resolve phase: holds the ticket gate's turn for
+  /// request_index (so every earlier index has already resolved and later
+  /// ones wait their turn), then runs fault draws / retries / breaker /
+  /// tier selection, advancing the shared clock exactly like a serial
+  /// pass. Only the state mutations are sequenced; scoring never enters
+  /// the gate.
   Resolved ResolveRequest(uint64_t request_index, uint32_t query) const;
 
   /// One pass over tier 0 (retry loop). Returns the embedding or nullptr.
@@ -184,11 +189,16 @@ class ResilientRanker : public Ranker {
   std::shared_ptr<const Ranker> text_;
   std::shared_ptr<const Ranker> popularity_;
 
+  /// Guards the shared mutable state below for accessor visibility
+  /// (health(), breaker_state(), ...). The resolve phase itself is
+  /// serialized by resolve_gate_, so mu_ is only ever held briefly —
+  /// accessors no longer block behind a resolve's backoff sleeps.
   mutable std::mutex mu_;
-  mutable std::condition_variable resolve_cv_;
-  mutable uint64_t next_arrival_index_ = 0;  // indices handed out by Rank()
-  mutable uint64_t next_resolve_index_ = 0;  // sequencer cursor
-  mutable uint64_t run_seed_ = 0;            // from PrepareForRun
+  /// Ascending-index handoff for the resolve phase: request t's resolve
+  /// releases exactly request t+1 (DESIGN.md §5j release rules).
+  mutable core::TicketGate resolve_gate_;
+  mutable std::atomic<uint64_t> next_arrival_index_{0};  // handed out by Rank()
+  mutable uint64_t run_seed_ = 0;  // from PrepareForRun
   mutable core::ManualClock clock_;
   mutable std::optional<FaultInjector> injector_;
   mutable CircuitBreaker breaker_;

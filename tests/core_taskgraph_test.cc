@@ -1,0 +1,225 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// TaskGraph / Promise / TicketGate: dependency release order, countdown
+// races under TSan, and join-order determinism across thread counts.
+
+#include "core/taskgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/threadpool.h"
+
+namespace garcia::core {
+namespace {
+
+TEST(TaskGraphTest, NullPoolRunsInlineInProgramOrder) {
+  TaskGraph graph(nullptr);
+  std::vector<int> order;
+  // With a null pool, every Add runs the node before returning — even when
+  // its dependency edges point at later-added... (they can't: deps must
+  // already exist). Program order IS the dependency-respecting order.
+  auto a = graph.Add([&] { order.push_back(0); });
+  EXPECT_EQ(order.size(), 1u);  // ran inline at Add() time
+  auto b = graph.Add([&] { order.push_back(1); }, {a});
+  graph.Add([&] { order.push_back(2); }, {a, b});
+  graph.WaitAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TaskGraphTest, DiamondRespectsDependencies) {
+  ThreadPool pool(4);
+  TaskGraph graph(&pool);
+  std::mutex mu;
+  std::vector<char> order;
+  auto record = [&](char c) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(c);
+  };
+  auto a = graph.Add([&] { record('a'); });
+  auto b = graph.Add([&] { record('b'); }, {a});
+  auto c = graph.Add([&] { record('c'); }, {a});
+  graph.Add([&] { record('d'); }, {b, c});
+  graph.WaitAll();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 'a');
+  EXPECT_EQ(order.back(), 'd');
+}
+
+TEST(TaskGraphTest, FanOutFanIn) {
+  ThreadPool pool(4);
+  TaskGraph graph(&pool);
+  std::atomic<int> mids_done{0};
+  int seen_at_sink = -1;
+  auto root = graph.Add([] {});
+  std::vector<TaskGraph::NodeId> mids;
+  for (int i = 0; i < 32; ++i) {
+    mids.push_back(graph.Add(
+        [&] { mids_done.fetch_add(1, std::memory_order_relaxed); }, {root}));
+  }
+  graph.Add([&] { seen_at_sink = mids_done.load(); }, mids);
+  graph.WaitAll();
+  EXPECT_EQ(seen_at_sink, 32);
+}
+
+// A layered random DAG hammered under TSan: every node checks that each of
+// its dependencies retired before it ran (the countdown contract), via one
+// per-node done flag written by the dependency and read by the consumer.
+TEST(TaskGraphTest, CountdownStressRandomDag) {
+  constexpr int kNodes = 400;
+  Rng rng(123);
+  for (int round = 0; round < 4; ++round) {
+    ThreadPool pool(8);
+    TaskGraph graph(&pool);
+    std::vector<std::atomic<bool>> done(kNodes);
+    for (auto& d : done) d.store(false);
+    std::atomic<int> violations{0};
+    std::vector<TaskGraph::NodeId> ids;
+    for (int i = 0; i < kNodes; ++i) {
+      std::vector<TaskGraph::NodeId> deps;
+      if (i > 0) {
+        const int ndeps = static_cast<int>(rng.UniformInt(3));
+        for (int d = 0; d < ndeps; ++d) {
+          deps.push_back(ids[rng.UniformInt(ids.size())]);
+        }
+      }
+      std::vector<size_t> dep_idx;
+      for (auto id : deps) dep_idx.push_back(id);
+      ids.push_back(graph.Add(
+          [&, i, dep_idx] {
+            for (size_t d : dep_idx) {
+              if (!done[d].load(std::memory_order_acquire)) {
+                violations.fetch_add(1);
+              }
+            }
+            done[i].store(true, std::memory_order_release);
+          },
+          deps));
+    }
+    graph.WaitAll();
+    EXPECT_EQ(violations.load(), 0);
+    for (int i = 0; i < kNodes; ++i) EXPECT_TRUE(done[i].load());
+  }
+}
+
+// The join pattern every kernel merge uses: compute shards in parallel,
+// merge chained in ascending shard order. The merged sequence must be
+// identical at every thread count (and to the null-pool serial reference).
+TEST(TaskGraphTest, AscendingMergeChainIsDeterministicAcrossThreadCounts) {
+  constexpr size_t kShards = 24;
+  auto run = [&](ThreadPool* pool) {
+    TaskGraph graph(pool);
+    std::vector<std::vector<int>> partial(kShards);
+    std::vector<int> merged;
+    TaskGraph::NodeId prev_merge = 0;
+    bool has_prev = false;
+    for (size_t s = 0; s < kShards; ++s) {
+      auto compute = graph.Add([&partial, s] {
+        for (int k = 0; k < 5; ++k) {
+          partial[s].push_back(static_cast<int>(s) * 100 + k);
+        }
+      });
+      std::vector<TaskGraph::NodeId> deps{compute};
+      if (has_prev) deps.push_back(prev_merge);
+      prev_merge = graph.Add(
+          [&partial, &merged, s] {
+            merged.insert(merged.end(), partial[s].begin(), partial[s].end());
+          },
+          deps);
+      has_prev = true;
+    }
+    graph.WaitAll();
+    return merged;
+  };
+  const std::vector<int> serial = run(nullptr);
+  ASSERT_EQ(serial.size(), kShards * 5);
+  EXPECT_TRUE(std::is_sorted(serial.begin(), serial.end()));
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(run(&pool), serial) << "threads=" << threads;
+  }
+}
+
+TEST(TaskGraphTest, WaitAllOnEmptyGraphAndRepeatedWaits) {
+  ThreadPool pool(2);
+  TaskGraph graph(&pool);
+  graph.WaitAll();
+  std::atomic<int> ran{0};
+  graph.Add([&] { ran.fetch_add(1); });
+  graph.WaitAll();
+  graph.WaitAll();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+TEST(PromiseTest, HandsValueAcrossThreads) {
+  Promise<std::vector<int>> p;
+  EXPECT_FALSE(p.ready());
+  std::thread producer([&] { p.Set({1, 2, 3}); });
+  std::vector<int> got = p.Take();
+  producer.join();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(p.ready());  // Take consumed it
+}
+
+TEST(PromiseTest, WorksAsTaskGraphHandoff) {
+  ThreadPool pool(2);
+  TaskGraph graph(&pool);
+  Promise<int> p;
+  graph.Add([&] { p.Set(41); });
+  EXPECT_EQ(p.Take(), 41);
+  graph.WaitAll();
+}
+
+// Workers claim tickets through an ascending atomic cursor — the same
+// claim discipline BatchRanker uses (a blocked WaitTurn only ever waits on
+// tickets other live workers hold, so the handoff chain cannot stall) —
+// and the gate must retire them strictly in ticket order regardless of
+// which worker drew which ticket.
+TEST(TicketGateTest, SequencesConcurrentClaimsAscending) {
+  for (size_t threads : {2u, 4u, 8u}) {
+    TicketGate gate;
+    constexpr uint64_t kTickets = 200;
+    std::vector<uint64_t> order;  // guarded by the gate itself
+    std::atomic<uint64_t> cursor{0};
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const uint64_t t = cursor.fetch_add(1);
+          if (t >= kTickets) return;
+          gate.WaitTurn(t);
+          order.push_back(t);  // inside the turn: no race by construction
+          gate.FinishTurn(t);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    ASSERT_EQ(order.size(), kTickets);
+    for (uint64_t i = 0; i < kTickets; ++i) EXPECT_EQ(order[i], i);
+    EXPECT_EQ(gate.current_turn(), kTickets);
+  }
+}
+
+TEST(TicketGateTest, ResetRestartsTheSequence) {
+  TicketGate gate(4);
+  gate.WaitTurn(0);
+  gate.FinishTurn(0);
+  gate.WaitTurn(1);
+  gate.FinishTurn(1);
+  EXPECT_EQ(gate.current_turn(), 2u);
+  gate.Reset(0);
+  EXPECT_EQ(gate.current_turn(), 0u);
+  gate.WaitTurn(0);
+  gate.FinishTurn(0);
+  EXPECT_EQ(gate.current_turn(), 1u);
+}
+
+}  // namespace
+}  // namespace garcia::core

@@ -1,0 +1,204 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// Pipelined-vs-barriered training bit-parity (DESIGN.md §5j).
+//
+// TrainConfig::pipeline_depth >= 1 overlaps step t+1's planning/sampling
+// with step t's compute. These tests pin the contract that the overlap is
+// invisible: scores, loss probes, and checkpoint bytes are bit-identical
+// to the legacy barriered loop for every thread count, in full-graph and
+// sampled mode, across GARCIA and the baseline loops.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/garcia_model.h"
+#include "models/lightgcn.h"
+#include "models/sgl.h"
+#include "models/wide_deep.h"
+
+namespace garcia::models {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::ScenarioConfig TinyDataConfig() {
+  data::ScenarioConfig cfg;
+  cfg.num_queries = 150;
+  cfg.num_services = 60;
+  cfg.num_intentions = 30;
+  cfg.num_trees = 4;
+  cfg.num_impressions = 6000;
+  cfg.head_fraction = 0.06;
+  return cfg;
+}
+
+const data::Scenario& Tiny() {
+  static const data::Scenario* s =
+      new data::Scenario(data::GenerateScenario(TinyDataConfig()));
+  return *s;
+}
+
+TrainConfig FastTrainConfig() {
+  TrainConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.pretrain_epochs = 2;
+  cfg.finetune_epochs = 3;
+  cfg.max_batches_per_epoch = 6;
+  cfg.batch_size = 512;
+  cfg.cl_batch_size = 96;
+  return cfg;
+}
+
+template <typename Model>
+std::vector<float> FitAndScore(const TrainConfig& cfg) {
+  Model model(cfg);
+  model.Fit(Tiny());
+  return model.Predict(Tiny(), Tiny().test);
+}
+
+void ExpectBitIdentical(const std::vector<float>& ref,
+                        const std::vector<float>& got,
+                        const std::string& label) {
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref[i], got[i]) << label << " diverges at score " << i;
+  }
+}
+
+TEST(PipelinedTrainingTest, GarciaFullGraphBitIdentical) {
+  TrainConfig cfg = FastTrainConfig();
+  const std::vector<float> ref = FitAndScore<GarciaModel>(cfg);
+  for (size_t threads : {0u, 1u, 2u, 4u}) {
+    TrainConfig p = cfg;
+    p.pipeline_depth = 1;
+    p.num_threads = threads;
+    ExpectBitIdentical(ref, FitAndScore<GarciaModel>(p),
+                       "full-graph threads=" + std::to_string(threads));
+  }
+}
+
+TEST(PipelinedTrainingTest, GarciaSampledBitIdentical) {
+  TrainConfig cfg = FastTrainConfig();
+  cfg.sample_fanout = 8;
+  const std::vector<float> ref = FitAndScore<GarciaModel>(cfg);
+  for (size_t threads : {0u, 1u, 2u, 4u}) {
+    TrainConfig p = cfg;
+    p.pipeline_depth = 1;
+    p.num_threads = threads;
+    ExpectBitIdentical(ref, FitAndScore<GarciaModel>(p),
+                       "fanout=8 threads=" + std::to_string(threads));
+  }
+}
+
+TEST(PipelinedTrainingTest, GarciaLossProbesMatch) {
+  TrainConfig cfg = FastTrainConfig();
+  cfg.sample_fanout = 8;
+  GarciaModel barriered(cfg);
+  barriered.Fit(Tiny());
+  TrainConfig p = cfg;
+  p.pipeline_depth = 1;
+  p.num_threads = 2;
+  GarciaModel pipelined(p);
+  pipelined.Fit(Tiny());
+  EXPECT_EQ(barriered.first_pretrain_loss(), pipelined.first_pretrain_loss());
+  EXPECT_EQ(barriered.last_pretrain_loss(), pipelined.last_pretrain_loss());
+  EXPECT_EQ(barriered.last_finetune_loss(), pipelined.last_finetune_loss());
+}
+
+TEST(PipelinedTrainingTest, LightGcnBitIdentical) {
+  TrainConfig cfg = FastTrainConfig();
+  cfg.sample_fanout = 8;
+  const std::vector<float> ref = FitAndScore<LightGcn>(cfg);
+  for (size_t threads : {0u, 2u}) {
+    TrainConfig p = cfg;
+    p.pipeline_depth = 1;
+    p.num_threads = threads;
+    ExpectBitIdentical(ref, FitAndScore<LightGcn>(p),
+                       "lightgcn threads=" + std::to_string(threads));
+  }
+}
+
+TEST(PipelinedTrainingTest, WideDeepBitIdentical) {
+  TrainConfig cfg = FastTrainConfig();
+  const std::vector<float> ref = FitAndScore<WideDeep>(cfg);
+  for (size_t threads : {0u, 2u}) {
+    TrainConfig p = cfg;
+    p.pipeline_depth = 1;
+    p.num_threads = threads;
+    ExpectBitIdentical(ref, FitAndScore<WideDeep>(p),
+                       "widedeep threads=" + std::to_string(threads));
+  }
+}
+
+// SGL's auxiliary views draw rng_ during compute, so it must IGNORE the
+// pipeline knob (forced barriered) — and therefore stay bit-identical to
+// its depth-0 self rather than diverge.
+TEST(PipelinedTrainingTest, SglIgnoresPipelineKnob) {
+  TrainConfig cfg = FastTrainConfig();
+  cfg.num_threads = 2;
+  const std::vector<float> ref = FitAndScore<Sgl>(cfg);
+  TrainConfig p = cfg;
+  p.pipeline_depth = 1;
+  ExpectBitIdentical(ref, FitAndScore<Sgl>(p), "sgl pipeline knob");
+}
+
+// The eager-capture requirement: snapshots written while the next step's
+// lookahead is already advancing the rng streams and the batch iterator
+// must carry the same bytes the barriered run writes.
+TEST(PipelinedTrainingTest, CheckpointBytesMatchBarriered) {
+  auto temp_dir = [](const std::string& name) {
+    const std::string dir = "/tmp/garcia_pipeline_" + name;
+    fs::remove_all(dir);
+    return dir;
+  };
+  auto read_file = [](const fs::path& p) {
+    std::ifstream f(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  };
+
+  TrainConfig cfg = FastTrainConfig();
+  cfg.sample_fanout = 8;
+  cfg.checkpoint_every_steps = 4;
+  cfg.checkpoint_keep = 0;  // keep every generation
+
+  TrainConfig barriered = cfg;
+  barriered.checkpoint_dir = temp_dir("barriered");
+  GarciaModel a(barriered);
+  a.Fit(Tiny());
+
+  TrainConfig pipelined = cfg;
+  pipelined.pipeline_depth = 1;
+  pipelined.num_threads = 2;
+  pipelined.checkpoint_dir = temp_dir("pipelined");
+  GarciaModel b(pipelined);
+  b.Fit(Tiny());
+
+  std::vector<fs::path> a_files, b_files;
+  for (const auto& e : fs::directory_iterator(barriered.checkpoint_dir)) {
+    a_files.push_back(e.path());
+  }
+  for (const auto& e : fs::directory_iterator(pipelined.checkpoint_dir)) {
+    b_files.push_back(e.path());
+  }
+  std::sort(a_files.begin(), a_files.end());
+  std::sort(b_files.begin(), b_files.end());
+  ASSERT_FALSE(a_files.empty());
+  ASSERT_EQ(a_files.size(), b_files.size());
+  for (size_t i = 0; i < a_files.size(); ++i) {
+    EXPECT_EQ(a_files[i].filename(), b_files[i].filename());
+    EXPECT_EQ(read_file(a_files[i]), read_file(b_files[i]))
+        << "checkpoint " << a_files[i].filename() << " diverged";
+  }
+  fs::remove_all(barriered.checkpoint_dir);
+  fs::remove_all(pipelined.checkpoint_dir);
+}
+
+}  // namespace
+}  // namespace garcia::models

@@ -261,5 +261,65 @@ TEST(EmbeddingRankerConcurrencyTest, BatchedHammerMatchesSerial) {
   }
 }
 
+TEST(BatchRankerAsyncTest, AsyncResultsMatchSynchronousPath) {
+  auto ranker = MakeChainRanker();
+  const FaultProfile profile = AggressiveProfile();
+  const auto requests = MakeTraffic(300);
+  const SerialReference ref =
+      RunSerialReference(*ranker, &profile, /*seed=*/11, requests);
+
+  ranker->PrepareForRun(&profile, /*seed=*/11);
+  ServeConfig serve;
+  serve.num_threads = 6;
+  BatchRanker batch(ranker, serve);
+  std::vector<RankedList> results;
+  std::atomic<size_t> sink_calls{0};
+  batch.RankBatchAsync(requests, &results, [&](size_t, double micros) {
+    EXPECT_GE(micros, 0.0);
+    sink_calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  batch.Drain();
+  EXPECT_EQ(sink_calls.load(), requests.size());
+  ASSERT_EQ(results.size(), ref.lists.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], ref.lists[i]) << "request " << i;
+  }
+  EXPECT_EQ(ranker->health().ToString(), ref.health);
+}
+
+// Regression: destroying the facade with async requests still in flight
+// must drain them (and their latency-sink callbacks) BEFORE the owned
+// pool — and before any other member — is torn down. The default member
+// destruction order destroyed state stragglers could still observe; under
+// ASan this test caught that as a use-after-destruction.
+TEST(BatchRankerAsyncTest, DestroyMidFlightDrainsBeforeTeardown) {
+  auto ranker = MakeChainRanker();
+  const FaultProfile profile = AggressiveProfile();
+  const auto requests = MakeTraffic(400);
+  const SerialReference ref =
+      RunSerialReference(*ranker, &profile, /*seed=*/23, requests);
+
+  for (int round = 0; round < 5; ++round) {
+    ranker->PrepareForRun(&profile, /*seed=*/23);
+    ServeConfig serve;
+    serve.num_threads = 8;
+    auto batch = std::make_unique<BatchRanker>(ranker, serve);
+    std::vector<RankedList> results;
+    std::atomic<size_t> sink_calls{0};
+    batch->RankBatchAsync(requests, &results, [&](size_t i, double) {
+      // Touches facade-external state the worker must still be allowed to
+      // reach while the destructor runs.
+      EXPECT_LT(i, requests.size());
+      sink_calls.fetch_add(1, std::memory_order_relaxed);
+    });
+    batch.reset();  // mid-flight destruction: must drain, then tear down
+    EXPECT_EQ(sink_calls.load(), requests.size());
+    ASSERT_EQ(results.size(), ref.lists.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i], ref.lists[i]) << "round " << round << " req " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace garcia::serving
