@@ -1,0 +1,233 @@
+// Recall/QPS tradeoff of the IVF retrieval index (DESIGN.md §5k): sweeps
+// nlist x nprobe over a clustered synthetic catalog, reporting recall@10
+// against the brute-force oracle and single-thread query throughput, with
+// the oracle-equivalence gate enforced — at nprobe == nlist every ranked
+// list must be BIT-IDENTICAL to core::kernels::TopKDot, and the binary
+// exits nonzero if any query diverges.
+//
+// `retrieval_recall --json` additionally writes the sweep to
+// BENCH_retrieval.json in the working directory (EXPERIMENTS.md records
+// the trajectory). GARCIA_BENCH_REPEATS overrides the timing repeat count
+// (default 3; check.sh's ASan smoke uses 1).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+#include "core/table.h"
+#include "serving/ivf_index.h"
+#include "serving/ranking_service.h"
+
+using namespace garcia;
+
+namespace {
+
+constexpr size_t kNumServices = 20000;
+constexpr size_t kNumClusters = 128;  // catalog geometry, not the quantizer
+constexpr size_t kDim = 64;
+constexpr size_t kNumQueries = 400;
+constexpr size_t kTopK = 10;
+constexpr uint64_t kSeed = 515;
+
+int Repeats() {
+  const char* env = std::getenv("GARCIA_BENCH_REPEATS");
+  if (env != nullptr && std::atoi(env) > 0) return std::atoi(env);
+  return 3;
+}
+
+/// Clustered catalog: services concentrate around intention-tree-like
+/// centers; queries embed near catalog points (the trained query tower
+/// maps queries into the service space). The geometry IVF exists for.
+core::Matrix MakeCatalog(core::Rng* rng) {
+  core::Matrix centers = core::Matrix::Randn(kNumClusters, kDim, rng, 0.0f, 4.0f);
+  core::Matrix catalog(kNumServices, kDim);
+  for (size_t i = 0; i < kNumServices; ++i) {
+    const size_t c = i % kNumClusters;
+    float* row = catalog.row(i);
+    for (size_t j = 0; j < kDim; ++j) {
+      row[j] = centers.at(c, j) + static_cast<float>(rng->Normal()) * 0.3f;
+    }
+  }
+  return catalog;
+}
+
+core::Matrix MakeQueries(const core::Matrix& catalog, core::Rng* rng) {
+  core::Matrix queries(kNumQueries, kDim);
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    const float* anchor =
+        catalog.row(rng->UniformInt(uint64_t{kNumServices}));
+    float* row = queries.row(q);
+    for (size_t j = 0; j < kDim; ++j) {
+      row[j] = anchor[j] + static_cast<float>(rng->Normal()) * 0.3f;
+    }
+  }
+  return queries;
+}
+
+double RecallAgainst(const serving::RankedList& truth,
+                     const serving::RankedList& got) {
+  if (truth.empty()) return 1.0;
+  std::set<uint32_t> truth_ids;
+  for (const auto& [id, s] : truth) truth_ids.insert(id);
+  size_t hit = 0;
+  for (const auto& [id, s] : got) hit += truth_ids.count(id);
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+struct SweepPoint {
+  size_t nlist = 0;
+  size_t nprobe = 0;
+  double recall = 0.0;
+  double qps = 0.0;
+  bool full_probe = false;
+  bool bit_identical = true;  // only meaningful when full_probe
+};
+
+/// nprobe values for one nlist: powers of two up to nlist, nlist included.
+std::vector<size_t> NprobeSweep(size_t nlist) {
+  std::vector<size_t> probes;
+  for (size_t p = 1; p < nlist; p *= 2) probes.push_back(p);
+  probes.push_back(nlist);
+  return probes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool write_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) write_json = true;
+  }
+  const int repeats = Repeats();
+
+  std::printf(
+      "IVF recall/QPS sweep: %zu services in %zu clusters, dim %zu, "
+      "%zu queries, recall@%zu vs the brute-force oracle.\n",
+      kNumServices, kNumClusters, kDim, kNumQueries, kTopK);
+
+  core::Rng rng(kSeed);
+  const core::Matrix catalog = MakeCatalog(&rng);
+  const core::Matrix queries = MakeQueries(catalog, &rng);
+
+  // Brute-force oracle: ground truth for recall, QPS baseline, and the
+  // byte-equality reference for the full-probe gate.
+  std::vector<serving::RankedList> truth(kNumQueries);
+  double brute_secs = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < kNumQueries; ++q) {
+      truth[q] = serving::TopKInnerProduct(core::SerialExecution(),
+                                           queries.row(q), kDim, catalog, kTopK);
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0 || secs < brute_secs) brute_secs = secs;
+  }
+  const double brute_qps = static_cast<double>(kNumQueries) / brute_secs;
+  std::printf("Brute-force scan: %.0f QPS (single thread).\n", brute_qps);
+
+  // Index builds are thread-count-invariant; build on all cores.
+  const size_t hw =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  core::ExecutionContext build_ctx(hw);
+
+  std::vector<SweepPoint> sweep;
+  bool gate_ok = true;
+  for (size_t nlist : {size_t{64}, size_t{128}, size_t{256}}) {
+    serving::RetrievalConfig cfg;
+    cfg.mode = serving::RetrievalMode::kIvf;
+    cfg.nlist = nlist;
+    const serving::IvfIndex index =
+        serving::IvfIndex::Build(catalog, cfg, build_ctx);
+    for (size_t nprobe : NprobeSweep(nlist)) {
+      SweepPoint point;
+      point.nlist = nlist;
+      point.nprobe = nprobe;
+      point.full_probe = nprobe == nlist;
+      std::vector<serving::RankedList> results(kNumQueries);
+      double best_secs = 0.0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t q = 0; q < kNumQueries; ++q) {
+          results[q] = index.Query(core::SerialExecution(), queries.row(q),
+                                   kTopK, nprobe);
+        }
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        if (rep == 0 || secs < best_secs) best_secs = secs;
+      }
+      point.qps = static_cast<double>(kNumQueries) / best_secs;
+      double recall_total = 0.0;
+      for (size_t q = 0; q < kNumQueries; ++q) {
+        recall_total += RecallAgainst(truth[q], results[q]);
+        if (point.full_probe && results[q] != truth[q]) {
+          point.bit_identical = false;  // oracle-equivalence gate
+        }
+      }
+      point.recall = recall_total / static_cast<double>(kNumQueries);
+      if (point.full_probe && !point.bit_identical) gate_ok = false;
+      sweep.push_back(point);
+    }
+  }
+
+  core::Table t({"nlist", "nprobe", "recall@10", "QPS", "vs brute", "gate"});
+  for (const SweepPoint& p : sweep) {
+    t.AddRow({core::StrFormat("%zu", p.nlist),
+              core::StrFormat("%zu", p.nprobe),
+              core::StrFormat("%.4f", p.recall),
+              core::StrFormat("%.0f", p.qps),
+              core::StrFormat("%.2fx", p.qps / brute_qps),
+              p.full_probe ? (p.bit_identical ? "exact" : "DIVERGED") : "-"});
+  }
+  std::fputs(t.ToAscii().c_str(), stdout);
+
+  if (write_json) {
+    std::string json = core::StrFormat(
+        "{\n  \"benchmark\": \"retrieval_recall\",\n"
+        "  \"num_services\": %zu,\n  \"num_clusters\": %zu,\n"
+        "  \"dim\": %zu,\n  \"num_queries\": %zu,\n  \"top_k\": %zu,\n"
+        "  \"brute_force_qps\": %.1f,\n  \"sweep\": [\n",
+        kNumServices, kNumClusters, kDim, kNumQueries, kTopK, brute_qps);
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      json += core::StrFormat(
+          "    {\"nlist\": %zu, \"nprobe\": %zu, \"recall_at_10\": %.4f, "
+          "\"qps\": %.1f, \"speedup_vs_brute\": %.2f, "
+          "\"full_probe_bit_identical\": %s}%s\n",
+          p.nlist, p.nprobe, p.recall, p.qps, p.qps / brute_qps,
+          p.full_probe ? (p.bit_identical ? "true" : "false") : "null",
+          i + 1 == sweep.size() ? "" : ",");
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen("BENCH_retrieval.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_retrieval.json\n");
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("Wrote BENCH_retrieval.json\n");
+  }
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FULL-PROBE GATE FAILED: nprobe == nlist diverged from the "
+                 "brute-force oracle\n");
+    return 1;
+  }
+  std::printf("Full-probe gate: every nprobe == nlist sweep point "
+              "bit-identical to the oracle.\n");
+  return 0;
+}

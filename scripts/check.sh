@@ -49,6 +49,13 @@ echo "==> ASan smoke: micro_kernels --pipeline_json"
 (cd "$ROOT/build-asan/bench" && \
   GARCIA_BENCH_REPEATS=1 ./micro_kernels --pipeline_json > /dev/null)
 
+echo "==> ASan smoke: retrieval_recall --json"
+# The IVF index under ASan/UBSan at bench shapes: k-means build, probe
+# merge, and the GIV1 serialization arithmetic; exits nonzero if any
+# full-probe sweep point diverges from the brute-force oracle.
+(cd "$ROOT/build-asan/bench" && \
+  GARCIA_BENCH_REPEATS=1 ./retrieval_recall --json > /dev/null)
+
 echo "==> ASan smoke: micro_kernels --dump_dot"
 # OpGraph::DumpDot over a fusion-enabled GARCIA encoder step must emit a
 # well-formed digraph with at least one fused chain.
@@ -65,15 +72,17 @@ echo "==> Sanitizer build (thread)"
 # thread-count bit-parity contract, the block sampler's
 # thread-count-invariance contract, the task-graph countdown/release races
 # (core_taskgraph_test), the pipelined training loops' lookahead handoff
-# (models_pipeline_test), and the concurrent batched serving path
-# (BatchRanker + ResilientRanker's sequenced resolve phase).
+# (models_pipeline_test), the concurrent batched serving path
+# (BatchRanker + ResilientRanker's sequenced resolve phase), and the
+# shared immutable IvfIndex probed from many threads
+# (serving_retrieval_test).
 TSAN_DIR="$ROOT/build-tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target core_kernels_test core_gemm_test core_threadpool_test nn_ops_test \
   nn_fusion_test graph_sampler_test core_taskgraph_test models_pipeline_test \
-  serving_concurrency_test serving_resilience_test
+  serving_concurrency_test serving_resilience_test serving_retrieval_test
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -R '^(core_kernels_test|core_gemm_test|core_threadpool_test|nn_ops_test|nn_fusion_test|graph_sampler_test|core_taskgraph_test|models_pipeline_test|serving_concurrency_test|serving_resilience_test)$'
+  -R '^(core_kernels_test|core_gemm_test|core_threadpool_test|nn_ops_test|nn_fusion_test|graph_sampler_test|core_taskgraph_test|models_pipeline_test|serving_concurrency_test|serving_resilience_test|serving_retrieval_test)$'
 
 echo "==> All checks passed"

@@ -1,0 +1,510 @@
+#include "serving/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/crc32.h"
+#include "core/fileio.h"
+#include "core/macros.h"
+#include "core/rng.h"
+
+namespace garcia::serving {
+
+namespace {
+
+using ScoredId = std::pair<uint32_t, float>;
+
+/// The (score desc, id asc) total order shared with kernels::TopKDot.
+/// Selection and sorting under a total order are unique, which is what
+/// makes every probe-scan partitioning — and, at full probe, the index
+/// itself — agree with the brute-force scan byte for byte.
+inline bool RanksBefore(const ScoredId& a, const ScoredId& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+/// Double-accumulated dot over ascending columns — the exact expression
+/// TopKDot evaluates, so index scores equal brute-force scores bitwise.
+inline float DotRowDouble(const float* a, const float* b, size_t dim) {
+  double dot = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    dot += static_cast<double>(a[j]) * b[j];
+  }
+  return static_cast<float>(dot);
+}
+
+/// Squared L2 distance in double (k-means assignment metric).
+inline double SquaredL2(const float* a, const float* b, size_t dim) {
+  double d = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// Nearest centroid of one point: strictly smaller distance wins, ties
+/// break by ascending centroid id (first minimum kept). Independent per
+/// point, so the assignment pass shards freely.
+uint32_t NearestCentroid(const float* point, const core::Matrix& centroids) {
+  uint32_t best = 0;
+  double best_dist = SquaredL2(point, centroids.row(0), centroids.cols());
+  for (size_t c = 1; c < centroids.rows(); ++c) {
+    const double d = SquaredL2(point, centroids.row(c), centroids.cols());
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+/// Bounded top-k merge of candidates [lo, hi) of `cands` into `heap`
+/// (ascending stored-row order), mirroring kernels.cc's PartialTopKRows.
+void PartialTopKList(const float* query, size_t dim,
+                     const core::Matrix& vectors,
+                     const std::vector<uint32_t>& ids, size_t lo, size_t hi,
+                     size_t k, std::vector<ScoredId>* out) {
+  for (size_t r = lo; r < hi; ++r) {
+    const ScoredId cand{ids[r], DotRowDouble(query, vectors.row(r), dim)};
+    if (out->size() < k) {
+      out->push_back(cand);
+      std::push_heap(out->begin(), out->end(), RanksBefore);
+    } else if (RanksBefore(cand, out->front())) {
+      std::pop_heap(out->begin(), out->end(), RanksBefore);
+      out->back() = cand;
+      std::push_heap(out->begin(), out->end(), RanksBefore);
+    }
+  }
+}
+
+// ------------------------------------------------------------ persistence
+
+constexpr char kMagic[4] = {'G', 'I', 'V', '1'};
+constexpr uint32_t kVersion = 1;
+
+enum class SectionId : uint32_t {
+  kMeta = 1,
+  kCentroids = 2,
+  kLists = 3,
+  kVectors = 4,
+};
+constexpr uint32_t kNumSections = 4;
+
+const char* SectionName(uint32_t id) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kMeta:
+      return "meta";
+    case SectionId::kCentroids:
+      return "centroids";
+    case SectionId::kLists:
+      return "lists";
+    case SectionId::kVectors:
+      return "vectors";
+  }
+  return "unknown";
+}
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void AppendSection(std::string* out, SectionId id, const std::string& payload) {
+  AppendPod(out, static_cast<uint32_t>(id));
+  AppendPod(out, static_cast<uint64_t>(payload.size()));
+  AppendPod(out, core::Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+/// Bounds-checked little cursor over loaded index bytes.
+class ByteReader {
+ public:
+  ByteReader(const std::string& bytes, const std::string& origin)
+      : bytes_(bytes), origin_(origin) {}
+
+  template <typename T>
+  core::Status Read(T* out) {
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      return core::Status::InvalidArgument("truncated index " + origin_);
+    }
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return core::Status::Ok();
+  }
+
+  core::Status ReadBytes(void* out, size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return core::Status::InvalidArgument("truncated index " + origin_);
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return core::Status::Ok();
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::string& bytes_;
+  const std::string& origin_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- resolution
+
+size_t IvfIndex::ResolveNlist(size_t nlist, size_t rows) {
+  GARCIA_CHECK_GT(rows, 0u);
+  if (nlist == 0) {
+    nlist = static_cast<size_t>(std::lround(std::sqrt(
+        static_cast<double>(rows))));
+  }
+  return std::min(std::max<size_t>(nlist, 1), rows);
+}
+
+size_t IvfIndex::ResolveNprobe(size_t nprobe, size_t nlist) {
+  GARCIA_CHECK_GT(nlist, 0u);
+  if (nprobe == 0) nprobe = nlist / 4;
+  return std::min(std::max<size_t>(nprobe, 1), nlist);
+}
+
+// ------------------------------------------------------------------ build
+
+IvfIndex IvfIndex::Build(const core::Matrix& catalog,
+                         const RetrievalConfig& config,
+                         const core::ExecutionContext& ctx) {
+  const size_t n = catalog.rows();
+  const size_t dim = catalog.cols();
+  GARCIA_CHECK_GT(n, 0u);
+  GARCIA_CHECK_GT(dim, 0u);
+  const size_t nlist = ResolveNlist(config.nlist, n);
+
+  // Init: nlist distinct catalog rows drawn from the seed stream. The draw
+  // is serial, so the starting centroids depend on the seed alone.
+  IvfIndex index;
+  index.seed_ = config.seed;
+  index.default_nprobe_ = ResolveNprobe(config.nprobe, nlist);
+  index.centroids_ = core::Matrix(nlist, dim);
+  {
+    core::Rng rng(config.seed);
+    std::vector<size_t> init = rng.SampleWithoutReplacement(n, nlist);
+    for (size_t c = 0; c < nlist; ++c) {
+      index.centroids_.CopyRowFrom(catalog, init[c], c);
+    }
+  }
+
+  // Lloyd sweeps, fixed count. Both phases shard over independent output
+  // coordinates with per-destination accumulation in ascending source
+  // order, so any thread count reproduces the serial sweep exactly.
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<uint32_t> members(n);       // point ids, grouped by centroid
+  std::vector<uint32_t> offsets(nlist + 1, 0);
+  const size_t min_assign_shard = ctx.tuning().min_rows_per_shard;
+  const size_t min_update_shard = ctx.tuning().min_segments_per_shard;
+  for (size_t iter = 0; iter < kKmeansIterations; ++iter) {
+    // Assignment: each point independently picks its nearest centroid.
+    ctx.ShardedFor(0, n, min_assign_shard, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        assign[i] = NearestCentroid(catalog.row(i), index.centroids_);
+      }
+    });
+    // Counting sort of points by centroid: one serial O(n) pass building
+    // each centroid's member list in ascending point id.
+    std::fill(offsets.begin(), offsets.end(), 0u);
+    for (size_t i = 0; i < n; ++i) ++offsets[assign[i] + 1];
+    for (size_t c = 0; c < nlist; ++c) offsets[c + 1] += offsets[c];
+    {
+      std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (size_t i = 0; i < n; ++i) {
+        members[cursor[assign[i]]++] = static_cast<uint32_t>(i);
+      }
+    }
+    // Update: each centroid averages its members (double accumulation,
+    // ascending point id). An emptied centroid keeps its previous
+    // position — deterministic, and a dead list simply never wins probes.
+    ctx.ShardedFor(0, nlist, min_update_shard, [&](size_t clo, size_t chi) {
+      std::vector<double> sum(dim);
+      for (size_t c = clo; c < chi; ++c) {
+        const size_t begin = offsets[c], end = offsets[c + 1];
+        if (begin == end) continue;
+        std::fill(sum.begin(), sum.end(), 0.0);
+        for (size_t m = begin; m < end; ++m) {
+          const float* row = catalog.row(members[m]);
+          for (size_t j = 0; j < dim; ++j) sum[j] += row[j];
+        }
+        const double inv = 1.0 / static_cast<double>(end - begin);
+        float* centroid = index.centroids_.row(c);
+        for (size_t j = 0; j < dim; ++j) {
+          centroid[j] = static_cast<float>(sum[j] * inv);
+        }
+      }
+    });
+  }
+
+  // Final assignment against the converged centroids, then the contiguous
+  // per-list layout in one pass: ids grouped by list (ascending id within
+  // each list — the counting sort preserves point order) and the catalog
+  // rows copied into the same permutation so a probe scans one contiguous
+  // block.
+  ctx.ShardedFor(0, n, min_assign_shard, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      assign[i] = NearestCentroid(catalog.row(i), index.centroids_);
+    }
+  });
+  std::fill(offsets.begin(), offsets.end(), 0u);
+  for (size_t i = 0; i < n; ++i) ++offsets[assign[i] + 1];
+  for (size_t c = 0; c < nlist; ++c) offsets[c + 1] += offsets[c];
+  index.list_offsets_ = offsets;
+  index.ids_.resize(n);
+  index.vectors_ = core::Matrix(n, dim);
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t slot = cursor[assign[i]]++;
+      index.ids_[slot] = static_cast<uint32_t>(i);
+      index.vectors_.CopyRowFrom(catalog, i, slot);
+    }
+  }
+  return index;
+}
+
+// ------------------------------------------------------------------ query
+
+RankedList IvfIndex::Query(const core::ExecutionContext& ctx,
+                           const float* query, size_t k,
+                           size_t nprobe) const {
+  GARCIA_CHECK(!empty());
+  nprobe = std::min(std::max<size_t>(nprobe, 1), nlist());
+  RankedList result;
+  if (k == 0) return result;
+
+  // Coarse stage: rank centroids by inner product through the shared
+  // top-K kernel (score desc, id asc — the probe order is part of the
+  // determinism contract and of the nprobe-monotonicity argument: probe
+  // sets are nested as nprobe grows).
+  RankedList probes =
+      core::kernels::TopKDot(ctx, query, dim(), centroids_, nprobe);
+
+  auto list_len = [&](uint32_t list) {
+    return static_cast<size_t>(list_offsets_[list + 1] - list_offsets_[list]);
+  };
+  size_t num_candidates = 0;
+  for (const auto& [list, score] : probes) num_candidates += list_len(list);
+
+  // Serving contract: min(k, size()) results, always — a request must not
+  // fall off the end of the degradation chain just because its nprobe-best
+  // lists happen to be underpopulated (dead clusters). When the probed
+  // prefix holds too few candidates, extend it down the SAME centroid
+  // ranking until it has enough. The effective probe set is still a prefix
+  // of the full centroid ranking, so probe sets stay nested in nprobe
+  // (recall stays monotone) and nprobe >= nlist is unaffected.
+  const size_t want = std::min(k, ids_.size());
+  if (num_candidates < want && probes.size() < nlist()) {
+    probes = core::kernels::TopKDot(ctx, query, dim(), centroids_, nlist());
+    size_t used = 0;
+    num_candidates = 0;
+    for (; used < probes.size() && (used < nprobe || num_candidates < want);
+         ++used) {
+      num_candidates += list_len(probes[used].first);
+    }
+    probes.resize(used);
+  }
+  k = std::min(k, num_candidates);
+  if (k == 0) return result;
+
+  // Fine stage: exact dots over the probed lists. Selection under the
+  // total order is unique, so the shard partitioning cannot change the
+  // answer; the ordered merge releases early shards while later ones are
+  // still scanning (the TopKDot pattern).
+  if (!ctx.parallel() || probes.size() < 2) {
+    result.reserve(k);
+    for (const auto& [list, score] : probes) {
+      PartialTopKList(query, dim(), vectors_, ids_, list_offsets_[list],
+                      list_offsets_[list + 1], k, &result);
+    }
+  } else {
+    std::vector<std::vector<ScoredId>> partial(probes.size());
+    core::kernels::OrderedShardMerge(
+        ctx, probes.size(), /*min_shard=*/1,
+        [&](size_t plo, size_t phi) {
+          for (size_t p = plo; p < phi; ++p) {
+            const uint32_t list = probes[p].first;
+            partial[p].reserve(k);
+            PartialTopKList(query, dim(), vectors_, ids_,
+                            list_offsets_[list], list_offsets_[list + 1], k,
+                            &partial[p]);
+          }
+        },
+        [&](size_t plo, size_t phi) {
+          for (size_t p = plo; p < phi; ++p) {
+            result.insert(result.end(), partial[p].begin(), partial[p].end());
+          }
+        });
+  }
+  std::partial_sort(result.begin(),
+                    result.begin() + static_cast<ptrdiff_t>(k), result.end(),
+                    RanksBefore);
+  result.resize(k);
+  return result;
+}
+
+RankedList IvfIndex::Query(const float* query, size_t k) const {
+  return Query(core::CurrentExecution(), query, k, default_nprobe_);
+}
+
+// ------------------------------------------------------------ persistence
+
+core::Status IvfIndex::Save(const std::string& path) const {
+  GARCIA_CHECK(!empty());
+  std::string meta;
+  AppendPod(&meta, static_cast<uint64_t>(size()));
+  AppendPod(&meta, static_cast<uint64_t>(dim()));
+  AppendPod(&meta, static_cast<uint64_t>(nlist()));
+  AppendPod(&meta, static_cast<uint64_t>(default_nprobe_));
+  AppendPod(&meta, seed_);
+
+  std::string centroids(reinterpret_cast<const char*>(centroids_.data()),
+                        centroids_.size() * sizeof(float));
+
+  std::string lists;
+  lists.reserve((list_offsets_.size() + ids_.size()) * sizeof(uint32_t));
+  lists.append(reinterpret_cast<const char*>(list_offsets_.data()),
+               list_offsets_.size() * sizeof(uint32_t));
+  lists.append(reinterpret_cast<const char*>(ids_.data()),
+               ids_.size() * sizeof(uint32_t));
+
+  std::string vectors(reinterpret_cast<const char*>(vectors_.data()),
+                      vectors_.size() * sizeof(float));
+
+  std::string bytes;
+  bytes.reserve(32 + meta.size() + centroids.size() + lists.size() +
+                vectors.size());
+  bytes.append(kMagic, 4);
+  AppendPod(&bytes, kVersion);
+  AppendPod(&bytes, kNumSections);
+  AppendSection(&bytes, SectionId::kMeta, meta);
+  AppendSection(&bytes, SectionId::kCentroids, centroids);
+  AppendSection(&bytes, SectionId::kLists, lists);
+  AppendSection(&bytes, SectionId::kVectors, vectors);
+  return core::WriteFileAtomic(path, bytes.data(), bytes.size());
+}
+
+core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
+  auto bytes_or = core::ReadFile(path, kMaxIndexBytes);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::string& bytes = bytes_or.value();
+  ByteReader reader(bytes, path);
+
+  char magic[4];
+  GARCIA_RETURN_IF_ERROR(reader.ReadBytes(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return core::Status::InvalidArgument(path + " is not an IVF index");
+  }
+  uint32_t version = 0, num_sections = 0;
+  GARCIA_RETURN_IF_ERROR(reader.Read(&version));
+  if (version != kVersion) {
+    return core::Status::InvalidArgument(
+        "unsupported IVF index version " + std::to_string(version) + " in " +
+        path);
+  }
+  GARCIA_RETURN_IF_ERROR(reader.Read(&num_sections));
+  if (num_sections != kNumSections) {
+    return core::Status::InvalidArgument("corrupt IVF index header in " +
+                                         path);
+  }
+
+  // Sections arrive in fixed order; each payload is CRC-checked before it
+  // is interpreted, so a bit flip is localized to a named section.
+  std::string payloads[kNumSections];
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    uint32_t id = 0, crc = 0;
+    uint64_t size = 0;
+    GARCIA_RETURN_IF_ERROR(reader.Read(&id));
+    GARCIA_RETURN_IF_ERROR(reader.Read(&size));
+    GARCIA_RETURN_IF_ERROR(reader.Read(&crc));
+    if (id != s + 1) {
+      return core::Status::InvalidArgument(
+          "unexpected IVF index section order in " + path);
+    }
+    if (size > reader.remaining()) {
+      return core::Status::InvalidArgument("truncated index " + path);
+    }
+    payloads[s].resize(size);
+    GARCIA_RETURN_IF_ERROR(reader.ReadBytes(payloads[s].data(), size));
+    if (core::Crc32(payloads[s].data(), size) != crc) {
+      return core::Status::InvalidArgument(
+          std::string("IVF index section '") + SectionName(id) +
+          "' checksum mismatch in " + path + " (stored index is corrupt)");
+    }
+  }
+  if (reader.remaining() != 0) {
+    return core::Status::InvalidArgument(
+        "trailing garbage after IVF index payload in " + path);
+  }
+
+  // Meta: counts first, then every other section's size is implied and
+  // verified before any reinterpretation.
+  const std::string& meta = payloads[0];
+  if (meta.size() != 5 * sizeof(uint64_t)) {
+    return core::Status::InvalidArgument("corrupt IVF meta section in " +
+                                         path);
+  }
+  uint64_t n = 0, dim = 0, nlist = 0, nprobe = 0, seed = 0;
+  std::memcpy(&n, meta.data(), 8);
+  std::memcpy(&dim, meta.data() + 8, 8);
+  std::memcpy(&nlist, meta.data() + 16, 8);
+  std::memcpy(&nprobe, meta.data() + 24, 8);
+  std::memcpy(&seed, meta.data() + 32, 8);
+  if (n == 0 || dim == 0 || nlist == 0 || nlist > n || nprobe == 0 ||
+      nprobe > nlist || n > (uint64_t{1} << 32) ||
+      dim > (uint64_t{1} << 16)) {
+    return core::Status::InvalidArgument("corrupt IVF meta section in " +
+                                         path);
+  }
+  if (payloads[1].size() != nlist * dim * sizeof(float) ||
+      payloads[2].size() != (nlist + 1 + n) * sizeof(uint32_t) ||
+      payloads[3].size() != n * dim * sizeof(float)) {
+    return core::Status::InvalidArgument(
+        "IVF index section sizes disagree with meta in " + path);
+  }
+
+  IvfIndex index;
+  index.seed_ = seed;
+  index.default_nprobe_ = static_cast<size_t>(nprobe);
+  index.centroids_ = core::Matrix(nlist, dim);
+  std::memcpy(index.centroids_.data(), payloads[1].data(),
+              payloads[1].size());
+  index.list_offsets_.resize(nlist + 1);
+  std::memcpy(index.list_offsets_.data(), payloads[2].data(),
+              (nlist + 1) * sizeof(uint32_t));
+  index.ids_.resize(n);
+  std::memcpy(index.ids_.data(),
+              payloads[2].data() + (nlist + 1) * sizeof(uint32_t),
+              n * sizeof(uint32_t));
+  index.vectors_ = core::Matrix(n, dim);
+  std::memcpy(index.vectors_.data(), payloads[3].data(), payloads[3].size());
+
+  // Structural validation: offsets must be a monotone cover of [0, n] and
+  // every stored id must be a valid catalog row.
+  if (index.list_offsets_.front() != 0 || index.list_offsets_.back() != n) {
+    return core::Status::InvalidArgument("corrupt IVF list offsets in " +
+                                         path);
+  }
+  for (size_t c = 0; c < nlist; ++c) {
+    if (index.list_offsets_[c] > index.list_offsets_[c + 1]) {
+      return core::Status::InvalidArgument("corrupt IVF list offsets in " +
+                                           path);
+    }
+  }
+  for (uint32_t id : index.ids_) {
+    if (id >= n) {
+      return core::Status::InvalidArgument("corrupt IVF id table in " + path);
+    }
+  }
+  return index;
+}
+
+}  // namespace garcia::serving

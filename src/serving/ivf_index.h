@@ -1,0 +1,130 @@
+// Copyright (c) 2026 GARCIA reproduction authors.
+// IVF-style clustered inner-product retrieval index (DESIGN.md §5k).
+//
+// Serving answered every request with core::kernels::TopKDot — a brute-force
+// scan of the whole catalog. That is O(catalog) per request: fine at bench
+// scale, hopeless at the ROADMAP's million-service north star. This file
+// adds the standard sub-linear alternative: a coarse quantizer (seeded
+// k-means over the exported service embeddings) partitions the catalog into
+// nlist inverted lists; a query scores the nlist centroids, probes the
+// nprobe best lists with EXACT dot products, and merges the candidates
+// under the same (score desc, id asc) total order TopKDot uses.
+//
+// Determinism contract (the same one every kernel in this repo keeps):
+//   * Build is thread-count-invariant. k-means runs a FIXED iteration
+//     count; the assignment step shards over points (each point's nearest
+//     centroid is an independent computation with ties broken by ascending
+//     centroid id); the update step shards over centroids, each centroid
+//     averaging its members in ascending point id with double accumulation
+//     — exactly the serial order, so any ExecutionContext builds the same
+//     index byte for byte.
+//   * Query is thread-count-invariant. Scores are double-accumulated dots
+//     cast to float — the exact expression TopKDot evaluates — and
+//     selection under the (score desc, id asc) TOTAL order is unique, so
+//     any probe-scan partitioning returns the identical ranked list.
+//   * At nprobe == nlist every candidate is probed, so the result is
+//     BYTE-IDENTICAL to TopKDot over the same catalog: the brute-force
+//     scan stays available as the recall oracle behind the
+//     RetrievalConfig::mode knob (serving/ranking_service.h), and the
+//     property harness (tests/serving_retrieval_test.cc) pins the
+//     equivalence per seed, catalog, K and thread count.
+//
+// Persistence: a "GIV1" sectioned container in the GCK1 style
+// (train/checkpoint.h) — magic + version header, one CRC-32 per section
+// (meta, centroids, lists, vectors), published with
+// core::WriteFileAtomic. A bit-flipped or truncated dump is rejected at
+// load time with the failing section named; serving then degrades to the
+// brute-force scan (ResilientRanker counts the fallback in ServingHealth).
+
+#ifndef GARCIA_SERVING_IVF_INDEX_H_
+#define GARCIA_SERVING_IVF_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kernels.h"
+#include "core/matrix.h"
+#include "core/status.h"
+#include "serving/ranking_service.h"
+
+namespace garcia::serving {
+
+/// Inverted-file inner-product index over one embedding catalog snapshot.
+/// Immutable after Build()/Load(): safe to share across any number of
+/// serving threads (BatchRanker workers probe concurrently with no
+/// synchronization).
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  /// Clusters `catalog` (rows = service embeddings) into
+  /// ResolveNlist(config.nlist, rows) lists with seeded k-means (fixed
+  /// kKmeansIterations sweeps, init sampled from Rng(config.seed)), then
+  /// lays every list out contiguously in one pass. Thread-count-invariant
+  /// for any `ctx` (see header comment). Requires a non-empty catalog.
+  static IvfIndex Build(const core::Matrix& catalog,
+                        const RetrievalConfig& config,
+                        const core::ExecutionContext& ctx =
+                            core::SerialExecution());
+
+  /// Top-k of <query, catalog row> over the union of the `nprobe` probed
+  /// lists, sorted (score desc, id asc). nprobe is clamped to [1, nlist];
+  /// nprobe >= nlist is byte-identical to kernels::TopKDot. Always returns
+  /// min(k, size()) results: when the nprobe-best lists hold fewer than
+  /// min(k, size()) candidates (dead clusters), the probe prefix extends
+  /// down the same centroid ranking until it has enough — probe sets stay
+  /// nested in nprobe, so recall stays monotone.
+  RankedList Query(const core::ExecutionContext& ctx, const float* query,
+                   size_t k, size_t nprobe) const;
+
+  /// Same, probing the index's default_nprobe() through the ambient
+  /// core::CurrentExecution().
+  RankedList Query(const float* query, size_t k) const;
+
+  size_t size() const { return ids_.size(); }     // catalog rows indexed
+  size_t dim() const { return centroids_.cols(); }
+  size_t nlist() const { return centroids_.rows(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// The nprobe Query(query, k) uses: ResolveNprobe(config.nprobe, nlist)
+  /// captured at build time (and serialized with the index).
+  size_t default_nprobe() const { return default_nprobe_; }
+  uint64_t seed() const { return seed_; }
+
+  const core::Matrix& centroids() const { return centroids_; }
+  /// Original catalog ids grouped by list, ascending id within each list;
+  /// list l spans ids()[list_offsets()[l] .. list_offsets()[l + 1]).
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  const std::vector<uint32_t>& list_offsets() const { return list_offsets_; }
+
+  /// Sectioned "GIV1" container (see header comment), written atomically.
+  core::Status Save(const std::string& path) const;
+  /// Rejects wrong magic/version, truncation, trailing garbage, section
+  /// CRC mismatches (naming the section), and inconsistent layout claims.
+  static core::Result<IvfIndex> Load(const std::string& path);
+
+  /// nlist == 0 resolves to round(sqrt(rows)), clamped to [1, rows].
+  static size_t ResolveNlist(size_t nlist, size_t rows);
+  /// nprobe == 0 resolves to max(1, nlist / 4); nonzero clamps to
+  /// [1, nlist].
+  static size_t ResolveNprobe(size_t nprobe, size_t nlist);
+
+  /// Fixed k-means sweep count: enough to converge the bench catalogs,
+  /// constant so build cost and the result are seed-determined.
+  static constexpr size_t kKmeansIterations = 10;
+  /// Hard cap on an index file (refuses bogus multi-GiB artifacts).
+  static constexpr uint64_t kMaxIndexBytes = 1ull << 34;  // 16 GiB
+
+ private:
+  core::Matrix centroids_;             // nlist x dim coarse quantizer
+  std::vector<uint32_t> list_offsets_; // nlist + 1 prefix offsets into ids_
+  std::vector<uint32_t> ids_;          // original id of each stored row
+  core::Matrix vectors_;               // rows_ x dim, grouped by list
+  size_t default_nprobe_ = 1;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace garcia::serving
+
+#endif  // GARCIA_SERVING_IVF_INDEX_H_

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "serving/ivf_index.h"
+
 namespace garcia::serving {
+
+const char* RetrievalModeName(RetrievalMode mode) {
+  switch (mode) {
+    case RetrievalMode::kBruteForce:
+      return "brute-force";
+    case RetrievalMode::kIvf:
+      return "ivf";
+  }
+  return "unknown";
+}
 
 RankedList TopKInnerProduct(const core::ExecutionContext& ctx,
                             const float* query_vec, size_t dim,
@@ -18,13 +30,29 @@ RankedList TopKInnerProduct(const float* query_vec, size_t dim,
 
 EmbeddingRanker::EmbeddingRanker(EmbeddingStore queries,
                                  EmbeddingStore services)
-    : queries_(std::move(queries)), services_(std::move(services)) {
+    : EmbeddingRanker(std::move(queries), std::move(services),
+                      RetrievalConfig{}) {}
+
+EmbeddingRanker::EmbeddingRanker(EmbeddingStore queries,
+                                 EmbeddingStore services,
+                                 const RetrievalConfig& retrieval)
+    : queries_(std::move(queries)),
+      services_(std::move(services)),
+      retrieval_(retrieval) {
   GARCIA_CHECK(!queries_.empty());
   GARCIA_CHECK(!services_.empty());
   GARCIA_CHECK_EQ(queries_.dim(), services_.dim());
+  if (retrieval_.mode == RetrievalMode::kIvf) {
+    index_ = std::make_shared<const IvfIndex>(
+        IvfIndex::Build(services_.matrix(), retrieval_));
+  }
 }
 
 RankedList EmbeddingRanker::Rank(uint32_t query, size_t k) const {
+  if (index_ != nullptr) {
+    return index_->Query(core::CurrentExecution(), queries_.vector(query), k,
+                         index_->default_nprobe());
+  }
   return TopKInnerProduct(queries_.vector(query), queries_.dim(),
                           services_.matrix(), k);
 }

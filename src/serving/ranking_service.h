@@ -8,6 +8,7 @@
 #define GARCIA_SERVING_RANKING_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -17,9 +18,31 @@
 namespace garcia::serving {
 
 struct FaultProfile;  // serving/fault_injector.h
+class IvfIndex;       // serving/ivf_index.h
 
 /// (service id, score), sorted by descending score.
 using RankedList = std::vector<std::pair<uint32_t, float>>;
+
+/// How the serving stack retrieves top-K candidates from the catalog.
+enum class RetrievalMode : int {
+  /// Exact brute-force scan (core::kernels::TopKDot) — the recall oracle.
+  kBruteForce = 0,
+  /// IVF clustered index (serving/ivf_index.h): sub-linear probing,
+  /// byte-identical to brute force at nprobe == nlist.
+  kIvf = 1,
+};
+
+const char* RetrievalModeName(RetrievalMode mode);
+
+/// Retrieval knobs, plumbed through EmbeddingRanker / ResilientRanker and
+/// the bench drivers. The defaults (0) auto-resolve against the catalog:
+/// see IvfIndex::ResolveNlist / ResolveNprobe.
+struct RetrievalConfig {
+  RetrievalMode mode = RetrievalMode::kBruteForce;
+  size_t nlist = 0;   // 0 = round(sqrt(catalog rows))
+  size_t nprobe = 0;  // 0 = max(1, nlist / 4)
+  uint64_t seed = 13; // k-means init stream
+};
 
 /// Exact inner-product top-K over a candidate matrix, sharded through the
 /// given execution context (core::kernels::TopKDot): block-partitioned
@@ -61,19 +84,32 @@ class Ranker {
 };
 
 /// Embedding-retrieval ranker: score(q, s) = <z_q, z_s> (the paper's online
-/// inner-product variant of Eq. 12).
+/// inner-product variant of Eq. 12). Default construction scans the whole
+/// service catalog per request; passing a RetrievalConfig with
+/// RetrievalMode::kIvf builds an IvfIndex over the catalog at construction
+/// and probes it instead (brute force stays one knob away as the recall
+/// oracle). The index is immutable and shared: Rank() is safe from any
+/// number of threads in either mode.
 class EmbeddingRanker : public Ranker {
  public:
   EmbeddingRanker(EmbeddingStore queries, EmbeddingStore services);
+  EmbeddingRanker(EmbeddingStore queries, EmbeddingStore services,
+                  const RetrievalConfig& retrieval);
 
   RankedList Rank(uint32_t query, size_t k) const override;
 
   size_t num_queries() const { return queries_.size(); }
   size_t num_services() const { return services_.size(); }
 
+  const RetrievalConfig& retrieval() const { return retrieval_; }
+  /// Non-null iff retrieval().mode == kIvf.
+  const IvfIndex* index() const { return index_.get(); }
+
  private:
   EmbeddingStore queries_;
   EmbeddingStore services_;
+  RetrievalConfig retrieval_;
+  std::shared_ptr<const IvfIndex> index_;  // null in brute-force mode
 };
 
 }  // namespace garcia::serving

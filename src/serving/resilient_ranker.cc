@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serving/ivf_index.h"
+
 namespace garcia::serving {
 
 bool RowLooksValid(const float* row, size_t dim) {
@@ -101,6 +103,30 @@ void ResilientRanker::SetPopularityFallback(
     std::shared_ptr<const Ranker> popularity_ranker) {
   GARCIA_CHECK(popularity_ranker != nullptr);
   popularity_ = std::move(popularity_ranker);
+}
+
+void ResilientRanker::SetRetrievalIndex(std::shared_ptr<const IvfIndex> index,
+                                        size_t nprobe) {
+  GARCIA_CHECK(index != nullptr);
+  // The index must cover exactly this catalog: same dimensionality and the
+  // same id space, or probed ids would name different services.
+  GARCIA_CHECK_EQ(index->dim(), services_.dim());
+  GARCIA_CHECK_EQ(index->size(), services_.size());
+  index_ = std::move(index);
+  index_nprobe_ = nprobe;
+}
+
+core::Status ResilientRanker::LoadRetrievalIndex(const std::string& path,
+                                                 size_t nprobe) {
+  auto loaded = IvfIndex::Load(path);
+  if (!loaded.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++health_.index_load_failures;
+    return loaded.status();
+  }
+  SetRetrievalIndex(
+      std::make_shared<const IvfIndex>(std::move(loaded.value())), nprobe);
+  return core::Status::Ok();
 }
 
 LookupOutcome ResilientRanker::RawLookup(uint32_t id) const {
@@ -252,12 +278,20 @@ RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
                                    ServingTier* served_tier) const {
   Resolved r = ResolveRequest(request_index, query);
 
-  // Score outside the lock: the top-K scan over the service catalog is the
-  // expensive part, is independent across requests, and overlaps with the
-  // store I/O of later requests' resolve phases.
+  // Score outside the lock: the top-K probe/scan over the service catalog
+  // is the expensive part, is independent across requests, and overlaps
+  // with the store I/O of later requests' resolve phases. When an IVF
+  // index is installed it is the fresh scoring path; the brute-force scan
+  // is its always-correct degradation fallback. Neither choice touches the
+  // resolve phase, so the tier sequence is scoring-path-independent.
   ServingTier tier = r.tier;
+  const bool via_index = !r.embedding.empty() && index_ != nullptr;
   RankedList result;
-  if (!r.embedding.empty()) {
+  if (via_index) {
+    result = index_->Query(
+        core::CurrentExecution(), r.embedding.data(), k,
+        index_nprobe_ != 0 ? index_nprobe_ : index_->default_nprobe());
+  } else if (!r.embedding.empty()) {
     result = TopKInnerProduct(r.embedding.data(), services_.dim(),
                               services_.matrix(), k);
   } else if (tier == ServingTier::kText) {
@@ -274,6 +308,9 @@ RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++health_.served_at_tier[static_cast<size_t>(tier)];
+    if (!r.embedding.empty()) {
+      ++(via_index ? health_.scored_via_index : health_.scored_brute_force);
+    }
   }
   if (served_tier != nullptr) *served_tier = tier;
   return result;

@@ -116,6 +116,24 @@ class ResilientRanker : public Ranker {
   /// the chain always terminates; this replaces it with a real one.
   void SetPopularityFallback(std::shared_ptr<const Ranker> popularity_ranker);
 
+  /// Fresh scoring path: an IVF index over the SAME service catalog
+  /// (serving/ivf_index.h). When installed, every embedding-tier request
+  /// probes the index (`nprobe` lists; 0 = the index's build-time default)
+  /// instead of brute-force scanning the catalog; the scan stays in the
+  /// degradation chain as the scoring fallback whenever no index is
+  /// installed. The index is immutable and shared — concurrent requests
+  /// probe it with no synchronization — and the choice of scoring path
+  /// never perturbs the resolve phase, so the per-request TIER sequence
+  /// under a fault profile is identical with and without the index.
+  void SetRetrievalIndex(std::shared_ptr<const IvfIndex> index,
+                         size_t nprobe = 0);
+
+  /// Loads an index dump and installs it via SetRetrievalIndex. A corrupt
+  /// dump (bit flip, truncation — rejected by the per-section CRCs) leaves
+  /// the brute-force scoring path serving, increments
+  /// ServingHealth::index_load_failures, and returns the load error.
+  core::Status LoadRetrievalIndex(const std::string& path, size_t nprobe = 0);
+
   // --- serving ---
 
   /// Never aborts: every request is answered by some tier (possibly the
@@ -188,6 +206,10 @@ class ResilientRanker : public Ranker {
   std::vector<int32_t> head_anchor_of_;
   std::shared_ptr<const Ranker> text_;
   std::shared_ptr<const Ranker> popularity_;
+  /// Fresh scoring path (null = brute-force scan). Set before serving
+  /// traffic, immutable afterwards, like the tiers above.
+  std::shared_ptr<const IvfIndex> index_;
+  size_t index_nprobe_ = 0;  // 0 = index default
 
   /// Guards the shared mutable state below for accessor visibility
   /// (health(), breaker_state(), ...). The resolve phase itself is

@@ -53,7 +53,10 @@ std::string ServingHealth::ToString() const {
     os << ServingTierName(static_cast<ServingTier>(t)) << "="
        << served_at_tier[t];
   }
-  os << "] mean_depth=" << MeanFallbackDepth();
+  os << "] scoring[index=" << scored_via_index
+     << ",brute=" << scored_brute_force
+     << ",index_load_failures=" << index_load_failures
+     << "] mean_depth=" << MeanFallbackDepth();
   return os.str();
 }
 

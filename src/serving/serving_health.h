@@ -38,6 +38,15 @@ struct ServingHealth {
   /// Histogram of which tier finally served each request.
   std::array<uint64_t, kNumServingTiers> served_at_tier{};
 
+  // Scoring path of the embedding tiers: the IVF index is the fresh
+  // (sub-linear) path; the brute-force catalog scan is its degradation
+  // fallback — always correct, linear in the catalog. An index dump that
+  // fails to load (bit flip, truncation) leaves brute force serving and is
+  // counted, so the dashboard shows both the cause and the ongoing cost.
+  uint64_t scored_via_index = 0;       // embedding requests probed the index
+  uint64_t scored_brute_force = 0;     // embedding requests full-scanned
+  uint64_t index_load_failures = 0;    // corrupt/unreadable index dumps
+
   /// Average index of the serving tier (0 = all fresh). The headline
   /// degradation metric.
   double MeanFallbackDepth() const;

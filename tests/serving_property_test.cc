@@ -1,32 +1,65 @@
-// Parameterized property tests for the retrieval path: exact top-K must
-// agree with a brute-force reference for arbitrary sizes, K values and
-// score distributions.
+// Parameterized property tests for the retrieval path, run as a CONTRACT
+// SUITE against every retrieval backend: the brute-force scan
+// (TopKInnerProduct) and the IVF index probed at full nprobe
+// (serving/ivf_index.h) must both agree with an independent brute-force
+// reference for arbitrary sizes, K values (k = 0, k > n) and score
+// distributions, break exact ties by ascending id, and be bit-identical
+// across execution contexts.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "core/rng.h"
+#include "serving/ivf_index.h"
 #include "serving/ranking_service.h"
 
 namespace garcia::serving {
 namespace {
+
+/// The retrieval backends the contract suite runs against.
+enum class Backend { kBruteForce, kIvfFullProbe };
+
+const char* BackendName(Backend b) {
+  return b == Backend::kBruteForce ? "BruteForce" : "IvfFullProbe";
+}
+
+/// Top-k through the chosen backend. The IVF backend builds an index over
+/// the candidates (nlist from the catalog size) and probes EVERY list —
+/// the configuration the oracle-equivalence contract covers.
+RankedList BackendTopK(Backend b, const core::ExecutionContext& ctx,
+                       const float* query, size_t dim,
+                       const core::Matrix& cands, size_t k) {
+  if (b == Backend::kBruteForce) {
+    return TopKInnerProduct(ctx, query, dim, cands, k);
+  }
+  RetrievalConfig cfg;
+  cfg.seed = 101;
+  const IvfIndex index = IvfIndex::Build(cands, cfg, ctx);
+  return index.Query(ctx, query, k, index.nlist());
+}
 
 struct RetrievalCase {
   size_t services, dim, k;
   uint64_t seed;
 };
 
-class RetrievalPropertyTest : public ::testing::TestWithParam<RetrievalCase> {
+class RetrievalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<RetrievalCase, Backend>> {
+ protected:
+  RetrievalCase c() const { return std::get<0>(GetParam()); }
+  Backend backend() const { return std::get<1>(GetParam()); }
 };
 
 TEST_P(RetrievalPropertyTest, MatchesBruteForce) {
-  const RetrievalCase c = GetParam();
+  const RetrievalCase c = this->c();
   core::Rng rng(c.seed);
   core::Matrix cands = core::Matrix::Randn(c.services, c.dim, &rng);
   core::Matrix q = core::Matrix::Randn(1, c.dim, &rng);
-  RankedList top = TopKInnerProduct(q.row(0), c.dim, cands, c.k);
+  RankedList top = BackendTopK(backend(), core::SerialExecution(), q.row(0),
+                               c.dim, cands, c.k);
 
   // Brute force with identical tie-breaking.
   RankedList all(c.services);
@@ -50,22 +83,24 @@ TEST_P(RetrievalPropertyTest, MatchesBruteForce) {
 }
 
 TEST_P(RetrievalPropertyTest, ScoresNonIncreasing) {
-  const RetrievalCase c = GetParam();
+  const RetrievalCase c = this->c();
   core::Rng rng(c.seed + 1);
   core::Matrix cands = core::Matrix::Randn(c.services, c.dim, &rng);
   core::Matrix q = core::Matrix::Randn(1, c.dim, &rng);
-  RankedList top = TopKInnerProduct(q.row(0), c.dim, cands, c.k);
+  RankedList top = BackendTopK(backend(), core::SerialExecution(), q.row(0),
+                               c.dim, cands, c.k);
   for (size_t i = 1; i < top.size(); ++i) {
     EXPECT_GE(top[i - 1].second, top[i].second);
   }
 }
 
 TEST_P(RetrievalPropertyTest, ResultsAreDistinctServices) {
-  const RetrievalCase c = GetParam();
+  const RetrievalCase c = this->c();
   core::Rng rng(c.seed + 2);
   core::Matrix cands = core::Matrix::Randn(c.services, c.dim, &rng);
   core::Matrix q = core::Matrix::Randn(1, c.dim, &rng);
-  RankedList top = TopKInnerProduct(q.row(0), c.dim, cands, c.k);
+  RankedList top = BackendTopK(backend(), core::SerialExecution(), q.row(0),
+                               c.dim, cands, c.k);
   std::set<uint32_t> seen;
   for (const auto& [svc, score] : top) {
     EXPECT_TRUE(seen.insert(svc).second);
@@ -75,34 +110,42 @@ TEST_P(RetrievalPropertyTest, ResultsAreDistinctServices) {
 
 INSTANTIATE_TEST_SUITE_P(
     Cases, RetrievalPropertyTest,
-    ::testing::Values(RetrievalCase{1, 4, 1, 1}, RetrievalCase{10, 8, 3, 2},
-                      RetrievalCase{100, 16, 10, 3},
-                      RetrievalCase{100, 16, 100, 4},
-                      RetrievalCase{57, 3, 200, 5},  // k > n
-                      RetrievalCase{100, 16, 0, 7},  // k = 0
-                      RetrievalCase{1000, 32, 5, 6}),
+    ::testing::Combine(
+        ::testing::Values(RetrievalCase{1, 4, 1, 1},
+                          RetrievalCase{10, 8, 3, 2},
+                          RetrievalCase{100, 16, 10, 3},
+                          RetrievalCase{100, 16, 100, 4},
+                          RetrievalCase{57, 3, 200, 5},  // k > n
+                          RetrievalCase{100, 16, 0, 7},  // k = 0
+                          RetrievalCase{1000, 32, 5, 6}),
+        ::testing::Values(Backend::kBruteForce, Backend::kIvfFullProbe)),
     [](const auto& info) {
-      const RetrievalCase& c = info.param;
-      return "s" + std::to_string(c.services) + "d" + std::to_string(c.dim) +
-             "k" + std::to_string(c.k);
+      const RetrievalCase& c = std::get<0>(info.param);
+      return std::string(BackendName(std::get<1>(info.param))) + "s" +
+             std::to_string(c.services) + "d" + std::to_string(c.dim) + "k" +
+             std::to_string(c.k);
     });
+
+/// Execution-context sweep, shared by both backends below.
+class RetrievalParallelTest : public ::testing::TestWithParam<Backend> {};
 
 // The partial-heap path sharded over an ExecutionContext must agree bit for
 // bit with the serial scan for any thread count (core/kernels.h contract).
 // 5000 rows exceed the kernel's block size, so the parallel path genuinely
-// merges multiple partial heaps.
-TEST(RetrievalParallelTest, ShardedContextBitIdenticalToSerial) {
+// merges multiple partial heaps; the IVF backend additionally shards its
+// k-means build and probe merge over the same contexts.
+TEST_P(RetrievalParallelTest, ShardedContextBitIdenticalToSerial) {
   core::Rng rng(17);
   const size_t n = 5000, dim = 24;
   core::Matrix cands = core::Matrix::Randn(n, dim, &rng);
   core::Matrix q = core::Matrix::Randn(1, dim, &rng);
   core::ExecutionContext par3(3), par4(4);
   for (size_t k : {size_t{0}, size_t{1}, size_t{10}, size_t{1500}, n, n + 9}) {
-    RankedList serial =
-        TopKInnerProduct(core::SerialExecution(), q.row(0), dim, cands, k);
+    RankedList serial = BackendTopK(GetParam(), core::SerialExecution(),
+                                    q.row(0), dim, cands, k);
     EXPECT_EQ(serial.size(), std::min(k, n));
     for (const core::ExecutionContext* ctx : {&par3, &par4}) {
-      RankedList par = TopKInnerProduct(*ctx, q.row(0), dim, cands, k);
+      RankedList par = BackendTopK(GetParam(), *ctx, q.row(0), dim, cands, k);
       ASSERT_EQ(par.size(), serial.size()) << "k=" << k;
       for (size_t i = 0; i < serial.size(); ++i) {
         EXPECT_EQ(par[i].first, serial[i].first) << "k=" << k << " rank " << i;
@@ -114,7 +157,7 @@ TEST(RetrievalParallelTest, ShardedContextBitIdenticalToSerial) {
 
 // Duplicate rows score identically; ties must break by ascending service id
 // in both the serial and the sharded path (total order => unique answer).
-TEST(RetrievalParallelTest, DuplicateRowTiesBreakByAscendingId) {
+TEST_P(RetrievalParallelTest, DuplicateRowTiesBreakByAscendingId) {
   core::Rng rng(18);
   const size_t dim = 8, copies = 400, distinct = 5;
   core::Matrix base = core::Matrix::Randn(distinct, dim, &rng);
@@ -126,8 +169,8 @@ TEST(RetrievalParallelTest, DuplicateRowTiesBreakByAscendingId) {
   core::ExecutionContext par4(4);
   const size_t k = 3 * distinct;
   RankedList serial =
-      TopKInnerProduct(core::SerialExecution(), q.row(0), dim, cands, k);
-  RankedList par = TopKInnerProduct(par4, q.row(0), dim, cands, k);
+      BackendTopK(GetParam(), core::SerialExecution(), q.row(0), dim, cands, k);
+  RankedList par = BackendTopK(GetParam(), par4, q.row(0), dim, cands, k);
   ASSERT_EQ(serial, par);
   for (size_t i = 1; i < serial.size(); ++i) {
     if (serial[i - 1].second == serial[i].second) {
@@ -135,6 +178,13 @@ TEST(RetrievalParallelTest, DuplicateRowTiesBreakByAscendingId) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, RetrievalParallelTest,
+                         ::testing::Values(Backend::kBruteForce,
+                                           Backend::kIvfFullProbe),
+                         [](const auto& info) {
+                           return BackendName(info.param);
+                         });
 
 TEST(EmbeddingRankerPropertyTest, TopOneIsArgmax) {
   core::Rng rng(9);

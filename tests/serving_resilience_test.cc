@@ -21,6 +21,7 @@
 #include "serving/batch_ranker.h"
 #include "serving/embedding_store.h"
 #include "serving/fault_injector.h"
+#include "serving/ivf_index.h"
 #include "serving/resilience.h"
 #include "serving/resilient_ranker.h"
 
@@ -675,6 +676,126 @@ TEST_F(ChainTest, FaultSweepBatchedPathReplaysSerialTierSequence) {
     }
     EXPECT_EQ(ranker->health().ToString(), ref_health) << "rate " << rate;
   }
+}
+
+// --------------------------------------------- retrieval-index scoring path
+
+TEST_F(ChainTest, InstalledIndexServesFreshTierAndCountsScoringPath) {
+  auto ranker = MakeRanker();
+  RetrievalConfig rcfg;
+  rcfg.nlist = 2;
+  auto index = std::make_shared<const IvfIndex>(IvfIndex::Build(services_, rcfg));
+  ranker->SetRetrievalIndex(index, /*nprobe=*/index->nlist());
+  RankedList r = ranker->Rank(0, 2);  // full probe: oracle-exact
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].first, 0u);  // query (1,0) -> service (1,0)
+  ServingHealth h = ranker->health();
+  EXPECT_EQ(h.served_at_tier[0], 1u);
+  EXPECT_EQ(h.scored_via_index, 1u);
+  EXPECT_EQ(h.scored_brute_force, 0u);
+  EXPECT_EQ(h.index_load_failures, 0u);
+  // The counters surface on the dashboard string.
+  EXPECT_NE(h.ToString().find("scoring[index=1,brute=0"), std::string::npos);
+}
+
+TEST_F(ChainTest, CorruptIndexDumpDegradesToBruteForceScoring) {
+  // Ops publishes an index dump; a bit flips at rest. The load must be
+  // rejected (per-section CRC), counted, and serving must keep answering on
+  // the brute-force scan with IDENTICAL results — the index is a
+  // performance tier, not a correctness tier.
+  const std::string path = "/tmp/garcia_resilience_corrupt_index.ivf";
+  {
+    RetrievalConfig rcfg;
+    rcfg.nlist = 2;
+    ASSERT_TRUE(IvfIndex::Build(services_, rcfg).Save(path).ok());
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-2, std::ios::end);
+    char b;
+    f.seekg(-2, std::ios::end);
+    f.get(b);
+    f.seekp(-2, std::ios::end);
+    f.put(static_cast<char>(b ^ 0x20));
+  }
+  auto ranker = MakeRanker();
+  const core::Status st = ranker->LoadRetrievalIndex(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("checksum"), std::string::npos)
+      << st.ToString();
+  auto reference = MakeRanker();  // never had an index
+  RankedList got = ranker->Rank(0, 2);
+  RankedList want = reference->Rank(0, 2);
+  EXPECT_EQ(got, want);
+  ServingHealth h = ranker->health();
+  EXPECT_EQ(h.index_load_failures, 1u);
+  EXPECT_EQ(h.scored_via_index, 0u);
+  EXPECT_EQ(h.scored_brute_force, 1u);
+  EXPECT_EQ(h.served_at_tier[0], 1u);  // tier decision unaffected
+  std::remove(path.c_str());
+
+  // A clean dump loads and flips the scoring path over.
+  {
+    RetrievalConfig rcfg;
+    rcfg.nlist = 2;
+    rcfg.nprobe = 2;
+    ASSERT_TRUE(IvfIndex::Build(services_, rcfg).Save(path).ok());
+  }
+  ASSERT_TRUE(ranker->LoadRetrievalIndex(path).ok());
+  EXPECT_EQ(ranker->Rank(0, 2), want);  // full probe: still oracle-exact
+  h = ranker->health();
+  EXPECT_EQ(h.scored_via_index, 1u);
+  EXPECT_EQ(h.scored_brute_force, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChainTest, TierSequenceUnderFaultsIdenticalWithAndWithoutIndex) {
+  // The scoring path is orthogonal to the resolve phase: under an
+  // aggressive fault profile, the per-request TIER decisions (and, at full
+  // probe, the ranked lists) must be byte-identical whether or not the
+  // index is installed — deterministically, across replays.
+  FaultProfile profile;
+  profile.seed = 23;
+  profile.lookup_failure_rate = 0.3;
+  profile.missing_id_rate = 0.2;
+  profile.bit_flip_rate = 0.1;
+  profile.latency_spike_rate = 0.1;
+
+  auto plain = MakeRanker();
+  plain->SetStaleSnapshot(EmbeddingStore(stale_));
+  auto indexed = MakeRanker();
+  indexed->SetStaleSnapshot(EmbeddingStore(stale_));
+  RetrievalConfig rcfg;
+  rcfg.nlist = 3;
+  indexed->SetRetrievalIndex(
+      std::make_shared<const IvfIndex>(IvfIndex::Build(services_, rcfg)),
+      /*nprobe=*/3);
+
+  const size_t kN = 200;
+  plain->PrepareForRun(&profile, 11);
+  indexed->PrepareForRun(&profile, 11);
+  uint64_t indexed_scored = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    ServingTier plain_tier, indexed_tier;
+    RankedList a = plain->RankAt(i, static_cast<uint32_t>(i % 8), 3,
+                                 &plain_tier);
+    RankedList b = indexed->RankAt(i, static_cast<uint32_t>(i % 8), 3,
+                                   &indexed_tier);
+    ASSERT_EQ(indexed_tier, plain_tier) << "request " << i;
+    ASSERT_EQ(b, a) << "request " << i;
+  }
+  const ServingHealth hp = plain->health();
+  const ServingHealth hi = indexed->health();
+  EXPECT_EQ(hp.served_at_tier, hi.served_at_tier);
+  EXPECT_EQ(hp.requests, hi.requests);
+  EXPECT_EQ(hp.transient_failures, hi.transient_failures);
+  // Every embedding-tier request moved from the brute column to the index
+  // column; non-embedding tiers (text/popularity) score through neither.
+  EXPECT_EQ(hp.scored_via_index, 0u);
+  EXPECT_EQ(hi.scored_brute_force, 0u);
+  EXPECT_EQ(hi.scored_via_index, hp.scored_brute_force);
+  indexed_scored = hi.scored_via_index;
+  EXPECT_EQ(indexed_scored, hp.served_at_tier[0] + hp.served_at_tier[1] +
+                                hp.served_at_tier[2]);
+  EXPECT_GT(indexed_scored, 0u);
 }
 
 // ------------------------------------------------------- helper rankers
