@@ -1,9 +1,18 @@
-// Recall/QPS tradeoff of the IVF retrieval index (DESIGN.md §5k): sweeps
-// nlist x nprobe over a clustered synthetic catalog, reporting recall@10
-// against the brute-force oracle and single-thread query throughput, with
-// the oracle-equivalence gate enforced — at nprobe == nlist every ranked
-// list must be BIT-IDENTICAL to core::kernels::TopKDot, and the binary
-// exits nonzero if any query diverges.
+// Recall/QPS tradeoff of the IVF retrieval index, float vs SQ8-quantized
+// lists (DESIGN.md §5k / §5l): sweeps mode x nlist x nprobe over a
+// clustered synthetic catalog, reporting recall@10 against the brute-force
+// oracle, single-thread query throughput, and resident index bytes, with
+// three gates enforced (nonzero exit on any failure):
+//   * full-probe oracle gate — at nprobe == nlist every ranked list (both
+//     modes; SQ8 runs with rerank_k >= k) must be BIT-IDENTICAL to
+//     core::kernels::TopKDot;
+//   * re-rank exactness gate — at EVERY sweep point the SQ8 index must
+//     return exactly the float index's ranked lists (the band-guaranteed
+//     re-rank promises identity, not approximation);
+//   * iso-recall speedup gate — at the float frontier's recall >= 0.99
+//     points, SQ8 must deliver >= 2x the float QPS somewhere (skipped
+//     under sanitizers, where timing is meaningless; exactness gates
+//     always run).
 //
 // `retrieval_recall --json` additionally writes the sweep to
 // BENCH_retrieval.json in the working directory (EXPERIMENTS.md records
@@ -37,6 +46,23 @@ constexpr size_t kDim = 64;
 constexpr size_t kNumQueries = 400;
 constexpr size_t kTopK = 10;
 constexpr uint64_t kSeed = 515;
+constexpr double kIsoRecallFloor = 0.99;
+constexpr double kSpeedupFloor = 2.0;
+
+// Timing gates are meaningless under a sanitizer (ASan's interceptors
+// distort the int8 scan and the float scan differently); the exactness
+// gates still run there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
 
 int Repeats() {
   const char* env = std::getenv("GARCIA_BENCH_REPEATS");
@@ -84,12 +110,17 @@ double RecallAgainst(const serving::RankedList& truth,
 }
 
 struct SweepPoint {
+  const char* mode = "ivf";
   size_t nlist = 0;
   size_t nprobe = 0;
   double recall = 0.0;
   double qps = 0.0;
+  size_t memory_bytes = 0;      // whole-index residency
+  size_t list_bytes = 0;        // list payload only (the 4x story)
   bool full_probe = false;
-  bool bit_identical = true;  // only meaningful when full_probe
+  bool bit_identical = true;    // vs oracle; evaluated only at full probe
+  bool is_sq8 = false;
+  bool rerank_exact = true;     // sq8 only: equals the float-index point
 };
 
 /// nprobe values for one nlist: powers of two up to nlist, nlist included.
@@ -110,8 +141,9 @@ int main(int argc, char** argv) {
   const int repeats = Repeats();
 
   std::printf(
-      "IVF recall/QPS sweep: %zu services in %zu clusters, dim %zu, "
-      "%zu queries, recall@%zu vs the brute-force oracle.\n",
+      "IVF recall/QPS sweep (float vs SQ8 lists): %zu services in %zu "
+      "clusters, dim %zu, %zu queries, recall@%zu vs the brute-force "
+      "oracle.\n",
       kNumServices, kNumClusters, kDim, kNumQueries, kTopK);
 
   core::Rng rng(kSeed);
@@ -141,74 +173,135 @@ int main(int argc, char** argv) {
       std::max<size_t>(1, std::thread::hardware_concurrency());
   core::ExecutionContext build_ctx(hw);
 
+  // Times one mode's sweep point and returns its ranked lists.
+  auto run_point = [&](const serving::IvfIndex& index, size_t nprobe,
+                       std::vector<serving::RankedList>* results,
+                       double* qps) {
+    double best_secs = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t q = 0; q < kNumQueries; ++q) {
+        (*results)[q] = index.Query(core::SerialExecution(), queries.row(q),
+                                    kTopK, nprobe);
+      }
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (rep == 0 || secs < best_secs) best_secs = secs;
+    }
+    *qps = static_cast<double>(kNumQueries) / best_secs;
+  };
+
   std::vector<SweepPoint> sweep;
-  bool gate_ok = true;
+  bool oracle_gate_ok = true;
+  bool rerank_gate_ok = true;
+  double best_iso_speedup = 0.0;   // best sq8/float QPS ratio at iso-recall
+  double storage_ratio = 0.0;      // float list bytes / sq8 list bytes
   for (size_t nlist : {size_t{64}, size_t{128}, size_t{256}}) {
     serving::RetrievalConfig cfg;
     cfg.mode = serving::RetrievalMode::kIvf;
     cfg.nlist = nlist;
-    const serving::IvfIndex index =
+    const serving::IvfIndex fl =
         serving::IvfIndex::Build(catalog, cfg, build_ctx);
+    cfg.mode = serving::RetrievalMode::kIvfSq8;  // rerank_k 0 = max(4k, 32)
+    const serving::IvfIndex sq =
+        serving::IvfIndex::Build(catalog, cfg, build_ctx);
+    storage_ratio = static_cast<double>(fl.ListStorageBytes()) /
+                    static_cast<double>(sq.ListStorageBytes());
+
+    std::vector<serving::RankedList> fl_results(kNumQueries);
+    std::vector<serving::RankedList> sq_results(kNumQueries);
     for (size_t nprobe : NprobeSweep(nlist)) {
-      SweepPoint point;
-      point.nlist = nlist;
-      point.nprobe = nprobe;
-      point.full_probe = nprobe == nlist;
-      std::vector<serving::RankedList> results(kNumQueries);
-      double best_secs = 0.0;
-      for (int rep = 0; rep < repeats; ++rep) {
-        const auto t0 = std::chrono::steady_clock::now();
-        for (size_t q = 0; q < kNumQueries; ++q) {
-          results[q] = index.Query(core::SerialExecution(), queries.row(q),
-                                   kTopK, nprobe);
-        }
-        const double secs =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
-        if (rep == 0 || secs < best_secs) best_secs = secs;
-      }
-      point.qps = static_cast<double>(kNumQueries) / best_secs;
-      double recall_total = 0.0;
+      SweepPoint fp, sp;
+      fp.nlist = sp.nlist = nlist;
+      fp.nprobe = sp.nprobe = nprobe;
+      fp.full_probe = sp.full_probe = nprobe == nlist;
+      sp.mode = "ivf-sq8";
+      sp.is_sq8 = true;
+      fp.memory_bytes = fl.MemoryBytes();
+      fp.list_bytes = fl.ListStorageBytes();
+      sp.memory_bytes = sq.MemoryBytes();
+      sp.list_bytes = sq.ListStorageBytes();
+      run_point(fl, nprobe, &fl_results, &fp.qps);
+      run_point(sq, nprobe, &sq_results, &sp.qps);
+      double fl_recall = 0.0, sq_recall = 0.0;
       for (size_t q = 0; q < kNumQueries; ++q) {
-        recall_total += RecallAgainst(truth[q], results[q]);
-        if (point.full_probe && results[q] != truth[q]) {
-          point.bit_identical = false;  // oracle-equivalence gate
+        fl_recall += RecallAgainst(truth[q], fl_results[q]);
+        sq_recall += RecallAgainst(truth[q], sq_results[q]);
+        if (fp.full_probe && fl_results[q] != truth[q]) {
+          fp.bit_identical = false;
         }
+        if (sp.full_probe && sq_results[q] != truth[q]) {
+          sp.bit_identical = false;
+        }
+        // The re-rank exactness contract, checked at EVERY point: the
+        // quantized path must reproduce the float index exactly.
+        if (sq_results[q] != fl_results[q]) sp.rerank_exact = false;
       }
-      point.recall = recall_total / static_cast<double>(kNumQueries);
-      if (point.full_probe && !point.bit_identical) gate_ok = false;
-      sweep.push_back(point);
+      fp.recall = fl_recall / static_cast<double>(kNumQueries);
+      sp.recall = sq_recall / static_cast<double>(kNumQueries);
+      if (fp.full_probe && !fp.bit_identical) oracle_gate_ok = false;
+      if (sp.full_probe && !sp.bit_identical) oracle_gate_ok = false;
+      if (!sp.rerank_exact) rerank_gate_ok = false;
+      if (fp.recall >= kIsoRecallFloor) {
+        best_iso_speedup = std::max(best_iso_speedup, sp.qps / fp.qps);
+      }
+      sweep.push_back(fp);
+      sweep.push_back(sp);
     }
   }
 
-  core::Table t({"nlist", "nprobe", "recall@10", "QPS", "vs brute", "gate"});
+  core::Table t({"mode", "nlist", "nprobe", "recall@10", "QPS", "vs brute",
+                 "list MiB", "gate"});
   for (const SweepPoint& p : sweep) {
-    t.AddRow({core::StrFormat("%zu", p.nlist),
+    std::string gate = "-";
+    if (p.full_probe) gate = p.bit_identical ? "exact" : "DIVERGED";
+    if (p.is_sq8 && !p.rerank_exact) gate = "RERANK-DIVERGED";
+    t.AddRow({p.mode, core::StrFormat("%zu", p.nlist),
               core::StrFormat("%zu", p.nprobe),
               core::StrFormat("%.4f", p.recall),
               core::StrFormat("%.0f", p.qps),
               core::StrFormat("%.2fx", p.qps / brute_qps),
-              p.full_probe ? (p.bit_identical ? "exact" : "DIVERGED") : "-"});
+              core::StrFormat("%.2f",
+                              static_cast<double>(p.list_bytes) / 1048576.0),
+              gate});
   }
   std::fputs(t.ToAscii().c_str(), stdout);
+  std::printf(
+      "SQ8 list storage: %.2fx below float; best iso-recall (>= %.2f) "
+      "speedup over float IVF: %.2fx.\n",
+      storage_ratio, kIsoRecallFloor, best_iso_speedup);
 
   if (write_json) {
     std::string json = core::StrFormat(
         "{\n  \"benchmark\": \"retrieval_recall\",\n"
         "  \"num_services\": %zu,\n  \"num_clusters\": %zu,\n"
         "  \"dim\": %zu,\n  \"num_queries\": %zu,\n  \"top_k\": %zu,\n"
-        "  \"brute_force_qps\": %.1f,\n  \"sweep\": [\n",
-        kNumServices, kNumClusters, kDim, kNumQueries, kTopK, brute_qps);
+        "  \"brute_force_qps\": %.1f,\n"
+        "  \"sq8_list_storage_ratio\": %.2f,\n"
+        "  \"sq8_iso_recall_speedup\": %.2f,\n  \"sweep\": [\n",
+        kNumServices, kNumClusters, kDim, kNumQueries, kTopK, brute_qps,
+        storage_ratio, best_iso_speedup);
     for (size_t i = 0; i < sweep.size(); ++i) {
       const SweepPoint& p = sweep[i];
       json += core::StrFormat(
-          "    {\"nlist\": %zu, \"nprobe\": %zu, \"recall_at_10\": %.4f, "
-          "\"qps\": %.1f, \"speedup_vs_brute\": %.2f, "
-          "\"full_probe_bit_identical\": %s}%s\n",
-          p.nlist, p.nprobe, p.recall, p.qps, p.qps / brute_qps,
-          p.full_probe ? (p.bit_identical ? "true" : "false") : "null",
-          i + 1 == sweep.size() ? "" : ",");
+          "    {\"mode\": \"%s\", \"nlist\": %zu, \"nprobe\": %zu, "
+          "\"recall_at_10\": %.4f, \"qps\": %.1f, "
+          "\"speedup_vs_brute\": %.2f, \"index_memory_bytes\": %zu, "
+          "\"list_storage_bytes\": %zu",
+          p.mode, p.nlist, p.nprobe, p.recall, p.qps, p.qps / brute_qps,
+          p.memory_bytes, p.list_bytes);
+      // Omitted where not evaluated — a non-full-probe row simply has no
+      // bit-identity verdict, and a float row has no re-rank.
+      if (p.full_probe) {
+        json += core::StrFormat(", \"full_probe_bit_identical\": %s",
+                                p.bit_identical ? "true" : "false");
+      }
+      if (p.is_sq8) {
+        json += core::StrFormat(", \"rerank_exact\": %s",
+                                p.rerank_exact ? "true" : "false");
+      }
+      json += core::StrFormat("}%s\n", i + 1 == sweep.size() ? "" : ",");
     }
     json += "  ]\n}\n";
     std::FILE* f = std::fopen("BENCH_retrieval.json", "w");
@@ -221,13 +314,41 @@ int main(int argc, char** argv) {
     std::printf("Wrote BENCH_retrieval.json\n");
   }
 
-  if (!gate_ok) {
+  bool ok = true;
+  if (!oracle_gate_ok) {
     std::fprintf(stderr,
                  "FULL-PROBE GATE FAILED: nprobe == nlist diverged from the "
                  "brute-force oracle\n");
-    return 1;
+    ok = false;
   }
-  std::printf("Full-probe gate: every nprobe == nlist sweep point "
-              "bit-identical to the oracle.\n");
+  if (!rerank_gate_ok) {
+    std::fprintf(stderr,
+                 "RERANK EXACTNESS GATE FAILED: SQ8 diverged from the float "
+                 "index at some sweep point\n");
+    ok = false;
+  }
+  if (storage_ratio < 3.5) {
+    std::fprintf(stderr,
+                 "STORAGE GATE FAILED: SQ8 list storage only %.2fx below "
+                 "float (want ~4x)\n",
+                 storage_ratio);
+    ok = false;
+  }
+  if (!kSanitized && best_iso_speedup < kSpeedupFloor) {
+    std::fprintf(stderr,
+                 "ISO-RECALL SPEEDUP GATE FAILED: best SQ8 speedup %.2fx < "
+                 "%.2fx at recall >= %.2f\n",
+                 best_iso_speedup, kSpeedupFloor, kIsoRecallFloor);
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf(
+      "Gates passed: full-probe bit-identity (both modes), SQ8 re-rank "
+      "exactness at every point, %.2fx storage%s.\n",
+      storage_ratio,
+      kSanitized ? " (speedup gate skipped under sanitizer)"
+                 : core::StrFormat(", %.2fx iso-recall speedup",
+                                   best_iso_speedup)
+                       .c_str());
   return 0;
 }

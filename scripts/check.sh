@@ -51,8 +51,11 @@ echo "==> ASan smoke: micro_kernels --pipeline_json"
 
 echo "==> ASan smoke: retrieval_recall --json"
 # The IVF index under ASan/UBSan at bench shapes: k-means build, probe
-# merge, and the GIV1 serialization arithmetic; exits nonzero if any
-# full-probe sweep point diverges from the brute-force oracle.
+# merge, the SQ8 encode/asymmetric-scan/re-rank path, and the GIV1/GIV2
+# serialization arithmetic; exits nonzero if any full-probe sweep point
+# diverges from the brute-force oracle or any SQ8 point diverges from
+# the float index. (The iso-recall speedup gate compiles out under
+# sanitizers — timing there is meaningless; exactness gates still run.)
 (cd "$ROOT/build-asan/bench" && \
   GARCIA_BENCH_REPEATS=1 ./retrieval_recall --json > /dev/null)
 
@@ -74,7 +77,8 @@ echo "==> Sanitizer build (thread)"
 # (core_taskgraph_test), the pipelined training loops' lookahead handoff
 # (models_pipeline_test), the concurrent batched serving path
 # (BatchRanker + ResilientRanker's sequenced resolve phase), and the
-# shared immutable IvfIndex probed from many threads
+# shared immutable IvfIndex — float and SQ8-quantized, including the
+# sharded asymmetric scan + exact re-rank — probed from many threads
 # (serving_retrieval_test).
 TSAN_DIR="$ROOT/build-tsan"
 cmake -B "$TSAN_DIR" -S "$ROOT" -DGARCIA_SANITIZE=thread

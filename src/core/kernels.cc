@@ -7,6 +7,11 @@
 #include "core/macros.h"
 #include "core/taskgraph.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#define GARCIA_SQ8_X86 1
+#include <immintrin.h>
+#endif
+
 namespace garcia::core {
 
 namespace {
@@ -1286,6 +1291,183 @@ void ChainBackward(const ExecutionContext& ctx, const BackwardStep* steps,
 }
 
 }  // namespace fused
+
+// ----- SQ8 scalar quantization -----
+
+namespace sq8 {
+namespace {
+
+/// Integer part of one block of the asymmetric dot: sum of qc[j]*codes[j]
+/// over n <= kDimBlock coordinates, exact in int32 (peak magnitude
+/// kDimBlock * 32767 * 127 < 2^31). Four independent accumulators —
+/// integer addition is associative, so the unroll cannot change the value.
+int32_t Sq8BlockDotScalar(const int16_t* qc, const int8_t* codes, size_t n) {
+  int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    acc0 += static_cast<int32_t>(qc[j]) * codes[j];
+    acc1 += static_cast<int32_t>(qc[j + 1]) * codes[j + 1];
+    acc2 += static_cast<int32_t>(qc[j + 2]) * codes[j + 2];
+    acc3 += static_cast<int32_t>(qc[j + 3]) * codes[j + 3];
+  }
+  for (; j < n; ++j) acc0 += static_cast<int32_t>(qc[j]) * codes[j];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+#if defined(GARCIA_SQ8_X86)
+/// AVX2 variant of the block dot. vpmaddwd forms int16*int16 products and
+/// sums adjacent pairs into int32 lanes; per-lane peak over a block is
+/// (kDimBlock/16) * 2 * 32767 * 127 < 2^28, and the final cross-lane
+/// reduction is bounded by the scalar peak, so every add is exact. Lane
+/// sums are a reassociation of the same int32 terms the scalar loop adds,
+/// and integer addition is associative — the return value is bit-identical
+/// to Sq8BlockDotScalar, which keeps results independent of the dispatch
+/// target as well as the thread count.
+__attribute__((target("avx2"))) int32_t Sq8BlockDotAvx2(const int16_t* qc,
+                                                        const int8_t* codes,
+                                                        size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256i q = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(qc + j));
+    const __m256i c = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + j)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(q, c));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+  int32_t total = _mm_cvtsi128_si32(s);
+  for (; j < n; ++j) total += static_cast<int32_t>(qc[j]) * codes[j];
+  return total;
+}
+
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+#endif  // GARCIA_SQ8_X86
+
+inline int32_t Sq8BlockDot(const int16_t* qc, const int8_t* codes, size_t n) {
+#if defined(GARCIA_SQ8_X86)
+  if (HasAvx2()) return Sq8BlockDotAvx2(qc, codes, n);
+#endif
+  return Sq8BlockDotScalar(qc, codes, n);
+}
+
+/// One asymmetric dot: exact integer accumulation in int32 over kDimBlock
+/// blocks, widened to double at each block boundary, then scaled. The
+/// integer block sum is value-identical across backends (see above) and
+/// the double/float expression sequence is fixed, so every call site and
+/// backend produces the same float bits.
+float Sq8DotOne(const int16_t* qc, const int8_t* codes, size_t dim,
+                double qscale, float vscale) {
+  double total = 0.0;
+  for (size_t j0 = 0; j0 < dim; j0 += kDimBlock) {
+    const size_t j1 = std::min(dim, j0 + kDimBlock);
+    total += static_cast<double>(Sq8BlockDot(qc + j0, codes + j0, j1 - j0));
+  }
+  return static_cast<float>(qscale * static_cast<double>(vscale) * total);
+}
+
+}  // namespace
+
+void EncodeRow(const float* row, size_t dim, int8_t* codes, float* scale) {
+  float maxabs = 0.0f;
+  for (size_t j = 0; j < dim; ++j) maxabs = std::max(maxabs, std::fabs(row[j]));
+  if (maxabs == 0.0f) {
+    std::fill(codes, codes + dim, int8_t{0});
+    *scale = 0.0f;
+    return;
+  }
+  const float s = maxabs / static_cast<float>(kCodeMax);
+  const double inv = 1.0 / static_cast<double>(s);
+  for (size_t j = 0; j < dim; ++j) {
+    const long c = std::lround(static_cast<double>(row[j]) * inv);
+    codes[j] = static_cast<int8_t>(
+        std::clamp<long>(c, -kCodeMax, kCodeMax));
+  }
+  *scale = s;
+}
+
+void EncodeRows(const ExecutionContext& ctx, const Matrix& src, int8_t* codes,
+                float* scales) {
+  const size_t dim = src.cols();
+  ctx.ShardedFor(0, src.rows(), ctx.tuning().min_rows_per_shard,
+                 [&](size_t lo, size_t hi) {
+                   for (size_t i = lo; i < hi; ++i) {
+                     EncodeRow(src.row(i), dim, codes + i * dim, &scales[i]);
+                   }
+                 });
+}
+
+QueryCodes QuantizeQuery(const float* query, size_t dim) {
+  QueryCodes out;
+  out.codes.resize(dim);
+  float maxabs = 0.0f;
+  for (size_t j = 0; j < dim; ++j) {
+    maxabs = std::max(maxabs, std::fabs(query[j]));
+  }
+  if (maxabs == 0.0f) return out;  // scale 0, all-zero codes
+  out.scale = maxabs / static_cast<float>(kQueryCodeMax);
+  const double inv = 1.0 / static_cast<double>(out.scale);
+  for (size_t j = 0; j < dim; ++j) {
+    const long c = std::lround(static_cast<double>(query[j]) * inv);
+    const long clamped = std::clamp<long>(c, -kQueryCodeMax, kQueryCodeMax);
+    out.codes[j] = static_cast<int16_t>(clamped);
+    out.abs_code_sum += static_cast<uint64_t>(std::labs(clamped));
+  }
+  return out;
+}
+
+double QueryCodes::ErrorBandPerUnitScale(size_t dim) const {
+  // s_v * Q bounds |exact - approx| in real arithmetic (kernels.h); the
+  // 1.001 factor absorbs every floating-point rounding the two score
+  // expressions and the scale divisions can contribute (those are at the
+  // 2^-24 relative level, five orders of magnitude below the slack).
+  const double q = static_cast<double>(scale) *
+                   (0.5 * static_cast<double>(abs_code_sum) +
+                    63.75 * static_cast<double>(dim));
+  return q * 1.001;
+}
+
+void ScanDots(const ExecutionContext& ctx, const QueryCodes& query,
+              const int8_t* codes, const float* scales, size_t dim,
+              const std::vector<std::pair<uint32_t, uint32_t>>& row_ranges,
+              float* out) {
+  GARCIA_CHECK_EQ(query.codes.size(), dim);
+  std::vector<size_t> prefix(row_ranges.size() + 1, 0);
+  for (size_t r = 0; r < row_ranges.size(); ++r) {
+    GARCIA_CHECK_LE(row_ranges[r].first, row_ranges[r].second);
+    prefix[r + 1] = prefix[r] + (row_ranges[r].second - row_ranges[r].first);
+  }
+  const size_t total = prefix.back();
+  if (total == 0) return;
+  const int16_t* qc = query.codes.data();
+  const double qscale = static_cast<double>(query.scale);
+  ctx.ShardedFor(
+      0, total, ctx.tuning().min_sq8_rows_per_shard,
+      [&](size_t lo, size_t hi) {
+        // Locate the range containing slot lo, then walk segment pieces.
+        size_t seg = static_cast<size_t>(
+            std::upper_bound(prefix.begin(), prefix.end(), lo) -
+            prefix.begin() - 1);
+        size_t slot = lo;
+        while (slot < hi) {
+          while (prefix[seg + 1] <= slot) ++seg;
+          const size_t piece_end = std::min(hi, prefix[seg + 1]);
+          size_t row = row_ranges[seg].first + (slot - prefix[seg]);
+          for (; slot < piece_end; ++slot, ++row) {
+            out[slot] = Sq8DotOne(qc, codes + row * dim, dim, qscale,
+                                  scales[row]);
+          }
+        }
+      });
+}
+
+}  // namespace sq8
 
 }  // namespace kernels
 }  // namespace garcia::core

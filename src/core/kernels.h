@@ -75,6 +75,10 @@ struct KernelTuning {
   size_t min_scatter_sources = 2048;
   /// Softmax cross-entropy rows (heavier per row than the generic floor).
   size_t min_loss_rows_per_shard = 32;
+  /// SQ8 asymmetric scan (kernels::sq8::ScanDots): int8 rows are ~4x
+  /// cheaper to score than float rows, so a shard has to cover more of
+  /// them before forking pays for itself.
+  size_t min_sq8_rows_per_shard = 256;
   /// GEMMs whose tile grid has more than one row block pre-pack all op(B)
   /// panels once into a shared buffer (instead of re-packing the same NC
   /// panel per row block) when the buffer fits under this many floats;
@@ -447,6 +451,89 @@ void ChainBackward(const ExecutionContext& ctx, const BackwardStep* steps,
                    size_t n);
 
 }  // namespace fused
+
+// ----- SQ8 scalar quantization (the IVF list-storage codec) -----
+//
+// Symmetric-range int8 codes with one float scale per row: row v maps to
+// codes c_j = clamp(round(v_j / s), -127, 127) with s = max_j|v_j| / 127,
+// so v_j ≈ s * c_j with |v_j - s * c_j| <= s/2 per coordinate (the -128
+// slot is deliberately unused: a symmetric range keeps the bound uniform).
+// Stored bytes drop 4x; the probe scan — the bandwidth-bound serving hot
+// loop — reads int8 codes instead of float rows.
+//
+// The scan is ASYMMETRIC: the query stays at full precision at the API
+// boundary and is quantized once per query to int16 (15-bit range, so the
+// query-side rounding error is ~256x below the storage-side error). A
+// score is then an exact INTEGER dot — int32-accumulated over fixed
+// kDimBlock-coordinate blocks (64 * 32767 * 127 per quarter-block stays
+// far under INT32_MAX), each block total widened to double at the block
+// boundary — times the two scales. Integer accumulation is associative,
+// so the unrolled multi-accumulator inner loop is exact, every backend
+// agrees bit for bit, and sharding only ever splits over rows (disjoint
+// output slots, pure per-row function): thread-count-invariance is by
+// construction, the same discipline that makes TopKDot's ascending-order
+// merge unique under its total order.
+//
+// Error band (what makes exact re-rank a GUARANTEE, not a heuristic — see
+// serving/ivf_index.h): with q' = qscale * qcodes the dequantized query,
+//   |exact_dot(q, v) - approx(q, v)|
+//     <= |dot(q - q', v)| + |dot(q', v - v')|
+//     <= s_v * qscale * (0.5 * Σ|qcodes_j| + 63.75 * dim)  =  s_v * Q(q)
+// (63.75 = 127.5 / 2: a true coordinate reaches s_v * 127.5, half a step
+// past the top code, and the query-side rounding is qscale / 2 per
+// coordinate). Q(q) = QueryCodes::ErrorBandPerUnitScale(dim) is one
+// per-query constant and s_v is the row's scale. Any candidate whose
+// approx score is more than 2 * max(s_v) * Q(q) below the R-th best
+// approx score provably cannot enter the exact top-k (R >= k).
+// Floating-point rounding of the score expressions themselves cannot
+// breach the band: |approx| <= 127 * qscale * s_v * Σ|qcodes| is at most
+// 254x the band's first term, so every half-ulp rounding is <= ~8e-6 of
+// the band — absorbed by the band's 0.1% inflation with 100x to spare.
+namespace sq8 {
+
+/// Coordinates per int32 accumulation block. 256 products of
+/// |int16| <= 32767 by |int8| <= 127 peak at ~2^30 — half of INT32_MAX.
+inline constexpr size_t kDimBlock = 256;
+/// Symmetric code ranges (the -128 / -32768 slots are unused).
+inline constexpr int kCodeMax = 127;
+inline constexpr int kQueryCodeMax = 32767;
+
+/// One row encoded: codes[0..dim) and *scale as described above. A zero
+/// row gets scale 0 and all-zero codes (dequantizes exactly).
+void EncodeRow(const float* row, size_t dim, int8_t* codes, float* scale);
+
+/// Every row of src encoded into codes (src.rows() x src.cols(), row-major
+/// int8) and scales (src.rows()). Sharded by row (disjoint outputs of a
+/// pure per-row function): bit-identical for any backend.
+void EncodeRows(const ExecutionContext& ctx, const Matrix& src,
+                int8_t* codes, float* scales);
+
+/// A query quantized for the asymmetric scan.
+struct QueryCodes {
+  std::vector<int16_t> codes;
+  float scale = 0.0f;       // dequantized query: q'_j = scale * codes[j]
+  uint64_t abs_code_sum = 0;  // Σ|codes[j]|
+
+  /// Q(q): |exact - approx| <= row_scale * Q(q) (see the namespace
+  /// comment). Includes a 0.1% inflation so floating-point rounding of
+  /// the two score expressions themselves can never breach the bound.
+  double ErrorBandPerUnitScale(size_t dim) const;
+};
+
+QueryCodes QuantizeQuery(const float* query, size_t dim);
+
+/// Asymmetric scan: out[slot] = fl(qscale * scales[row] * intdot) for the
+/// slots covering `row_ranges` in order (slot 0 = ranges[0].first, ...,
+/// concatenated). `codes` / `scales` hold ALL rows (row r at
+/// codes + r * dim); ranges select which rows are scanned, in what output
+/// order. Sharded over flat slots with the min_sq8_rows_per_shard floor;
+/// disjoint pure writes, so any backend is bit-identical.
+void ScanDots(const ExecutionContext& ctx, const QueryCodes& query,
+              const int8_t* codes, const float* scales, size_t dim,
+              const std::vector<std::pair<uint32_t, uint32_t>>& row_ranges,
+              float* out);
+
+}  // namespace sq8
 
 }  // namespace kernels
 }  // namespace garcia::core

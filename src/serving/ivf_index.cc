@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
+#include <limits>
 
 #include "core/crc32.h"
 #include "core/fileio.h"
@@ -81,27 +83,36 @@ void PartialTopKList(const float* query, size_t dim,
 
 // ------------------------------------------------------------ persistence
 
+// GIV1: float lists (meta, centroids, lists, vectors). GIV2: SQ8 lists
+// (meta, centroids, lists, codes, scales) — the meta section grows a
+// rerank_k field. Same container discipline; Load dispatches on magic.
 constexpr char kMagic[4] = {'G', 'I', 'V', '1'};
+constexpr char kMagicSq8[4] = {'G', 'I', 'V', '2'};
 constexpr uint32_t kVersion = 1;
 
 enum class SectionId : uint32_t {
   kMeta = 1,
   kCentroids = 2,
   kLists = 3,
-  kVectors = 4,
+  kVectors = 4,  // GIV1 slot 4
+  kCodes = 4,    // GIV2 slot 4
+  kScales = 5,   // GIV2 slot 5
 };
 constexpr uint32_t kNumSections = 4;
+constexpr uint32_t kNumSectionsSq8 = 5;
 
-const char* SectionName(uint32_t id) {
-  switch (static_cast<SectionId>(id)) {
-    case SectionId::kMeta:
+const char* SectionName(uint32_t id, bool quantized) {
+  switch (id) {
+    case 1:
       return "meta";
-    case SectionId::kCentroids:
+    case 2:
       return "centroids";
-    case SectionId::kLists:
+    case 3:
       return "lists";
-    case SectionId::kVectors:
-      return "vectors";
+    case 4:
+      return quantized ? "codes" : "vectors";
+    case 5:
+      return "scales";
   }
   return "unknown";
 }
@@ -169,6 +180,11 @@ size_t IvfIndex::ResolveNprobe(size_t nprobe, size_t nlist) {
   GARCIA_CHECK_GT(nlist, 0u);
   if (nprobe == 0) nprobe = nlist / 4;
   return std::min(std::max<size_t>(nprobe, 1), nlist);
+}
+
+size_t IvfIndex::ResolveRerankK(size_t rerank_k, size_t k) {
+  if (rerank_k == 0) rerank_k = std::max<size_t>(4 * k, 32);
+  return std::max(rerank_k, k);
 }
 
 // ------------------------------------------------------------------ build
@@ -259,23 +275,74 @@ IvfIndex IvfIndex::Build(const core::Matrix& catalog,
   for (size_t c = 0; c < nlist; ++c) offsets[c + 1] += offsets[c];
   index.list_offsets_ = offsets;
   index.ids_.resize(n);
-  index.vectors_ = core::Matrix(n, dim);
   {
     std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
     for (size_t i = 0; i < n; ++i) {
-      const uint32_t slot = cursor[assign[i]]++;
-      index.ids_[slot] = static_cast<uint32_t>(i);
-      index.vectors_.CopyRowFrom(catalog, i, slot);
+      index.ids_[cursor[assign[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+  if (config.mode == RetrievalMode::kIvfSq8) {
+    // SQ8 storage: codes + one scale per stored row, in list order. Each
+    // slot encodes one catalog row independently into disjoint output
+    // ranges, so the shard partitioning cannot change a byte. No float
+    // copy is kept — the exact re-rank reads the caller's catalog.
+    index.quantized_ = true;
+    index.default_rerank_k_ = config.rerank_k;
+    index.codes_.resize(n * dim);
+    index.scales_.resize(n);
+    ctx.ShardedFor(0, n, min_assign_shard, [&](size_t lo, size_t hi) {
+      for (size_t slot = lo; slot < hi; ++slot) {
+        core::kernels::sq8::EncodeRow(catalog.row(index.ids_[slot]), dim,
+                                      index.codes_.data() + slot * dim,
+                                      &index.scales_[slot]);
+      }
+    });
+    index.RecomputeListScaleMax();
+    index.catalog_ = &catalog;
+  } else {
+    index.vectors_ = core::Matrix(n, dim);
+    for (size_t slot = 0; slot < n; ++slot) {
+      index.vectors_.CopyRowFrom(catalog, index.ids_[slot], slot);
     }
   }
   return index;
 }
 
+void IvfIndex::RecomputeListScaleMax() {
+  list_scale_max_.assign(nlist(), 0.0f);
+  for (size_t c = 0; c < nlist(); ++c) {
+    for (size_t r = list_offsets_[c]; r < list_offsets_[c + 1]; ++r) {
+      list_scale_max_[c] = std::max(list_scale_max_[c], scales_[r]);
+    }
+  }
+}
+
+void IvfIndex::AttachRerankCatalog(const core::Matrix& catalog) {
+  GARCIA_CHECK(quantized_);
+  GARCIA_CHECK_EQ(catalog.rows(), size());
+  GARCIA_CHECK_EQ(catalog.cols(), dim());
+  catalog_ = &catalog;
+}
+
+size_t IvfIndex::ListStorageBytes() const {
+  if (quantized_) {
+    return codes_.size() * sizeof(int8_t) + scales_.size() * sizeof(float);
+  }
+  return vectors_.size() * sizeof(float);
+}
+
+size_t IvfIndex::MemoryBytes() const {
+  return centroids_.size() * sizeof(float) +
+         list_offsets_.size() * sizeof(uint32_t) +
+         ids_.size() * sizeof(uint32_t) +
+         list_scale_max_.size() * sizeof(float) + ListStorageBytes();
+}
+
 // ------------------------------------------------------------------ query
 
 RankedList IvfIndex::Query(const core::ExecutionContext& ctx,
-                           const float* query, size_t k,
-                           size_t nprobe) const {
+                           const float* query, size_t k, size_t nprobe,
+                           size_t rerank_k, QueryStats* stats) const {
   GARCIA_CHECK(!empty());
   nprobe = std::min(std::max<size_t>(nprobe, 1), nlist());
   RankedList result;
@@ -315,6 +382,8 @@ RankedList IvfIndex::Query(const core::ExecutionContext& ctx,
   k = std::min(k, num_candidates);
   if (k == 0) return result;
 
+  if (quantized_) return QuerySq8(ctx, query, k, probes, rerank_k, stats);
+
   // Fine stage: exact dots over the probed lists. Selection under the
   // total order is unique, so the shard partitioning cannot change the
   // answer; the ordered merge releases early shards while later ones are
@@ -352,7 +421,106 @@ RankedList IvfIndex::Query(const core::ExecutionContext& ctx,
 }
 
 RankedList IvfIndex::Query(const float* query, size_t k) const {
-  return Query(core::CurrentExecution(), query, k, default_nprobe_);
+  return Query(core::CurrentExecution(), query, k, default_nprobe_,
+               default_rerank_k_);
+}
+
+// -------------------------------------------------------------- SQ8 query
+
+RankedList IvfIndex::QuerySq8(const core::ExecutionContext& ctx,
+                              const float* query, size_t k,
+                              const RankedList& probes, size_t rerank_k,
+                              QueryStats* stats) const {
+  GARCIA_CHECK(catalog_ != nullptr)
+      << "quantized IvfIndex queried without a re-rank catalog "
+         "(AttachRerankCatalog after Load)";
+  const size_t d = dim();
+
+  // Stage 1: the asymmetric int8 scan scores every probed candidate into
+  // one flat buffer (slot order = probe order, ascending row within a
+  // list — fixed, so the buffer is thread-count-invariant).
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  ranges.reserve(probes.size());
+  std::vector<size_t> prefix(probes.size() + 1, 0);
+  for (size_t p = 0; p < probes.size(); ++p) {
+    const uint32_t list = probes[p].first;
+    ranges.emplace_back(list_offsets_[list], list_offsets_[list + 1]);
+    prefix[p + 1] = prefix[p] + (ranges[p].second - ranges[p].first);
+  }
+  const size_t total = prefix.back();
+  GARCIA_CHECK_GE(total, k);
+  const core::kernels::sq8::QueryCodes qc =
+      core::kernels::sq8::QuantizeQuery(query, d);
+  std::vector<float> approx(total);
+  core::kernels::sq8::ScanDots(ctx, qc, codes_.data(), scales_.data(), d,
+                               ranges, approx.data());
+  if (stats != nullptr) stats->quantized_rows += total;
+
+  // Stage 2a: the re-rank cutoff. T = the R-th best approximate score (a
+  // multiset statistic — independent of scan order), B = the error band
+  // |exact - approx| can reach over the probed rows. Every candidate with
+  // approx >= T - 2B is re-scored exactly: a candidate below the cutoff
+  // has >= R candidates whose EXACT score is strictly higher (kernels.h
+  // band argument), so it provably cannot enter the exact top-k. That
+  // makes the result identical to the float index for every rerank_k —
+  // rerank_k only moves how far below T the guarantee starts paying.
+  const size_t r_depth = std::min(ResolveRerankK(rerank_k, k), total);
+  double cutoff = -std::numeric_limits<double>::infinity();
+  if (r_depth < total) {
+    std::vector<float> top(approx);
+    std::nth_element(top.begin(), top.begin() + (r_depth - 1), top.end(),
+                     std::greater<float>());
+    float band_scale = 0.0f;
+    for (const auto& [list, score] : probes) {
+      band_scale = std::max(band_scale, list_scale_max_[list]);
+    }
+    const double band =
+        static_cast<double>(band_scale) * qc.ErrorBandPerUnitScale(d);
+    cutoff = static_cast<double>(top[r_depth - 1]) - 2.0 * band;
+  }
+
+  // Stage 2b: exact re-rank. Survivors are collected in ascending slot
+  // order (a deterministic set — the cutoff is a pure function of the
+  // scan), re-scored against the original catalog rows with the exact
+  // TopKDot expression (disjoint writes, pure per-row), and the top k
+  // selected serially under the shared total order.
+  std::vector<uint32_t> survivors;
+  survivors.reserve(std::min(total, 2 * r_depth));
+  {
+    size_t p = 0;
+    for (size_t slot = 0; slot < total; ++slot) {
+      while (prefix[p + 1] <= slot) ++p;
+      if (static_cast<double>(approx[slot]) >= cutoff) {
+        survivors.push_back(ranges[p].first +
+                            static_cast<uint32_t>(slot - prefix[p]));
+      }
+    }
+  }
+  GARCIA_CHECK_GE(survivors.size(), k);
+  if (stats != nullptr) stats->rerank_rows += survivors.size();
+  std::vector<float> exact(survivors.size());
+  ctx.ShardedFor(0, survivors.size(), ctx.tuning().min_rows_per_shard,
+                 [&](size_t lo, size_t hi) {
+                   for (size_t i = lo; i < hi; ++i) {
+                     exact[i] = DotRowDouble(
+                         query, catalog_->row(ids_[survivors[i]]), d);
+                   }
+                 });
+  RankedList result;
+  result.reserve(k);
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    const ScoredId cand{ids_[survivors[i]], exact[i]};
+    if (result.size() < k) {
+      result.push_back(cand);
+      std::push_heap(result.begin(), result.end(), RanksBefore);
+    } else if (RanksBefore(cand, result.front())) {
+      std::pop_heap(result.begin(), result.end(), RanksBefore);
+      result.back() = cand;
+      std::push_heap(result.begin(), result.end(), RanksBefore);
+    }
+  }
+  std::sort_heap(result.begin(), result.end(), RanksBefore);
+  return result;
 }
 
 // ------------------------------------------------------------ persistence
@@ -365,6 +533,7 @@ core::Status IvfIndex::Save(const std::string& path) const {
   AppendPod(&meta, static_cast<uint64_t>(nlist()));
   AppendPod(&meta, static_cast<uint64_t>(default_nprobe_));
   AppendPod(&meta, seed_);
+  if (quantized_) AppendPod(&meta, static_cast<uint64_t>(default_rerank_k_));
 
   std::string centroids(reinterpret_cast<const char*>(centroids_.data()),
                         centroids_.size() * sizeof(float));
@@ -376,19 +545,33 @@ core::Status IvfIndex::Save(const std::string& path) const {
   lists.append(reinterpret_cast<const char*>(ids_.data()),
                ids_.size() * sizeof(uint32_t));
 
-  std::string vectors(reinterpret_cast<const char*>(vectors_.data()),
-                      vectors_.size() * sizeof(float));
-
   std::string bytes;
-  bytes.reserve(32 + meta.size() + centroids.size() + lists.size() +
-                vectors.size());
-  bytes.append(kMagic, 4);
-  AppendPod(&bytes, kVersion);
-  AppendPod(&bytes, kNumSections);
-  AppendSection(&bytes, SectionId::kMeta, meta);
-  AppendSection(&bytes, SectionId::kCentroids, centroids);
-  AppendSection(&bytes, SectionId::kLists, lists);
-  AppendSection(&bytes, SectionId::kVectors, vectors);
+  bytes.reserve(64 + meta.size() + centroids.size() + lists.size() +
+                ListStorageBytes());
+  if (quantized_) {
+    std::string codes(reinterpret_cast<const char*>(codes_.data()),
+                      codes_.size() * sizeof(int8_t));
+    std::string scales(reinterpret_cast<const char*>(scales_.data()),
+                       scales_.size() * sizeof(float));
+    bytes.append(kMagicSq8, 4);
+    AppendPod(&bytes, kVersion);
+    AppendPod(&bytes, kNumSectionsSq8);
+    AppendSection(&bytes, SectionId::kMeta, meta);
+    AppendSection(&bytes, SectionId::kCentroids, centroids);
+    AppendSection(&bytes, SectionId::kLists, lists);
+    AppendSection(&bytes, SectionId::kCodes, codes);
+    AppendSection(&bytes, SectionId::kScales, scales);
+  } else {
+    std::string vectors(reinterpret_cast<const char*>(vectors_.data()),
+                        vectors_.size() * sizeof(float));
+    bytes.append(kMagic, 4);
+    AppendPod(&bytes, kVersion);
+    AppendPod(&bytes, kNumSections);
+    AppendSection(&bytes, SectionId::kMeta, meta);
+    AppendSection(&bytes, SectionId::kCentroids, centroids);
+    AppendSection(&bytes, SectionId::kLists, lists);
+    AppendSection(&bytes, SectionId::kVectors, vectors);
+  }
   return core::WriteFileAtomic(path, bytes.data(), bytes.size());
 }
 
@@ -400,9 +583,13 @@ core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
 
   char magic[4];
   GARCIA_RETURN_IF_ERROR(reader.ReadBytes(magic, 4));
-  if (std::memcmp(magic, kMagic, 4) != 0) {
+  bool quantized = false;
+  if (std::memcmp(magic, kMagicSq8, 4) == 0) {
+    quantized = true;
+  } else if (std::memcmp(magic, kMagic, 4) != 0) {
     return core::Status::InvalidArgument(path + " is not an IVF index");
   }
+  const uint32_t want_sections = quantized ? kNumSectionsSq8 : kNumSections;
   uint32_t version = 0, num_sections = 0;
   GARCIA_RETURN_IF_ERROR(reader.Read(&version));
   if (version != kVersion) {
@@ -411,15 +598,15 @@ core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
         path);
   }
   GARCIA_RETURN_IF_ERROR(reader.Read(&num_sections));
-  if (num_sections != kNumSections) {
+  if (num_sections != want_sections) {
     return core::Status::InvalidArgument("corrupt IVF index header in " +
                                          path);
   }
 
   // Sections arrive in fixed order; each payload is CRC-checked before it
   // is interpreted, so a bit flip is localized to a named section.
-  std::string payloads[kNumSections];
-  for (uint32_t s = 0; s < kNumSections; ++s) {
+  std::string payloads[kNumSectionsSq8];
+  for (uint32_t s = 0; s < want_sections; ++s) {
     uint32_t id = 0, crc = 0;
     uint64_t size = 0;
     GARCIA_RETURN_IF_ERROR(reader.Read(&id));
@@ -436,7 +623,7 @@ core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
     GARCIA_RETURN_IF_ERROR(reader.ReadBytes(payloads[s].data(), size));
     if (core::Crc32(payloads[s].data(), size) != crc) {
       return core::Status::InvalidArgument(
-          std::string("IVF index section '") + SectionName(id) +
+          std::string("IVF index section '") + SectionName(id, quantized) +
           "' checksum mismatch in " + path + " (stored index is corrupt)");
     }
   }
@@ -448,25 +635,32 @@ core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
   // Meta: counts first, then every other section's size is implied and
   // verified before any reinterpretation.
   const std::string& meta = payloads[0];
-  if (meta.size() != 5 * sizeof(uint64_t)) {
+  const size_t want_meta = (quantized ? 6 : 5) * sizeof(uint64_t);
+  if (meta.size() != want_meta) {
     return core::Status::InvalidArgument("corrupt IVF meta section in " +
                                          path);
   }
-  uint64_t n = 0, dim = 0, nlist = 0, nprobe = 0, seed = 0;
+  uint64_t n = 0, dim = 0, nlist = 0, nprobe = 0, seed = 0, rerank_k = 0;
   std::memcpy(&n, meta.data(), 8);
   std::memcpy(&dim, meta.data() + 8, 8);
   std::memcpy(&nlist, meta.data() + 16, 8);
   std::memcpy(&nprobe, meta.data() + 24, 8);
   std::memcpy(&seed, meta.data() + 32, 8);
+  if (quantized) std::memcpy(&rerank_k, meta.data() + 40, 8);
   if (n == 0 || dim == 0 || nlist == 0 || nlist > n || nprobe == 0 ||
       nprobe > nlist || n > (uint64_t{1} << 32) ||
-      dim > (uint64_t{1} << 16)) {
+      dim > (uint64_t{1} << 16) || rerank_k > (uint64_t{1} << 32)) {
     return core::Status::InvalidArgument("corrupt IVF meta section in " +
                                          path);
   }
   if (payloads[1].size() != nlist * dim * sizeof(float) ||
-      payloads[2].size() != (nlist + 1 + n) * sizeof(uint32_t) ||
-      payloads[3].size() != n * dim * sizeof(float)) {
+      payloads[2].size() != (nlist + 1 + n) * sizeof(uint32_t)) {
+    return core::Status::InvalidArgument(
+        "IVF index section sizes disagree with meta in " + path);
+  }
+  if (quantized ? (payloads[3].size() != n * dim * sizeof(int8_t) ||
+                   payloads[4].size() != n * sizeof(float))
+                : payloads[3].size() != n * dim * sizeof(float)) {
     return core::Status::InvalidArgument(
         "IVF index section sizes disagree with meta in " + path);
   }
@@ -484,8 +678,25 @@ core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
   std::memcpy(index.ids_.data(),
               payloads[2].data() + (nlist + 1) * sizeof(uint32_t),
               n * sizeof(uint32_t));
-  index.vectors_ = core::Matrix(n, dim);
-  std::memcpy(index.vectors_.data(), payloads[3].data(), payloads[3].size());
+  if (quantized) {
+    index.quantized_ = true;
+    index.default_rerank_k_ = static_cast<size_t>(rerank_k);
+    index.codes_.resize(n * dim);
+    std::memcpy(index.codes_.data(), payloads[3].data(), payloads[3].size());
+    index.scales_.resize(n);
+    std::memcpy(index.scales_.data(), payloads[4].data(),
+                payloads[4].size());
+    for (float s : index.scales_) {
+      if (!(s >= 0.0f) || !std::isfinite(s)) {
+        return core::Status::InvalidArgument("corrupt IVF scale table in " +
+                                             path);
+      }
+    }
+  } else {
+    index.vectors_ = core::Matrix(n, dim);
+    std::memcpy(index.vectors_.data(), payloads[3].data(),
+                payloads[3].size());
+  }
 
   // Structural validation: offsets must be a monotone cover of [0, n] and
   // every stored id must be a valid catalog row.
@@ -504,6 +715,9 @@ core::Result<IvfIndex> IvfIndex::Load(const std::string& path) {
       return core::Status::InvalidArgument("corrupt IVF id table in " + path);
     }
   }
+  // The per-list band bound is derived state: rebuild it after the list
+  // layout is known-good.
+  if (quantized) index.RecomputeListScaleMax();
   return index;
 }
 

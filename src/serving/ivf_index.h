@@ -29,12 +29,39 @@
 //     property harness (tests/serving_retrieval_test.cc) pins the
 //     equivalence per seed, catalog, K and thread count.
 //
+// SQ8 quantized storage (RetrievalMode::kIvfSq8, DESIGN.md §5l): the probe
+// scan above is bandwidth-bound on float32 list rows. In SQ8 mode the index
+// stores each list row as int8 codes with ONE float scale per row
+// (core::kernels::sq8 — symmetric range, |v_j - s*c_j| <= s/2), shrinking
+// resident list storage ~4x, and answers queries in two stages:
+//   1. quantized scan: the asymmetric sq8::ScanDots kernel scores every
+//      probed candidate (int32 block accumulation, thread-count-invariant);
+//   2. exact re-rank: the top rerank_k candidates by approximate score —
+//      PLUS every candidate within the quantization error band 2B of the
+//      rerank_k-th best, where B = max_probed_scale * Q(query) bounds
+//      |exact - approx| (kernels.h derivation) — are re-scored with the
+//      exact float expression against the ORIGINAL catalog rows and the
+//      top k selected under the same (score desc, id asc) total order.
+// The band extension turns the re-rank from a heuristic into a guarantee:
+// any candidate below the cutoff provably ranks behind >= rerank_k >= k
+// re-ranked candidates in EXACT score, so the quantized path returns the
+// exact top-k of the probed candidate set — identical to the float index
+// at every (nprobe, rerank_k >= k) and hence byte-identical to brute force
+// at full probe. Quantization costs memory traffic only, never recall.
+// Exact re-rank reads the original catalog (the index does NOT keep a
+// float copy — that is where the 4x comes from): Build() auto-attaches the
+// catalog it was given, Load() requires AttachRerankCatalog() before the
+// first query. The caller owns the catalog and must keep it alive.
+//
 // Persistence: a "GIV1" sectioned container in the GCK1 style
 // (train/checkpoint.h) — magic + version header, one CRC-32 per section
 // (meta, centroids, lists, vectors), published with
 // core::WriteFileAtomic. A bit-flipped or truncated dump is rejected at
 // load time with the failing section named; serving then degrades to the
 // brute-force scan (ResilientRanker counts the fallback in ServingHealth).
+// Quantized indexes write a "GIV2" container instead (meta, centroids,
+// lists, codes, scales — same per-section CRC discipline); Load()
+// dispatches on the magic, so float GIV1 dumps stay loadable forever.
 
 #ifndef GARCIA_SERVING_IVF_INDEX_H_
 #define GARCIA_SERVING_IVF_INDEX_H_
@@ -56,6 +83,12 @@ namespace garcia::serving {
 /// synchronization).
 class IvfIndex {
  public:
+  /// Per-query instrumentation for the SQ8 path (ServingHealth feeds).
+  struct QueryStats {
+    size_t quantized_rows = 0;  // candidates scored by the int8 scan
+    size_t rerank_rows = 0;     // candidates exactly re-scored
+  };
+
   IvfIndex() = default;
 
   /// Clusters `catalog` (rows = service embeddings) into
@@ -63,6 +96,9 @@ class IvfIndex {
   /// kKmeansIterations sweeps, init sampled from Rng(config.seed)), then
   /// lays every list out contiguously in one pass. Thread-count-invariant
   /// for any `ctx` (see header comment). Requires a non-empty catalog.
+  /// With config.mode == RetrievalMode::kIvfSq8 the lists are stored as
+  /// SQ8 codes + per-row scales instead of floats and `catalog` is
+  /// attached as the re-rank source (caller keeps it alive).
   static IvfIndex Build(const core::Matrix& catalog,
                         const RetrievalConfig& config,
                         const core::ExecutionContext& ctx =
@@ -74,12 +110,16 @@ class IvfIndex {
   /// min(k, size()) results: when the nprobe-best lists hold fewer than
   /// min(k, size()) candidates (dead clusters), the probe prefix extends
   /// down the same centroid ranking until it has enough — probe sets stay
-  /// nested in nprobe, so recall stays monotone.
+  /// nested in nprobe, so recall stays monotone. A quantized index runs
+  /// the two-stage scan+re-rank with ResolveRerankK(rerank_k, k)
+  /// candidates (the header's band guarantee makes the result identical
+  /// to the float index for every rerank_k).
   RankedList Query(const core::ExecutionContext& ctx, const float* query,
-                   size_t k, size_t nprobe) const;
+                   size_t k, size_t nprobe, size_t rerank_k = 0,
+                   QueryStats* stats = nullptr) const;
 
-  /// Same, probing the index's default_nprobe() through the ambient
-  /// core::CurrentExecution().
+  /// Same, probing the index's default_nprobe() (and, when quantized, its
+  /// default_rerank_k()) through the ambient core::CurrentExecution().
   RankedList Query(const float* query, size_t k) const;
 
   size_t size() const { return ids_.size(); }     // catalog rows indexed
@@ -92,16 +132,39 @@ class IvfIndex {
   size_t default_nprobe() const { return default_nprobe_; }
   uint64_t seed() const { return seed_; }
 
+  /// True when the lists are stored as SQ8 codes (two-stage query path).
+  bool quantized() const { return quantized_; }
+  /// The raw config.rerank_k captured at build time (0 = auto); resolved
+  /// against the request's k by ResolveRerankK at query time.
+  size_t default_rerank_k() const { return default_rerank_k_; }
+
+  /// Points the exact re-rank stage at the original catalog (row r of
+  /// `catalog` must be the embedding of service id r used at Build time).
+  /// Non-owning: `catalog` must outlive every Query. Required after
+  /// Load() of a quantized index; Build() attaches its own argument.
+  void AttachRerankCatalog(const core::Matrix& catalog);
+  bool has_rerank_catalog() const { return catalog_ != nullptr; }
+
+  /// Resident bytes of the stored list payload only: codes + scales when
+  /// quantized (~4x below float), the float rows otherwise. The SQ8
+  /// headline memory number — excludes the shared centroids/offsets/ids.
+  size_t ListStorageBytes() const;
+  /// Total resident index bytes: centroids + offsets + ids +
+  /// ListStorageBytes(). Surfaced on the ServingHealth dashboard.
+  size_t MemoryBytes() const;
+
   const core::Matrix& centroids() const { return centroids_; }
   /// Original catalog ids grouped by list, ascending id within each list;
   /// list l spans ids()[list_offsets()[l] .. list_offsets()[l + 1]).
   const std::vector<uint32_t>& ids() const { return ids_; }
   const std::vector<uint32_t>& list_offsets() const { return list_offsets_; }
 
-  /// Sectioned "GIV1" container (see header comment), written atomically.
+  /// Sectioned "GIV1" container ("GIV2" when quantized — see header
+  /// comment), written atomically.
   core::Status Save(const std::string& path) const;
   /// Rejects wrong magic/version, truncation, trailing garbage, section
   /// CRC mismatches (naming the section), and inconsistent layout claims.
+  /// Dispatches on the magic: both float GIV1 and quantized GIV2 load.
   static core::Result<IvfIndex> Load(const std::string& path);
 
   /// nlist == 0 resolves to round(sqrt(rows)), clamped to [1, rows].
@@ -109,6 +172,11 @@ class IvfIndex {
   /// nprobe == 0 resolves to max(1, nlist / 4); nonzero clamps to
   /// [1, nlist].
   static size_t ResolveNprobe(size_t nprobe, size_t nlist);
+  /// rerank_k == 0 resolves to max(4k, 32); nonzero clamps up to k. The
+  /// band guarantee makes every resolution return identical results —
+  /// rerank_k only tunes how much exact re-scoring headroom is paid for
+  /// up front before the band extension kicks in.
+  static size_t ResolveRerankK(size_t rerank_k, size_t k);
 
   /// Fixed k-means sweep count: enough to converge the bench catalogs,
   /// constant so build cost and the result are seed-determined.
@@ -117,11 +185,24 @@ class IvfIndex {
   static constexpr uint64_t kMaxIndexBytes = 1ull << 34;  // 16 GiB
 
  private:
+  RankedList QuerySq8(const core::ExecutionContext& ctx, const float* query,
+                      size_t k, const RankedList& probes, size_t rerank_k,
+                      QueryStats* stats) const;
+  void RecomputeListScaleMax();
+
   core::Matrix centroids_;             // nlist x dim coarse quantizer
   std::vector<uint32_t> list_offsets_; // nlist + 1 prefix offsets into ids_
   std::vector<uint32_t> ids_;          // original id of each stored row
-  core::Matrix vectors_;               // rows_ x dim, grouped by list
+  core::Matrix vectors_;               // rows x dim, grouped by list
+                                       // (float mode only)
+  bool quantized_ = false;
+  std::vector<int8_t> codes_;          // rows x dim SQ8 codes (SQ8 mode)
+  std::vector<float> scales_;          // one scale per stored row
+  std::vector<float> list_scale_max_;  // per-list max scale (band bound;
+                                       // recomputed, never serialized)
+  const core::Matrix* catalog_ = nullptr;  // non-owning re-rank source
   size_t default_nprobe_ = 1;
+  size_t default_rerank_k_ = 0;        // raw config value; 0 = auto
   uint64_t seed_ = 0;
 };
 

@@ -12,6 +12,8 @@ const char* RetrievalModeName(RetrievalMode mode) {
       return "brute-force";
     case RetrievalMode::kIvf:
       return "ivf";
+    case RetrievalMode::kIvfSq8:
+      return "ivf-sq8";
   }
   return "unknown";
 }
@@ -42,7 +44,9 @@ EmbeddingRanker::EmbeddingRanker(EmbeddingStore queries,
   GARCIA_CHECK(!queries_.empty());
   GARCIA_CHECK(!services_.empty());
   GARCIA_CHECK_EQ(queries_.dim(), services_.dim());
-  if (retrieval_.mode == RetrievalMode::kIvf) {
+  if (retrieval_.mode != RetrievalMode::kBruteForce) {
+    // Build from the member store: the SQ8 re-rank catalog pointer refers
+    // to services_.matrix(), which lives exactly as long as this ranker.
     index_ = std::make_shared<const IvfIndex>(
         IvfIndex::Build(services_.matrix(), retrieval_));
   }
@@ -51,7 +55,8 @@ EmbeddingRanker::EmbeddingRanker(EmbeddingStore queries,
 RankedList EmbeddingRanker::Rank(uint32_t query, size_t k) const {
   if (index_ != nullptr) {
     return index_->Query(core::CurrentExecution(), queries_.vector(query), k,
-                         index_->default_nprobe());
+                         index_->default_nprobe(),
+                         index_->default_rerank_k());
   }
   return TopKInnerProduct(queries_.vector(query), queries_.dim(),
                           services_.matrix(), k);

@@ -106,26 +106,39 @@ void ResilientRanker::SetPopularityFallback(
 }
 
 void ResilientRanker::SetRetrievalIndex(std::shared_ptr<const IvfIndex> index,
-                                        size_t nprobe) {
+                                        size_t nprobe, size_t rerank_k) {
   GARCIA_CHECK(index != nullptr);
   // The index must cover exactly this catalog: same dimensionality and the
   // same id space, or probed ids would name different services.
   GARCIA_CHECK_EQ(index->dim(), services_.dim());
   GARCIA_CHECK_EQ(index->size(), services_.size());
+  // A quantized index scores approximately and re-ranks exactly against
+  // the original rows — installing one without its re-rank source would
+  // fail on the first request, so fail here instead.
+  GARCIA_CHECK(!index->quantized() || index->has_rerank_catalog())
+      << "quantized index installed without a re-rank catalog";
   index_ = std::move(index);
   index_nprobe_ = nprobe;
+  index_rerank_k_ = rerank_k;
+  std::lock_guard<std::mutex> lock(mu_);
+  health_.index_memory_bytes = index_->MemoryBytes();
 }
 
 core::Status ResilientRanker::LoadRetrievalIndex(const std::string& path,
-                                                 size_t nprobe) {
+                                                 size_t nprobe,
+                                                 size_t rerank_k) {
   auto loaded = IvfIndex::Load(path);
   if (!loaded.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++health_.index_load_failures;
     return loaded.status();
   }
-  SetRetrievalIndex(
-      std::make_shared<const IvfIndex>(std::move(loaded.value())), nprobe);
+  auto index = std::make_shared<IvfIndex>(std::move(loaded.value()));
+  // A GIV2 dump carries codes + scales only; the exact re-rank stage reads
+  // this ranker's own service catalog (the dump must cover the same
+  // catalog — SetRetrievalIndex CHECKs the shape).
+  if (index->quantized()) index->AttachRerankCatalog(services_.matrix());
+  SetRetrievalIndex(std::move(index), nprobe, rerank_k);
   return core::Status::Ok();
 }
 
@@ -287,10 +300,13 @@ RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
   ServingTier tier = r.tier;
   const bool via_index = !r.embedding.empty() && index_ != nullptr;
   RankedList result;
+  IvfIndex::QueryStats qstats;
   if (via_index) {
     result = index_->Query(
         core::CurrentExecution(), r.embedding.data(), k,
-        index_nprobe_ != 0 ? index_nprobe_ : index_->default_nprobe());
+        index_nprobe_ != 0 ? index_nprobe_ : index_->default_nprobe(),
+        index_rerank_k_ != 0 ? index_rerank_k_ : index_->default_rerank_k(),
+        &qstats);
   } else if (!r.embedding.empty()) {
     result = TopKInnerProduct(r.embedding.data(), services_.dim(),
                               services_.matrix(), k);
@@ -310,6 +326,10 @@ RankedList ResilientRanker::RankAt(uint64_t request_index, uint32_t query,
     ++health_.served_at_tier[static_cast<size_t>(tier)];
     if (!r.embedding.empty()) {
       ++(via_index ? health_.scored_via_index : health_.scored_brute_force);
+    }
+    if (via_index && index_->quantized()) {
+      ++health_.quantized_scans;
+      health_.rerank_rows += qstats.rerank_rows;
     }
   }
   if (served_tier != nullptr) *served_tier = tier;
@@ -338,6 +358,9 @@ void ResilientRanker::PrepareForRun(const FaultProfile* profile,
   clock_.Reset();
   breaker_.Reset();
   health_.Reset();
+  // The installed index survives runs; its footprint is a gauge, not a
+  // per-run counter.
+  if (index_ != nullptr) health_.index_memory_bytes = index_->MemoryBytes();
   next_arrival_index_.store(0, std::memory_order_relaxed);
   resolve_gate_.Reset(0);
   run_seed_ = seed;

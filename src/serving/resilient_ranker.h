@@ -125,14 +125,21 @@ class ResilientRanker : public Ranker {
   /// probe it with no synchronization — and the choice of scoring path
   /// never perturbs the resolve phase, so the per-request TIER sequence
   /// under a fault profile is identical with and without the index.
+  /// A quantized (SQ8) index must have its re-rank catalog attached
+  /// before installation (CHECKed); `rerank_k` overrides its exact
+  /// re-rank depth per request (0 = the index's build-time default).
+  /// Installation also records IvfIndex::MemoryBytes() on ServingHealth.
   void SetRetrievalIndex(std::shared_ptr<const IvfIndex> index,
-                         size_t nprobe = 0);
+                         size_t nprobe = 0, size_t rerank_k = 0);
 
   /// Loads an index dump and installs it via SetRetrievalIndex. A corrupt
   /// dump (bit flip, truncation — rejected by the per-section CRCs) leaves
   /// the brute-force scoring path serving, increments
   /// ServingHealth::index_load_failures, and returns the load error.
-  core::Status LoadRetrievalIndex(const std::string& path, size_t nprobe = 0);
+  /// A quantized (GIV2) dump is re-attached to this ranker's own service
+  /// catalog for the exact re-rank stage before installation.
+  core::Status LoadRetrievalIndex(const std::string& path, size_t nprobe = 0,
+                                  size_t rerank_k = 0);
 
   // --- serving ---
 
@@ -209,7 +216,8 @@ class ResilientRanker : public Ranker {
   /// Fresh scoring path (null = brute-force scan). Set before serving
   /// traffic, immutable afterwards, like the tiers above.
   std::shared_ptr<const IvfIndex> index_;
-  size_t index_nprobe_ = 0;  // 0 = index default
+  size_t index_nprobe_ = 0;    // 0 = index default
+  size_t index_rerank_k_ = 0;  // 0 = index default (SQ8 only)
 
   /// Guards the shared mutable state below for accessor visibility
   /// (health(), breaker_state(), ...). The resolve phase itself is

@@ -56,7 +56,9 @@ std::string ServingHealth::ToString() const {
   os << "] scoring[index=" << scored_via_index
      << ",brute=" << scored_brute_force
      << ",index_load_failures=" << index_load_failures
-     << "] mean_depth=" << MeanFallbackDepth();
+     << "] sq8[scans=" << quantized_scans << ",rerank_rows=" << rerank_rows
+     << "] index_memory_bytes=" << index_memory_bytes
+     << " mean_depth=" << MeanFallbackDepth();
   return os.str();
 }
 

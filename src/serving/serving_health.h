@@ -47,6 +47,16 @@ struct ServingHealth {
   uint64_t scored_brute_force = 0;     // embedding requests full-scanned
   uint64_t index_load_failures = 0;    // corrupt/unreadable index dumps
 
+  // SQ8 two-stage path (quantized index only): how many requests ran the
+  // int8 scan, and how many candidate rows the exact re-rank touched in
+  // total — rerank_rows / quantized_scans is the mean re-rank depth, the
+  // knob-tuning number next to rerank_k. index_memory_bytes is the
+  // resident footprint of the installed index (0 = none installed), the
+  // dashboard's view of the ~4x SQ8 saving.
+  uint64_t quantized_scans = 0;        // requests served by the SQ8 path
+  uint64_t rerank_rows = 0;            // exact re-rank rows, summed
+  uint64_t index_memory_bytes = 0;     // MemoryBytes() of installed index
+
   /// Average index of the serving tier (0 = all fresh). The headline
   /// degradation metric.
   double MeanFallbackDepth() const;

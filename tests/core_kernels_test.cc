@@ -295,5 +295,116 @@ TEST_F(KernelsBitIdentityTest, SerialContextNeverCreatesPool) {
   EXPECT_EQ(serial1.num_threads(), 1u);
 }
 
+// ----------------------------------------------------------- sq8 kernels
+
+TEST_F(KernelsBitIdentityTest, Sq8EncodeRowsMatchesSerialAndBoundsError) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t rows = 30 + rng_.UniformInt(600);
+    const size_t dim = 1 + rng_.UniformInt(300);  // crosses kDimBlock at 257+
+    Matrix src = RandMatrix(rows, dim, &rng_);
+    std::fill(src.row(0), src.row(0) + dim, 0.0f);  // zero-row edge
+    std::vector<int8_t> c0(rows * dim), c1(rows * dim);
+    std::vector<float> s0(rows), s1(rows);
+    kernels::sq8::EncodeRows(SerialExecution(), src, c0.data(), s0.data());
+    kernels::sq8::EncodeRows(trial % 2 ? par3_ : par4_, src, c1.data(),
+                             s1.data());
+    ASSERT_EQ(c0, c1) << "codes diverge";
+    ASSERT_EQ(s0, s1) << "scales diverge";
+    EXPECT_EQ(s0[0], 0.0f);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < dim; ++j) {
+        const float v = src.at(r, j);
+        const float dequant = s0[r] * static_cast<float>(c0[r * dim + j]);
+        // s/2 plus a hair of float rounding from the dequant product.
+        ASSERT_LE(std::fabs(v - dequant), s0[r] * 0.5f * 1.001f + 1e-6f)
+            << "per-coordinate bound violated at (" << r << "," << j << ")";
+        ASSERT_GE(c0[r * dim + j], -127);  // -128 slot unused
+      }
+    }
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, Sq8ScanDotsMatchesSerialOverRanges) {
+  const size_t rows = 700, dim = 280;  // > kDimBlock: exercises blocking
+  Matrix src = RandMatrix(rows, dim, &rng_);
+  std::vector<int8_t> codes(rows * dim);
+  std::vector<float> scales(rows);
+  kernels::sq8::EncodeRows(SerialExecution(), src, codes.data(),
+                           scales.data());
+  Matrix q = RandMatrix(1, dim, &rng_);
+  const auto qc = kernels::sq8::QuantizeQuery(q.row(0), dim);
+  // Ranges with gaps, an empty range, and out-of-order starts.
+  const std::vector<std::pair<uint32_t, uint32_t>> ranges = {
+      {500, 700}, {40, 40}, {0, 260}, {300, 450}};
+  const size_t total = 200 + 0 + 260 + 150;
+  std::vector<float> out0(total), out1(total), out2(total);
+  kernels::sq8::ScanDots(SerialExecution(), qc, codes.data(), scales.data(),
+                         dim, ranges, out0.data());
+  kernels::sq8::ScanDots(par3_, qc, codes.data(), scales.data(), dim, ranges,
+                         out1.data());
+  kernels::sq8::ScanDots(par4_, qc, codes.data(), scales.data(), dim, ranges,
+                         out2.data());
+  ASSERT_EQ(out0, out1);
+  ASSERT_EQ(out0, out2);
+  // Exact-value check against a scalar integer model of the contract:
+  // int32 sums per 256-coordinate block, widened to double at boundaries,
+  // scaled once. ScanDots may dispatch to a SIMD backend at runtime; its
+  // lane sums are a reassociation of the same int32 terms, so the float
+  // bits must match this model exactly on every machine.
+  {
+    size_t slot = 0;
+    for (const auto& [lo, hi] : ranges) {
+      for (uint32_t r = lo; r < hi; ++r, ++slot) {
+        double total = 0.0;
+        for (size_t j0 = 0; j0 < dim; j0 += 256) {
+          int32_t acc = 0;
+          for (size_t j = j0; j < std::min(dim, j0 + 256); ++j) {
+            acc += static_cast<int32_t>(qc.codes[j]) * codes[r * dim + j];
+          }
+          total += static_cast<double>(acc);
+        }
+        ASSERT_EQ(out0[slot],
+                  static_cast<float>(static_cast<double>(qc.scale) *
+                                     static_cast<double>(scales[r]) * total))
+            << "row " << r << " diverges from the scalar integer model";
+      }
+    }
+  }
+  // Every scanned score stays inside the advertised error band of the
+  // exact double-accumulated dot — the invariant the IVF re-rank builds on.
+  const double band_per_scale = qc.ErrorBandPerUnitScale(dim);
+  size_t slot = 0;
+  for (const auto& [lo, hi] : ranges) {
+    for (uint32_t r = lo; r < hi; ++r, ++slot) {
+      double exact = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        exact += static_cast<double>(q.at(0, j)) * src.at(r, j);
+      }
+      ASSERT_LE(std::fabs(static_cast<double>(out0[slot]) -
+                          static_cast<float>(exact)),
+                static_cast<double>(scales[r]) * band_per_scale)
+          << "row " << r << " breaches the error band";
+    }
+  }
+}
+
+TEST_F(KernelsBitIdentityTest, Sq8ZeroQueryAndZeroRowsScanToExactZero) {
+  const size_t rows = 8, dim = 16;
+  Matrix src(rows, dim);  // all-zero catalog
+  std::vector<int8_t> codes(rows * dim);
+  std::vector<float> scales(rows);
+  kernels::sq8::EncodeRows(SerialExecution(), src, codes.data(),
+                           scales.data());
+  std::vector<float> zq(dim, 0.0f);
+  const auto qc = kernels::sq8::QuantizeQuery(zq.data(), dim);
+  EXPECT_EQ(qc.scale, 0.0f);
+  EXPECT_EQ(qc.abs_code_sum, 0u);
+  EXPECT_EQ(qc.ErrorBandPerUnitScale(dim), 0.0);
+  std::vector<float> out(rows, -1.0f);
+  kernels::sq8::ScanDots(SerialExecution(), qc, codes.data(), scales.data(),
+                         dim, {{0, static_cast<uint32_t>(rows)}}, out.data());
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
 }  // namespace
 }  // namespace garcia::core

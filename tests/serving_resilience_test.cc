@@ -747,6 +747,57 @@ TEST_F(ChainTest, CorruptIndexDumpDegradesToBruteForceScoring) {
   std::remove(path.c_str());
 }
 
+TEST_F(ChainTest, Sq8IndexCountsScansRerankRowsAndMemoryOnDashboard) {
+  auto ranker = MakeRanker();
+  RetrievalConfig rcfg;
+  rcfg.mode = RetrievalMode::kIvfSq8;
+  rcfg.nlist = 2;
+  auto index =
+      std::make_shared<const IvfIndex>(IvfIndex::Build(services_, rcfg));
+  ASSERT_TRUE(index->quantized());
+  ranker->SetRetrievalIndex(index, /*nprobe=*/index->nlist());
+  // Full probe + band re-rank: still the oracle answer.
+  auto reference = MakeRanker();
+  EXPECT_EQ(ranker->Rank(0, 2), reference->Rank(0, 2));
+  ServingHealth h = ranker->health();
+  EXPECT_EQ(h.scored_via_index, 1u);
+  EXPECT_EQ(h.quantized_scans, 1u);
+  EXPECT_GE(h.rerank_rows, 2u);  // at least the k it returned
+  EXPECT_EQ(h.index_memory_bytes, index->MemoryBytes());
+  EXPECT_GT(h.index_memory_bytes, 0u);
+  // All three surface on the dashboard string.
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("sq8[scans=1,rerank_rows="), std::string::npos) << s;
+  EXPECT_NE(s.find("index_memory_bytes="), std::string::npos) << s;
+  // The footprint gauge survives a run reset; the per-run counters don't.
+  ranker->PrepareForRun(nullptr, 1);
+  h = ranker->health();
+  EXPECT_EQ(h.quantized_scans, 0u);
+  EXPECT_EQ(h.index_memory_bytes, index->MemoryBytes());
+}
+
+TEST_F(ChainTest, Sq8DumpLoadsAndReattachesOwnCatalog) {
+  const std::string path = "/tmp/garcia_resilience_sq8_dump.ivf";
+  {
+    RetrievalConfig rcfg;
+    rcfg.mode = RetrievalMode::kIvfSq8;
+    rcfg.nlist = 2;
+    rcfg.nprobe = 2;
+    ASSERT_TRUE(IvfIndex::Build(services_, rcfg).Save(path).ok());
+  }
+  auto ranker = MakeRanker();
+  // LoadRetrievalIndex must attach the ranker's own service catalog for
+  // the exact re-rank stage (a GIV2 dump carries codes only).
+  ASSERT_TRUE(ranker->LoadRetrievalIndex(path).ok());
+  auto reference = MakeRanker();
+  EXPECT_EQ(ranker->Rank(0, 2), reference->Rank(0, 2));
+  EXPECT_EQ(ranker->Rank(1, 3), reference->Rank(1, 3));
+  ServingHealth h = ranker->health();
+  EXPECT_EQ(h.quantized_scans, 2u);
+  EXPECT_GT(h.index_memory_bytes, 0u);
+  std::remove(path.c_str());
+}
+
 TEST_F(ChainTest, TierSequenceUnderFaultsIdenticalWithAndWithoutIndex) {
   // The scoring path is orthogonal to the resolve phase: under an
   // aggressive fault profile, the per-request TIER decisions (and, at full

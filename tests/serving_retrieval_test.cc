@@ -496,5 +496,351 @@ TEST(EmbeddingRankerIvfTest, FullProbeModeMatchesBruteForceRanker) {
             "brute-force");
 }
 
+// ------------------------------------------------------------- SQ8 lane
+//
+// The quantized index must not trade ANY correctness for its 4x storage
+// saving: the band-guaranteed re-rank makes kIvfSq8 identical to the float
+// index at every (nprobe, rerank_k >= k), hence byte-identical to brute
+// force at full probe — over the same adversarial catalogs whose duplicate
+// rows, zero vectors, and 1e-7 near-ties quantize onto IDENTICAL codes,
+// the worst case for any approximate-then-rerank scheme.
+
+RetrievalConfig Sq8Config(size_t nlist, uint64_t seed, size_t nprobe = 0,
+                          size_t rerank_k = 0) {
+  RetrievalConfig cfg;
+  cfg.mode = RetrievalMode::kIvfSq8;
+  cfg.nlist = nlist;
+  cfg.nprobe = nprobe;
+  cfg.rerank_k = rerank_k;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// The acceptance criterion: full probe + rerank_k >= k is byte-identical
+// to the brute-force scan for 24 adversarial seeds, every K shape, both
+// rerank_k shapes, and thread counts 1/2/4/8.
+TEST(Sq8OracleTest, FullProbeBitIdenticalToBruteForceAcrossSeedsAndThreads) {
+  core::ExecutionContext par2(2), par4(4), par8(8);
+  const std::vector<const core::ExecutionContext*> ctxs = {
+      &core::SerialExecution(), &par2, &par4, &par8};
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    const Matrix catalog = AdversarialCatalog(seed);
+    const size_t n = catalog.rows(), dim = catalog.cols();
+    const IvfIndex index =
+        IvfIndex::Build(catalog, Sq8Config(1 + seed % 17, seed));
+    ASSERT_TRUE(index.quantized());
+    ASSERT_TRUE(index.has_rerank_catalog());
+
+    core::Rng qrng(seed + 99);
+    std::vector<std::vector<float>> queries;
+    Matrix q = Matrix::Randn(2, dim, &qrng);
+    queries.emplace_back(q.row(0), q.row(0) + dim);
+    queries.emplace_back(q.row(1), q.row(1) + dim);
+    queries.emplace_back(catalog.row(seed % n),
+                         catalog.row(seed % n) + dim);
+    queries.emplace_back(dim, 0.0f);  // zero query: qscale 0, all ties
+
+    for (const auto& query : queries) {
+      for (size_t k : {size_t{1}, size_t{10}, n / 2, n, n + 7}) {
+        const RankedList truth = TopKInnerProduct(
+            core::SerialExecution(), query.data(), dim, catalog, k);
+        for (size_t rerank_k : {k, size_t{0}}) {  // exactly-k and auto
+          for (const core::ExecutionContext* ctx : ctxs) {
+            const RankedList got =
+                index.Query(*ctx, query.data(), k, index.nlist(), rerank_k);
+            ASSERT_EQ(got.size(), truth.size())
+                << "seed " << seed << " k " << k;
+            for (size_t i = 0; i < truth.size(); ++i) {
+              ASSERT_EQ(got[i].first, truth[i].first)
+                  << "seed " << seed << " k " << k << " rerank " << rerank_k
+                  << " rank " << i;
+              ASSERT_EQ(got[i].second, truth[i].second)  // float ==, not near
+                  << "seed " << seed << " k " << k << " rerank " << rerank_k
+                  << " rank " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Stronger than the full-probe gate: the band extension returns the exact
+// top-k of the PROBED candidate set, so SQ8 equals the float index bit for
+// bit at EVERY nprobe and rerank_k — quantization moves bytes, never
+// results.
+TEST(Sq8OracleTest, MatchesFloatIndexAtEveryNprobeAndRerankK) {
+  for (uint64_t seed : {3u, 7u, 15u}) {
+    const Matrix catalog = AdversarialCatalog(seed);
+    const size_t dim = catalog.cols(), nlist = 5 + seed % 7;
+    RetrievalConfig fcfg;
+    fcfg.nlist = nlist;
+    fcfg.seed = seed;
+    const IvfIndex fl = IvfIndex::Build(catalog, fcfg);
+    const IvfIndex sq = IvfIndex::Build(catalog, Sq8Config(nlist, seed));
+    core::Rng qrng(seed + 5);
+    Matrix q = Matrix::Randn(3, dim, &qrng);
+    for (size_t qi = 0; qi < 3; ++qi) {
+      for (size_t nprobe = 1; nprobe <= fl.nlist(); ++nprobe) {
+        for (size_t rerank_k : {size_t{0}, size_t{10}, size_t{31}}) {
+          ASSERT_EQ(sq.Query(core::SerialExecution(), q.row(qi), 10, nprobe,
+                             rerank_k),
+                    fl.Query(core::SerialExecution(), q.row(qi), 10, nprobe))
+              << "seed " << seed << " nprobe " << nprobe << " rerank "
+              << rerank_k;
+        }
+      }
+    }
+  }
+}
+
+// Per-query recall@10 stays monotone in nprobe on the quantized path, and
+// is INVARIANT in rerank_k (the band guarantee's strongest consequence —
+// asserted as equality, which implies the satellite's monotonicity).
+TEST(Sq8RecallTest, RecallMonotoneInNprobeAndInvariantInRerankK) {
+  for (uint64_t seed : {11u, 14u}) {
+    const Matrix catalog = ClusteredCatalog(seed, 16, 40, 12);
+    const IvfIndex index = IvfIndex::Build(catalog, Sq8Config(16, seed));
+    core::Rng qrng(seed + 1);
+    Matrix queries = Matrix::Randn(6, 12, &qrng, 0.0f, 4.0f);
+    for (size_t qi = 0; qi < queries.rows(); ++qi) {
+      const RankedList truth = TopKInnerProduct(
+          core::SerialExecution(), queries.row(qi), 12, catalog, 10);
+      double prev = -1.0;
+      for (size_t nprobe = 1; nprobe <= index.nlist(); ++nprobe) {
+        const RankedList got = index.Query(core::SerialExecution(),
+                                           queries.row(qi), 10, nprobe);
+        const double recall = RecallAgainst(truth, got);
+        ASSERT_GE(recall, prev) << "seed " << seed << " nprobe " << nprobe;
+        prev = recall;
+        for (size_t rerank_k : {size_t{10}, size_t{20}, size_t{40},
+                                catalog.rows()}) {
+          ASSERT_EQ(index.Query(core::SerialExecution(), queries.row(qi), 10,
+                                nprobe, rerank_k),
+                    got)
+              << "rerank_k must not change results (band guarantee)";
+        }
+      }
+      EXPECT_EQ(prev, 1.0) << "full probe must be exact";
+    }
+  }
+}
+
+TEST(Sq8BuildTest, BuildIsThreadCountInvariantDownToSaveBytes) {
+  const Matrix catalog = AdversarialCatalog(21);
+  const RetrievalConfig cfg = Sq8Config(9, 21);
+  core::ExecutionContext par2(2), par4(4), par8(8);
+  const std::string ref_path = TempPath("sq8_build_serial");
+  ASSERT_TRUE(IvfIndex::Build(catalog, cfg, core::SerialExecution())
+                  .Save(ref_path)
+                  .ok());
+  const std::string ref_bytes = ReadAllBytes(ref_path);
+  ASSERT_FALSE(ref_bytes.empty());
+  ASSERT_EQ(ref_bytes.substr(0, 4), "GIV2");
+  int label = 0;
+  for (const core::ExecutionContext* ctx : {&par2, &par4, &par8}) {
+    const std::string path =
+        TempPath(("sq8_build_par" + std::to_string(label++)).c_str());
+    ASSERT_TRUE(IvfIndex::Build(catalog, cfg, *ctx).Save(path).ok());
+    EXPECT_EQ(ReadAllBytes(path), ref_bytes);
+    std::remove(path.c_str());
+  }
+  std::remove(ref_path.c_str());
+}
+
+TEST(Sq8BuildTest, ResolveRerankKDefaults) {
+  EXPECT_EQ(IvfIndex::ResolveRerankK(0, 10), 40u);   // max(4k, 32)
+  EXPECT_EQ(IvfIndex::ResolveRerankK(0, 1), 32u);
+  EXPECT_EQ(IvfIndex::ResolveRerankK(5, 10), 10u);   // clamp up to k
+  EXPECT_EQ(IvfIndex::ResolveRerankK(64, 10), 64u);
+}
+
+// The headline storage claim, asserted: SQ8 list storage is ~4x below the
+// float rows (exactly 4d / (d + 4): one int8 code per coordinate plus one
+// float scale per row), and the whole-index footprint shrinks accordingly.
+TEST(Sq8MemoryTest, ListStorageIsRoughly4xSmaller) {
+  const Matrix catalog = ClusteredCatalog(31, 8, 40, 64);
+  RetrievalConfig fcfg;
+  fcfg.nlist = 8;
+  const IvfIndex fl = IvfIndex::Build(catalog, fcfg);
+  const IvfIndex sq = IvfIndex::Build(catalog, Sq8Config(8, 31));
+  const size_t n = catalog.rows(), dim = catalog.cols();
+  EXPECT_EQ(fl.ListStorageBytes(), n * dim * sizeof(float));
+  EXPECT_EQ(sq.ListStorageBytes(), n * dim + n * sizeof(float));
+  const double ratio = static_cast<double>(fl.ListStorageBytes()) /
+                       static_cast<double>(sq.ListStorageBytes());
+  EXPECT_GE(ratio, 3.5) << "dim 64 should be ~3.76x";
+  EXPECT_LT(sq.MemoryBytes(), fl.MemoryBytes());
+  EXPECT_GT(sq.MemoryBytes(), sq.ListStorageBytes());  // shared parts counted
+}
+
+// ---------------------------------------------------- SQ8 persistence
+
+TEST(Sq8PersistenceTest, RoundTripRequiresCatalogAttachAndServesIdentically) {
+  const Matrix catalog = AdversarialCatalog(55);
+  const IvfIndex index =
+      IvfIndex::Build(catalog, Sq8Config(11, 55, /*nprobe=*/3,
+                                         /*rerank_k=*/17));
+  const std::string path = TempPath("sq8_roundtrip");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = IvfIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  IvfIndex& back = loaded.value();
+  EXPECT_TRUE(back.quantized());
+  EXPECT_FALSE(back.has_rerank_catalog());  // codes travel, catalog doesn't
+  EXPECT_EQ(back.default_rerank_k(), 17u);
+  EXPECT_EQ(back.default_nprobe(), index.default_nprobe());
+  back.AttachRerankCatalog(catalog);
+  core::Rng qrng(56);
+  Matrix q = Matrix::Randn(4, catalog.cols(), &qrng);
+  for (size_t qi = 0; qi < 4; ++qi) {
+    for (size_t nprobe : {size_t{1}, size_t{3}, index.nlist()}) {
+      EXPECT_EQ(index.Query(core::SerialExecution(), q.row(qi), 10, nprobe),
+                back.Query(core::SerialExecution(), q.row(qi), 10, nprobe));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// A float GIV1 dump written before this change must keep loading — and
+// load as a float index, no re-rank catalog required.
+TEST(Sq8PersistenceTest, Giv1FloatDumpStillLoadsAsFloatIndex) {
+  const Matrix catalog = AdversarialCatalog(57);
+  RetrievalConfig fcfg;
+  fcfg.nlist = 6;
+  const IvfIndex fl = IvfIndex::Build(catalog, fcfg);
+  const std::string path = TempPath("giv1_back");
+  ASSERT_TRUE(fl.Save(path).ok());
+  ASSERT_EQ(ReadAllBytes(path).substr(0, 4), "GIV1");
+  auto loaded = IvfIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value().quantized());
+  core::Rng qrng(58);
+  Matrix q = Matrix::Randn(2, catalog.cols(), &qrng);
+  for (size_t qi = 0; qi < 2; ++qi) {
+    EXPECT_EQ(loaded.value().Query(core::SerialExecution(), q.row(qi), 10,
+                                   fl.nlist()),
+              fl.Query(core::SerialExecution(), q.row(qi), 10, fl.nlist()));
+  }
+  std::remove(path.c_str());
+}
+
+// Bit-flip matrix over the GIV2 container: every sampled position — the
+// header, meta, centroids, lists, and the new codes and scales sections —
+// must be rejected at load.
+TEST(Sq8PersistenceTest, AnyFlippedBitRejected) {
+  const Matrix catalog = AdversarialCatalog(66);
+  const IvfIndex index = IvfIndex::Build(catalog, Sq8Config(5, 66));
+  const std::string path = TempPath("sq8_bitflip");
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::string clean = ReadAllBytes(path);
+  ASSERT_FALSE(clean.empty());
+  for (size_t pos = 0; pos < clean.size(); pos += 97) {
+    std::string corrupt = clean;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x04);
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    auto r = IvfIndex::Load(path);
+    EXPECT_FALSE(r.ok()) << "flip at byte " << pos << " was accepted";
+  }
+  std::remove(path.c_str());
+}
+
+// The codes and scales sections are named when their CRC trips, so the
+// on-call log localizes which payload rotted.
+TEST(Sq8PersistenceTest, CorruptCodesAndScalesSectionsAreNamed) {
+  const Matrix catalog = AdversarialCatalog(68);
+  const size_t n = catalog.rows(), dim = catalog.cols();
+  const IvfIndex index = IvfIndex::Build(catalog, Sq8Config(5, 68));
+  const std::string path = TempPath("sq8_named");
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::string clean = ReadAllBytes(path);
+  // Container layout: 12-byte header, then per-section 16-byte section
+  // header + payload (meta 48, centroids nlist*dim*4, lists (nlist+1+n)*4,
+  // codes n*dim, scales n*4).
+  const size_t codes_payload = 12 + (16 + 48) +
+                               (16 + index.nlist() * dim * sizeof(float)) +
+                               (16 + (index.nlist() + 1 + n) * 4) + 16;
+  const size_t scales_payload = codes_payload + n * dim + 16;
+  ASSERT_EQ(scales_payload + n * sizeof(float), clean.size());
+  const struct {
+    size_t pos;
+    const char* want;
+  } cases[] = {{codes_payload + n * dim / 2, "codes"},
+               {scales_payload + 1, "scales"}};
+  for (const auto& c : cases) {
+    std::string corrupt = clean;
+    corrupt[c.pos] = static_cast<char>(corrupt[c.pos] ^ 0x10);
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    auto r = IvfIndex::Load(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("checksum"), std::string::npos)
+        << r.status().ToString();
+    EXPECT_NE(r.status().message().find(c.want), std::string::npos)
+        << "failing section not named: " << r.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- SQ8 concurrent serving
+
+// The SQ8 EmbeddingRanker through BatchRanker at 1/2/4/8 workers must
+// reproduce the serial pass bit for bit — the quantized scan, the band
+// cutoff, and the re-rank all shard, and none of it may depend on thread
+// count. Runs under TSan in scripts/check.sh.
+TEST(Sq8ConcurrencyTest, SharedIndexThroughBatchRankerBitIdenticalToSerial) {
+  core::Rng rng(77);
+  const size_t num_queries = 60, dim = 16;
+  Matrix query_emb = Matrix::Randn(num_queries, dim, &rng);
+  Matrix service_emb = ClusteredCatalog(78, 10, 50, dim);
+  RetrievalConfig cfg = Sq8Config(10, 13, /*nprobe=*/4);
+  auto ranker = std::make_shared<EmbeddingRanker>(
+      EmbeddingStore(query_emb), EmbeddingStore(service_emb), cfg);
+  ASSERT_NE(ranker->index(), nullptr);
+  ASSERT_TRUE(ranker->index()->quantized());
+
+  std::vector<ServeRequest> requests;
+  for (size_t i = 0; i < 400; ++i) {
+    requests.push_back({static_cast<uint32_t>(i % num_queries), 10});
+  }
+  ServeConfig serial_cfg;
+  serial_cfg.num_threads = 0;
+  BatchRanker serial(ranker, serial_cfg);
+  const std::vector<RankedList> ref = serial.RankBatch(requests);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ServeConfig par_cfg;
+    par_cfg.num_threads = threads;
+    BatchRanker batch(ranker, par_cfg);
+    const std::vector<RankedList> got = batch.RankBatch(requests);
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(got[i], ref[i]) << "threads " << threads << " request " << i;
+    }
+  }
+}
+
+TEST(EmbeddingRankerIvfTest, Sq8FullProbeModeMatchesBruteForceRanker) {
+  core::Rng rng(91);
+  const size_t dim = 8;
+  Matrix query_emb = Matrix::Randn(12, dim, &rng);
+  Matrix service_emb = Matrix::Randn(150, dim, &rng);
+  EmbeddingRanker brute{EmbeddingStore(query_emb),
+                        EmbeddingStore(service_emb)};
+  EmbeddingRanker sq8(EmbeddingStore(query_emb), EmbeddingStore(service_emb),
+                      Sq8Config(6, 13, /*nprobe=*/6, /*rerank_k=*/10));
+  for (uint32_t q = 0; q < 12; ++q) {
+    for (size_t k : {size_t{1}, size_t{10}, service_emb.rows()}) {
+      EXPECT_EQ(sq8.Rank(q, k), brute.Rank(q, k)) << "query " << q;
+    }
+  }
+  EXPECT_EQ(std::string(RetrievalModeName(sq8.retrieval().mode)), "ivf-sq8");
+}
+
 }  // namespace
 }  // namespace garcia::serving
